@@ -1,0 +1,81 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--queries N] [--seed K]
+//!
+//! experiments: table3 fig8 fig9 fig10 table5 fig11 fig12 table6 table7 all
+//! ```
+
+use tir_bench::experiments::{self, Opts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp: Option<String> = None;
+    let mut opts = Opts::default();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args[i].parse().expect("--scale takes a number");
+            }
+            "--queries" => {
+                i += 1;
+                opts.queries = args[i].parse().expect("--queries takes a count");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args[i].parse().expect("--seed takes a u64");
+            }
+            "--help" | "-h" => {
+                usage();
+                return;
+            }
+            other if exp.is_none() && !other.starts_with('-') => {
+                exp = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let Some(exp) = exp else {
+        usage();
+        std::process::exit(2);
+    };
+
+    eprintln!(
+        "[repro] experiment={exp} scale={} queries={} seed={}",
+        opts.scale, opts.queries, opts.seed
+    );
+    match exp.as_str() {
+        "table3" => experiments::table3(&opts),
+        "fig8" => experiments::fig8(&opts),
+        "fig9" => experiments::fig9(&opts),
+        "fig10" => experiments::fig10(&opts),
+        "table5" => experiments::table5(&opts),
+        "fig11" => experiments::fig11(&opts),
+        "fig12" => experiments::fig12(&opts),
+        "table6" => experiments::table6(&opts),
+        "table7" => experiments::table7(&opts),
+        "irhint-mtune" => experiments::irhint_mtune(&opts),
+        "all" => experiments::all(&opts),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <table3|fig8|fig9|fig10|table5|fig11|fig12|table6|table7|all> \
+         [--scale S] [--queries N] [--seed K]"
+    );
+}

@@ -1,0 +1,207 @@
+//! Shared harness: index construction with timing, query throughput
+//! measurement, and the benchmark dataset registry.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use tir_core::prelude::*;
+use tir_datagen::{eclog_like, wikipedia_like};
+
+/// Every index method of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Base temporal inverted file (no temporal indexing).
+    Tif,
+    /// tIF+Slicing (Berberich et al.).
+    Slicing,
+    /// tIF+Sharding (Anand et al.).
+    Sharding,
+    /// tIF+HINT with binary-search intersections (Algorithm 3).
+    TifHintBs,
+    /// tIF+HINT with merge-sort intersections (Algorithm 4).
+    TifHintMs,
+    /// tIF+HINT+Slicing hybrid (Section 3.2).
+    Hybrid,
+    /// irHINT, performance variant (Section 4.1).
+    IrPerf,
+    /// irHINT, size variant (Section 4.2).
+    IrSize,
+}
+
+impl Method {
+    /// All methods, in Table 5 order.
+    pub fn all() -> &'static [Method] {
+        &[
+            Method::Slicing,
+            Method::Sharding,
+            Method::TifHintBs,
+            Method::TifHintMs,
+            Method::Hybrid,
+            Method::IrPerf,
+            Method::IrSize,
+        ]
+    }
+
+    /// The Figure 11/12 line-up: our best IR-first and both irHINT
+    /// variants against the two competitors.
+    pub fn competition() -> &'static [Method] {
+        &[
+            Method::Slicing,
+            Method::Sharding,
+            Method::Hybrid,
+            Method::IrPerf,
+            Method::IrSize,
+        ]
+    }
+
+    /// The three tIF+HINT variants compared in Section 5.3 / Figure 10.
+    pub fn tif_hint_variants() -> &'static [Method] {
+        &[Method::TifHintBs, Method::TifHintMs, Method::Hybrid]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Tif => "tIF",
+            Method::Slicing => "tIF+Slicing",
+            Method::Sharding => "tIF+Sharding",
+            Method::TifHintBs => "tIF+HINT(bs)",
+            Method::TifHintMs => "tIF+HINT(ms)",
+            Method::Hybrid => "tIF+HINT+Slicing",
+            Method::IrPerf => "irHINT(perf)",
+            Method::IrSize => "irHINT(size)",
+        }
+    }
+}
+
+/// Build timing and size of a constructed index.
+pub struct BuildStats {
+    /// The constructed index.
+    pub index: Box<dyn TemporalIrIndex>,
+    /// Wall-clock build time in seconds.
+    pub build_secs: f64,
+    /// Heap footprint in MiB.
+    pub size_mib: f64,
+}
+
+/// Builds one method over a collection, timing it.
+pub fn build_method(method: Method, coll: &Collection) -> BuildStats {
+    let t0 = Instant::now();
+    let index: Box<dyn TemporalIrIndex> = match method {
+        Method::Tif => Box::new(Tif::build(coll)),
+        Method::Slicing => Box::new(TifSlicing::build(coll)),
+        Method::Sharding => Box::new(TifSharding::build(coll)),
+        Method::TifHintBs => Box::new(TifHint::build(coll, TifHintConfig::binary_search())),
+        Method::TifHintMs => Box::new(TifHint::build(coll, TifHintConfig::merge_sort())),
+        Method::Hybrid => Box::new(TifHintSlicing::build(coll)),
+        Method::IrPerf => Box::new(IrHintPerf::build(coll)),
+        Method::IrSize => Box::new(IrHintSize::build(coll)),
+    };
+    let build_secs = t0.elapsed().as_secs_f64();
+    let size_mib = index.size_bytes() as f64 / (1024.0 * 1024.0);
+    BuildStats { index, build_secs, size_mib }
+}
+
+/// Measures query throughput in queries/second: one warm-up pass, then
+/// the best of three timed passes (robust against the periodic CPU
+/// throttling of shared machines); results are consumed through
+/// `black_box`.
+pub fn throughput(index: &dyn TemporalIrIndex, queries: &[TimeTravelQuery]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let warm = queries.len().min(64);
+    for q in &queries[..warm] {
+        black_box(index.query(q));
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut total = 0usize;
+        for q in queries {
+            total += index.query(q).len();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        black_box(total);
+    }
+    queries.len() as f64 / best.max(1e-9)
+}
+
+/// Parallel query throughput: splits the workload over `threads` OS
+/// threads sharing the read-only index (all indexes are `Sync`: queries
+/// take `&self`). Returns queries/second aggregated over all threads.
+pub fn par_throughput<I>(index: &I, queries: &[TimeTravelQuery], threads: usize) -> f64
+where
+    I: TemporalIrIndex + Sync,
+{
+    assert!(threads >= 1);
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let chunk = queries.len().div_ceil(threads);
+        for part in queries.chunks(chunk) {
+            s.spawn(move || {
+                let mut total = 0usize;
+                for q in part {
+                    total += index.query(q).len();
+                }
+                black_box(total);
+            });
+        }
+    });
+    queries.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// A named benchmark dataset.
+pub struct Dataset {
+    /// Display name.
+    pub name: &'static str,
+    /// The collection.
+    pub coll: Collection,
+}
+
+/// The two real-world-shaped datasets at the harness default sizes
+/// multiplied by `scale` (1.0 ≈ 6K-session ECLOG and 8K-revision
+/// WIKIPEDIA stand-ins; raise for fidelity, lower for speed).
+pub fn datasets(scale: f64) -> Vec<Dataset> {
+    vec![
+        Dataset { name: "ECLOG", coll: eclog_like((0.02 * scale).min(1.0), 42) },
+        Dataset { name: "WIKIPEDIA", coll: wikipedia_like((0.005 * scale).min(1.0), 42) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir_datagen::{workload, WorkloadSpec};
+
+    #[test]
+    fn every_method_builds_and_agrees_on_real_shapes() {
+        let ds = datasets(0.05);
+        for d in &ds {
+            let oracle = BruteForce::build(d.coll.objects());
+            let queries = workload(&d.coll, &WorkloadSpec::default(), 10, 3);
+            assert!(!queries.is_empty());
+            for &m in Method::all() {
+                let built = build_method(m, &d.coll);
+                assert!(built.size_mib > 0.0);
+                for q in &queries {
+                    let mut got = built.index.query(q);
+                    got.sort_unstable();
+                    got.dedup();
+                    assert_eq!(got, oracle.answer(q), "{} on {}", m.name(), d.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_positive() {
+        let ds = datasets(0.05);
+        let queries = workload(&ds[0].coll, &WorkloadSpec::default(), 50, 3);
+        let built = build_method(Method::IrPerf, &ds[0].coll);
+        assert!(throughput(built.index.as_ref(), &queries) > 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! TSV loading and saving of collections.
+//!
+//! Format: one object per line, `start<TAB>end<TAB>e1,e2,...`. Elements
+//! are free-form strings interned into a dictionary; object ids are the
+//! line numbers. Lines starting with `#` and blank lines are skipped.
+
+use std::io::{BufRead, Write};
+
+use tir_core::{Collection, Object};
+use tir_invidx::Dictionary;
+
+/// A loaded corpus: the collection plus the string dictionary that
+/// resolves query keywords.
+pub struct Corpus {
+    /// The indexed objects.
+    pub collection: Collection,
+    /// Element string dictionary.
+    pub dictionary: Dictionary,
+}
+
+/// Parses a TSV stream.
+pub fn read_tsv(reader: impl BufRead) -> Result<Corpus, String> {
+    let mut dictionary = Dictionary::new();
+    let mut objects = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split('\t');
+        let err = |what: &str| format!("line {}: {what}", lineno + 1);
+        let st: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing start"))?
+            .trim()
+            .parse()
+            .map_err(|_| err("bad start timestamp"))?;
+        let end: u64 = parts
+            .next()
+            .ok_or_else(|| err("missing end"))?
+            .trim()
+            .parse()
+            .map_err(|_| err("bad end timestamp"))?;
+        if st > end {
+            return Err(err("start > end"));
+        }
+        let elems_field = parts.next().ok_or_else(|| err("missing elements"))?;
+        let desc = dictionary
+            .intern_description(elems_field.split(',').map(str::trim).filter(|s| !s.is_empty()));
+        if desc.is_empty() {
+            return Err(err("empty description"));
+        }
+        objects.push(Object::new(objects.len() as u32, st, end, desc));
+    }
+    Ok(Corpus { collection: Collection::new(objects), dictionary })
+}
+
+/// Writes a collection (with numeric element names `e<id>`) as TSV.
+pub fn write_tsv(coll: &Collection, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "# start\tend\telements")?;
+    for o in coll.objects() {
+        let elems: Vec<String> = o.desc.iter().map(|e| format!("e{e}")).collect();
+        writeln!(w, "{}\t{}\t{}", o.interval.st, o.interval.end, elems.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_tsv() {
+        let input = "# comment\n10\t20\tfoo,bar\n\n5\t5\tbaz\n";
+        let corpus = read_tsv(input.as_bytes()).unwrap();
+        assert_eq!(corpus.collection.len(), 2);
+        let o0 = corpus.collection.get(0);
+        assert_eq!((o0.interval.st, o0.interval.end), (10, 20));
+        assert_eq!(o0.desc.len(), 2);
+        assert!(corpus.dictionary.lookup("baz").is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_tsv("oops".as_bytes()).is_err());
+        assert!(read_tsv("10\t5\tfoo".as_bytes()).is_err(), "inverted interval");
+        assert!(read_tsv("10\tx\tfoo".as_bytes()).is_err());
+        assert!(read_tsv("10\t20\t".as_bytes()).is_err(), "empty description");
+    }
+
+    #[test]
+    fn roundtrip_through_tsv() {
+        let coll = Collection::running_example();
+        let mut buf = Vec::new();
+        write_tsv(&coll, &mut buf).unwrap();
+        let back = read_tsv(buf.as_slice()).unwrap();
+        assert_eq!(back.collection.len(), coll.len());
+        for (a, b) in coll.objects().iter().zip(back.collection.objects()) {
+            assert_eq!(a.interval, b.interval);
+            assert_eq!(a.desc.len(), b.desc.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_elements_deduped() {
+        let corpus = read_tsv("0\t1\tx,x,y".as_bytes()).unwrap();
+        assert_eq!(corpus.collection.get(0).desc.len(), 2);
+    }
+}

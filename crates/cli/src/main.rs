@@ -1,0 +1,274 @@
+//! `tir` — command-line front end for the temporal-IR indexes.
+//!
+//! ```text
+//! tir gen   --out data.tsv [--cardinality N] [--seed K] [--scale S]
+//! tir stats --input data.tsv
+//! tir query --input data.tsv --method irhint-perf \
+//!           --from 100 --to 900 --elems foo,bar [--topk 10]
+//! tir bench --input data.tsv [--queries N]
+//! ```
+//!
+//! TSV format: `start<TAB>end<TAB>elem1,elem2,...` per object; `#` lines
+//! are comments.
+
+mod io;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+
+use tir_core::prelude::*;
+use tir_core::{RankedQuery, RankedTif};
+use tir_datagen::{workload, SyntheticConfig, WorkloadSpec};
+
+use crate::io::{read_tsv, write_tsv, Corpus};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+struct Opts {
+    flags: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
+            i += 1;
+            let value = args
+                .get(i)
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone();
+            flags.push((key.to_string(), value));
+            i += 1;
+        }
+        Ok(Opts { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: {v}")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    let opts = Opts::parse(rest)?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "stats" => cmd_stats(&opts),
+        "query" => cmd_query(&opts),
+        "bench" => cmd_bench(&opts),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: tir <gen|stats|query|bench> [--flags]\n\
+     gen   --out FILE [--cardinality N] [--seed K] [--scale S]\n\
+     stats --input FILE\n\
+     query --input FILE --from T --to T --elems a,b [--method M] [--topk K]\n\
+     bench --input FILE [--queries N]\n\
+     methods: tif, slicing, sharding, tif-hint-bs, tif-hint-ms, hybrid,\n\
+              irhint-perf (default), irhint-size, ctif"
+        .to_string()
+}
+
+fn load(opts: &Opts) -> Result<Corpus, String> {
+    let path = opts.require("input")?;
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    read_tsv(BufReader::new(file))
+}
+
+fn build_index(method: &str, coll: &Collection) -> Result<Box<dyn TemporalIrIndex>, String> {
+    Ok(match method {
+        "tif" => Box::new(Tif::build(coll)),
+        "slicing" => Box::new(TifSlicing::build(coll)),
+        "sharding" => Box::new(TifSharding::build(coll)),
+        "tif-hint-bs" => Box::new(TifHint::build(coll, TifHintConfig::binary_search())),
+        "tif-hint-ms" => Box::new(TifHint::build(coll, TifHintConfig::merge_sort())),
+        "hybrid" => Box::new(TifHintSlicing::build(coll)),
+        "irhint-perf" => Box::new(IrHintPerf::build(coll)),
+        "irhint-size" => Box::new(IrHintSize::build(coll)),
+        "ctif" => Box::new(CompressedTif::build(coll)),
+        other => return Err(format!("unknown method {other}")),
+    })
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let out = opts.require("out")?;
+    let scale: f64 = opts.parse_or("scale", 0.01)?;
+    let mut cfg = SyntheticConfig::default().scaled(scale);
+    cfg.cardinality = opts.parse_or("cardinality", cfg.cardinality)?;
+    cfg.seed = opts.parse_or("seed", cfg.seed)?;
+    let coll = tir_datagen::generate(&cfg);
+    let file = File::create(out).map_err(|e| format!("{out}: {e}"))?;
+    write_tsv(&coll, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    eprintln!("wrote {} objects to {out}", coll.len());
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let corpus = load(opts)?;
+    let s = corpus.collection.stats();
+    println!("cardinality        {}", s.cardinality);
+    println!("domain span        {}", s.domain_span);
+    println!("duration min/avg/max  {} / {:.1} / {}", s.min_duration, s.avg_duration, s.max_duration);
+    println!("avg duration       {:.2}% of domain", s.avg_duration_pct);
+    println!("dictionary         {}", s.dictionary_size);
+    println!("description min/avg/max  {} / {:.1} / {}", s.min_desc, s.avg_desc, s.max_desc);
+    println!("avg element freq   {:.1} ({:.3}%)", s.avg_elem_freq, s.avg_elem_freq_pct);
+    Ok(())
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let corpus = load(opts)?;
+    let from: u64 = opts.require("from")?.parse().map_err(|_| "bad --from")?;
+    let to: u64 = opts.require("to")?.parse().map_err(|_| "bad --to")?;
+    if from > to {
+        return Err("--from must be <= --to".into());
+    }
+    let elems: Vec<u32> = opts
+        .require("elems")?
+        .split(',')
+        .map(|t| {
+            corpus
+                .dictionary
+                .lookup(t.trim())
+                .ok_or_else(|| format!("unknown element '{}'", t.trim()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    if let Some(k) = opts.get("topk") {
+        let k: usize = k.parse().map_err(|_| "bad --topk")?;
+        let ranked = RankedTif::build(&corpus.collection);
+        for hit in ranked.query_topk(&RankedQuery::new(from, to, elems, k)) {
+            let o = corpus.collection.get(hit.id);
+            println!("{}\t{:.4}\t[{}, {}]", hit.id, hit.score, o.interval.st, o.interval.end);
+        }
+        return Ok(());
+    }
+
+    let method = opts.get("method").unwrap_or("irhint-perf");
+    let t0 = Instant::now();
+    let index = build_index(method, &corpus.collection)?;
+    let built = t0.elapsed();
+    let t0 = Instant::now();
+    let mut hits = index.query(&TimeTravelQuery::new(from, to, elems));
+    let answered = t0.elapsed();
+    hits.sort_unstable();
+    for id in &hits {
+        let o = corpus.collection.get(*id);
+        println!("{id}\t[{}, {}]", o.interval.st, o.interval.end);
+    }
+    eprintln!(
+        "{} results | {} | build {:.1?} | query {:.1?} | {} KiB",
+        hits.len(),
+        index.name(),
+        built,
+        answered,
+        index.size_bytes() / 1024
+    );
+    Ok(())
+}
+
+fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    let corpus = load(opts)?;
+    let n: usize = opts.parse_or("queries", 200)?;
+    let queries = workload(&corpus.collection, &WorkloadSpec::default(), n, 7);
+    if queries.is_empty() {
+        return Err("could not generate a workload for this corpus".into());
+    }
+    println!("{:<14} {:>10} {:>12} {:>12}", "method", "build [s]", "size [KiB]", "queries/s");
+    for method in [
+        "tif", "slicing", "sharding", "tif-hint-bs", "tif-hint-ms", "hybrid", "irhint-perf",
+        "irhint-size", "ctif",
+    ] {
+        let t0 = Instant::now();
+        let index = build_index(method, &corpus.collection)?;
+        let build = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let mut total = 0usize;
+        for q in &queries {
+            total += index.query(q).len();
+        }
+        let qps = queries.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(total);
+        println!(
+            "{:<14} {:>10.3} {:>12} {:>12.0}",
+            method,
+            build,
+            index.size_bytes() / 1024,
+            qps
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opts_parsing() {
+        let args: Vec<String> = ["--from", "5", "--to", "9"].iter().map(|s| s.to_string()).collect();
+        let o = Opts::parse(&args).unwrap();
+        assert_eq!(o.require("from").unwrap(), "5");
+        assert!(o.require("missing").is_err());
+        assert_eq!(o.parse_or("to", 0u64).unwrap(), 9);
+        assert_eq!(o.parse_or("absent", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn opts_rejects_positional() {
+        let args: Vec<String> = vec!["oops".into()];
+        assert!(Opts::parse(&args).is_err());
+    }
+
+    #[test]
+    fn build_index_knows_all_methods() {
+        let coll = Collection::running_example();
+        for m in [
+            "tif", "slicing", "sharding", "tif-hint-bs", "tif-hint-ms", "hybrid",
+            "irhint-perf", "irhint-size", "ctif",
+        ] {
+            let idx = build_index(m, &coll).unwrap();
+            let mut hits = idx.query(&TimeTravelQuery::new(5, 9, vec![0, 2]));
+            hits.sort_unstable();
+            assert_eq!(hits, vec![1, 3, 6], "{m}");
+        }
+        assert!(build_index("nope", &coll).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! The common interface of every temporal-IR index in this crate.
+
+use crate::types::{Object, ObjectId, TimeTravelQuery};
+
+/// A time-travel IR index: answers [`TimeTravelQuery`]s and supports
+/// incremental maintenance.
+///
+/// Contract shared by all implementations:
+///
+/// * `query` returns the exact answer set of Definition 2.1, with **every
+///   qualifying id exactly once**, in unspecified order;
+/// * a query whose `elems` is empty returns an empty result (the paper's
+///   queries always carry at least one element);
+/// * `insert` may use ids larger than anything indexed so far; re-using a
+///   live id is a caller bug;
+/// * `delete` is *logical* (tombstones), returns whether the object was
+///   found, and is idempotent.
+pub trait TemporalIrIndex {
+    /// Short stable name used in benchmark tables (e.g. `"tIF+Slicing"`).
+    fn name(&self) -> &'static str;
+
+    /// Answers a time-travel IR query.
+    fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId>;
+
+    /// Adds one object.
+    fn insert(&mut self, o: &Object);
+
+    /// Logically deletes one object; the caller passes the full object so
+    /// the index can locate its entries. Returns true if found alive.
+    fn delete(&mut self, o: &Object) -> bool;
+
+    /// Approximate heap footprint in bytes.
+    fn size_bytes(&self) -> usize;
+
+    /// Adds a batch of objects. The default loops over [`Self::insert`];
+    /// composite indexes override it with a merge-rebuild of every
+    /// touched division, which is what the paper's batch-insert
+    /// experiments (Table 6) measure.
+    fn insert_batch(&mut self, batch: &[Object]) {
+        for o in batch {
+            self.insert(o);
+        }
+    }
+}
+
+/// Inserts a batch of objects (the paper's insertion experiments use 1%,
+/// 5% and 10% batches).
+pub fn insert_batch<I: TemporalIrIndex + ?Sized>(index: &mut I, batch: &[Object]) {
+    index.insert_batch(batch);
+}
+
+/// Deletes a batch of objects; returns how many were found.
+pub fn delete_batch<I: TemporalIrIndex + ?Sized>(index: &mut I, batch: &[Object]) -> usize {
+    batch.iter().filter(|o| index.delete(o)).count()
+}

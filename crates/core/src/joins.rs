@@ -1,0 +1,245 @@
+//! Temporal-IR joins (extension; Section 7 names joins as future work).
+//!
+//! Two flavours over a pair of collections `A`, `B`:
+//!
+//! * [`temporal_common_elements_join`] — all pairs `(a, b)` whose
+//!   intervals overlap and whose descriptions share at least
+//!   `min_common` elements (e.g. "sessions that listened to ≥ 2 of the
+//!   same tracks at the same time");
+//! * [`temporal_join_with_elements`] — all overlapping pairs where *both*
+//!   descriptions contain a given element set (e.g. "co-occurring
+//!   revisions that both mention 'elections'"); the element predicate is
+//!   pushed down through inverted postings before the interval sweep.
+
+use crate::collection::Collection;
+use crate::postings::build_lists;
+use crate::types::{ElemId, ObjectId};
+use tir_hint::{forward_scan_join, IntervalRecord};
+
+/// One join result: a pair of object ids plus the number of shared
+/// description elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct JoinPair {
+    /// Object id from the left collection.
+    pub left: ObjectId,
+    /// Object id from the right collection.
+    pub right: ObjectId,
+    /// Number of common description elements.
+    pub common: u32,
+}
+
+/// Size of the intersection of two sorted element sets.
+fn common_count(a: &[ElemId], b: &[ElemId]) -> u32 {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+fn records_of(coll: &Collection) -> Vec<IntervalRecord> {
+    coll.objects()
+        .iter()
+        .map(|o| IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end })
+        .collect()
+}
+
+/// All `(a, b)` pairs with overlapping intervals and at least
+/// `min_common >= 1` shared description elements, sorted by
+/// `(left, right)`.
+///
+/// Uses a forward-scan interval sweep with the element check applied at
+/// emission time.
+pub fn temporal_common_elements_join(
+    a: &Collection,
+    b: &Collection,
+    min_common: u32,
+) -> Vec<JoinPair> {
+    assert!(min_common >= 1, "min_common = 0 is a plain interval join");
+    let ra = records_of(a);
+    let rb = records_of(b);
+    let mut out = Vec::new();
+    forward_scan_join(&ra, &rb, |la, rb_id| {
+        let common = common_count(&a.get(la).desc, &b.get(rb_id).desc);
+        if common >= min_common {
+            out.push(JoinPair { left: la, right: rb_id, common });
+        }
+    });
+    out.sort_unstable();
+    out
+}
+
+/// All overlapping `(a, b)` pairs where both descriptions contain every
+/// element of `required`, sorted by `(left, right)`.
+///
+/// The element predicate is evaluated first through each side's postings
+/// lists, so the interval sweep runs only over the qualifying objects —
+/// the join-side analogue of intersecting postings before the temporal
+/// check.
+pub fn temporal_join_with_elements(
+    a: &Collection,
+    b: &Collection,
+    required: &[ElemId],
+) -> Vec<JoinPair> {
+    if required.is_empty() {
+        return Vec::new();
+    }
+    let filter = |coll: &Collection| -> Vec<IntervalRecord> {
+        // Intersect the postings of all required elements.
+        let lists = build_lists(coll.objects());
+        let mut req = required.to_vec();
+        req.sort_unstable();
+        req.dedup();
+        let mut iter = req.iter();
+        let first = iter.next().unwrap();
+        let mut ids: Vec<u32> = match lists.get(first) {
+            Some(l) => l.ids.clone(),
+            None => return Vec::new(),
+        };
+        for e in iter {
+            let mut next = Vec::new();
+            if let Some(l) = lists.get(e) {
+                tir_invidx::intersect_merge_into(&ids, &l.ids, &mut next);
+            }
+            ids = next;
+            if ids.is_empty() {
+                return Vec::new();
+            }
+        }
+        ids.iter()
+            .map(|&id| {
+                let o = coll.get(id);
+                IntervalRecord { id, st: o.interval.st, end: o.interval.end }
+            })
+            .collect()
+    };
+    let ra = filter(a);
+    let rb = filter(b);
+    let mut out = Vec::new();
+    forward_scan_join(&ra, &rb, |la, rb_id| {
+        let common = common_count(&a.get(la).desc, &b.get(rb_id).desc);
+        out.push(JoinPair { left: la, right: rb_id, common });
+    });
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Object;
+
+    fn coll_a() -> Collection {
+        Collection::new(vec![
+            Object::new(0, 0, 10, vec![1, 2, 3]),
+            Object::new(1, 5, 15, vec![2, 4]),
+            Object::new(2, 20, 30, vec![1, 2]),
+            Object::new(3, 8, 9, vec![9]),
+        ])
+    }
+
+    fn coll_b() -> Collection {
+        Collection::new(vec![
+            Object::new(0, 9, 12, vec![2, 3]),
+            Object::new(1, 25, 40, vec![1, 7]),
+            Object::new(2, 50, 60, vec![1, 2, 3]),
+            Object::new(3, 0, 100, vec![9]),
+        ])
+    }
+
+    fn oracle(a: &Collection, b: &Collection, min_common: u32) -> Vec<JoinPair> {
+        let mut out = Vec::new();
+        for oa in a.objects() {
+            for ob in b.objects() {
+                if oa.interval.overlaps(&ob.interval) {
+                    let common = common_count(&oa.desc, &ob.desc);
+                    if common >= min_common {
+                        out.push(JoinPair { left: oa.id, right: ob.id, common });
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn common_join_matches_oracle() {
+        let (a, b) = (coll_a(), coll_b());
+        for min_common in 1..=3 {
+            assert_eq!(
+                temporal_common_elements_join(&a, &b, min_common),
+                oracle(&a, &b, min_common),
+                "min_common={min_common}"
+            );
+        }
+    }
+
+    #[test]
+    fn common_join_on_random_collections() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let mk = |rng: &mut StdRng, n: u32| {
+            Collection::new(
+                (0..n)
+                    .map(|i| {
+                        let st = rng.gen_range(0..500u64);
+                        let len = rng.gen_range(0..60u64);
+                        let desc: Vec<u32> = (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..8)).collect();
+                        Object::new(i, st, st + len, desc)
+                    })
+                    .collect(),
+            )
+        };
+        let a = mk(&mut rng, 80);
+        let b = mk(&mut rng, 70);
+        for min_common in 1..=2 {
+            assert_eq!(
+                temporal_common_elements_join(&a, &b, min_common),
+                oracle(&a, &b, min_common)
+            );
+        }
+    }
+
+    #[test]
+    fn element_constrained_join() {
+        let (a, b) = (coll_a(), coll_b());
+        // Pairs where both sides contain element 2.
+        let got = temporal_join_with_elements(&a, &b, &[2]);
+        let want: Vec<JoinPair> = oracle(&a, &b, 1)
+            .into_iter()
+            .filter(|p| {
+                a.get(p.left).desc.contains(&2) && b.get(p.right).desc.contains(&2)
+            })
+            .collect();
+        assert_eq!(got, want);
+        // Element 9: only a3 × b3 overlap-wise.
+        let got = temporal_join_with_elements(&a, &b, &[9]);
+        assert_eq!(got, vec![JoinPair { left: 3, right: 3, common: 1 }]);
+        // Unknown element: empty.
+        assert!(temporal_join_with_elements(&a, &b, &[42]).is_empty());
+        assert!(temporal_join_with_elements(&a, &b, &[]).is_empty());
+    }
+
+    #[test]
+    fn self_join_is_reflexive() {
+        let a = coll_a();
+        let got = temporal_common_elements_join(&a, &a, 1);
+        for o in a.objects() {
+            assert!(got.contains(&JoinPair {
+                left: o.id,
+                right: o.id,
+                common: o.desc.len() as u32
+            }));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # tir-core
+//!
+//! Indexes for **time-travel IR queries** (Rauch & Bouros, "Fast Indexing
+//! for Temporal Information Retrieval"): given a query interval and a set
+//! of descriptive elements, retrieve every object whose lifespan overlaps
+//! the interval and whose description contains all elements.
+//!
+//! ## Index implementations
+//!
+//! | Type | Approach | Paper section |
+//! |------|----------|---------------|
+//! | [`Tif`] | base temporal inverted file | §2.2, Alg. 1 |
+//! | [`TifSlicing`] | vertical time-slice partitioning | §2.2 |
+//! | [`TifSharding`] | staircase shards + impact lists | §2.2 |
+//! | [`TifHint`] (binary-search) | per-element HINTs, Alg. 3 | §3.1 |
+//! | [`TifHint`] (merge-sort) | id-sorted per-element HINTs, Alg. 4 | §3.1 |
+//! | [`TifHintSlicing`] | dual-copy hybrid | §3.2 |
+//! | [`IrHintPerf`] | time-first, tIF per division | §4.1, Alg. 5 |
+//! | [`IrHintSize`] | time-first, decoupled dual structure | §4.2, Alg. 6 |
+//!
+//! Extensions beyond the paper: [`CompressedTif`] explores the
+//! compression future-work direction (delta/varint base + uncompressed
+//! overlay), and [`ranked`] adds relevance-ranked top-k retrieval.
+//!
+//! All indexes implement [`TemporalIrIndex`] and agree exactly with the
+//! [`BruteForce`] oracle.
+//!
+//! ```
+//! use tir_core::prelude::*;
+//!
+//! let coll = Collection::running_example();
+//! let index = IrHintPerf::build(&coll);
+//! let q = TimeTravelQuery::new(5, 9, vec![0, 2]);
+//! let mut hits = index.query(&q);
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![1, 3, 6]); // objects o2, o4, o7 of Figure 1
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod compressed_tif;
+pub mod freq;
+pub mod hybrid;
+pub mod index_trait;
+pub mod irhint_perf;
+pub mod joins;
+pub mod irhint_size;
+pub mod oracle;
+pub mod postings;
+pub mod ranked;
+pub mod sharding;
+pub mod slicing;
+pub mod tif;
+pub mod tif_hint;
+pub mod types;
+
+pub use collection::{Collection, CollectionStats};
+pub use compressed_tif::CompressedTif;
+pub use hybrid::TifHintSlicing;
+pub use index_trait::{delete_batch, insert_batch, TemporalIrIndex};
+pub use irhint_perf::IrHintPerf;
+pub use irhint_size::IrHintSize;
+pub use joins::{temporal_common_elements_join, temporal_join_with_elements, JoinPair};
+pub use oracle::BruteForce;
+pub use ranked::{RankedQuery, RankedTif, ScoredHit};
+pub use sharding::{ShardingConfig, TifSharding};
+pub use slicing::{tune_num_slices, TifSlicing};
+pub use tif::Tif;
+pub use tif_hint::{IntersectStrategy, TifHint, TifHintConfig};
+pub use types::{ElemId, Interval, Object, ObjectId, TimeTravelQuery, Timestamp};
+
+/// Commonly used items, star-importable.
+pub mod prelude {
+    pub use crate::collection::{Collection, CollectionStats};
+    pub use crate::compressed_tif::CompressedTif;
+    pub use crate::hybrid::TifHintSlicing;
+    pub use crate::index_trait::{delete_batch, insert_batch, TemporalIrIndex};
+    pub use crate::irhint_perf::IrHintPerf;
+    pub use crate::irhint_size::IrHintSize;
+    pub use crate::oracle::BruteForce;
+    pub use crate::ranked::{RankedQuery, RankedTif, ScoredHit};
+    pub use crate::sharding::TifSharding;
+    pub use crate::slicing::TifSlicing;
+    pub use crate::tif::Tif;
+    pub use crate::tif_hint::{IntersectStrategy, TifHint, TifHintConfig};
+    pub use crate::types::{ElemId, Interval, Object, ObjectId, TimeTravelQuery, Timestamp};
+}

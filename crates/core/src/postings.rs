@@ -1,0 +1,133 @@
+//! Time-aware postings lists: the building block of every IR-first index.
+
+use crate::types::{Object, ObjectId, Timestamp};
+use tir_invidx::{live, raw, TOMBSTONE};
+
+/// A time-aware postings list `I[e]`: parallel arrays of
+/// `⟨o.id, [o.tst, o.tend]⟩` entries sorted by (raw) object id, as in the
+/// base temporal inverted file of Section 2.2.
+#[derive(Debug, Clone, Default)]
+pub struct TemporalList {
+    /// Object ids (tombstone high bit marks logical deletes).
+    pub ids: Vec<u32>,
+    /// Interval starts.
+    pub sts: Vec<Timestamp>,
+    /// Interval ends.
+    pub ends: Vec<Timestamp>,
+}
+
+impl TemporalList {
+    /// Number of entries, including tombstoned ones.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the list stores no entry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends or inserts keeping raw-id order.
+    pub fn insert(&mut self, id: ObjectId, st: Timestamp, end: Timestamp) {
+        match self.ids.last() {
+            Some(&last) if raw(last) > id => {
+                let pos = self.ids.partition_point(|&x| raw(x) <= id);
+                self.ids.insert(pos, id);
+                self.sts.insert(pos, st);
+                self.ends.insert(pos, end);
+            }
+            _ => {
+                self.ids.push(id);
+                self.sts.push(st);
+                self.ends.push(end);
+            }
+        }
+    }
+
+    /// Tombstones the entry of `id`; returns true if found alive.
+    pub fn tombstone(&mut self, id: ObjectId) -> bool {
+        if let Ok(p) = self.ids.binary_search_by_key(&id, |&x| raw(x)) {
+            if live(self.ids[p]) {
+                self.ids[p] |= TOMBSTONE;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Appends to `out` every live id whose interval overlaps
+    /// `[q_st, q_end]` — the temporal filter applied to the least-frequent
+    /// element's list in Algorithm 1. Output order follows the list (i.e.
+    /// ascending by id).
+    pub fn filter_overlap_into(&self, q_st: Timestamp, q_end: Timestamp, out: &mut Vec<ObjectId>) {
+        for i in 0..self.ids.len() {
+            if live(self.ids[i]) && self.sts[i] <= q_end && self.ends[i] >= q_st {
+                out.push(self.ids[i]);
+            }
+        }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.ids.capacity() * 4 + (self.sts.capacity() + self.ends.capacity()) * 8
+    }
+}
+
+/// Builds one [`TemporalList`] per element from a collection of objects.
+/// Objects must be visited in ascending id order for the lists to come out
+/// sorted (true for [`crate::collection::Collection`]).
+pub fn build_lists(objects: &[Object]) -> std::collections::HashMap<u32, TemporalList> {
+    let mut lists: std::collections::HashMap<u32, TemporalList> = std::collections::HashMap::new();
+    for o in objects {
+        for &e in &o.desc {
+            lists
+                .entry(e)
+                .or_default()
+                .insert(o.id, o.interval.st, o.interval.end);
+        }
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted() {
+        let mut l = TemporalList::default();
+        l.insert(5, 50, 55);
+        l.insert(2, 20, 25);
+        l.insert(9, 90, 95);
+        assert_eq!(l.ids, vec![2, 5, 9]);
+        assert_eq!(l.sts, vec![20, 50, 90]);
+    }
+
+    #[test]
+    fn filter_overlap() {
+        let mut l = TemporalList::default();
+        l.insert(1, 0, 10);
+        l.insert(2, 20, 30);
+        l.insert(3, 5, 25);
+        let mut out = Vec::new();
+        l.filter_overlap_into(8, 22, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        out.clear();
+        l.filter_overlap_into(11, 19, &mut out);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn tombstone_then_filter() {
+        let mut l = TemporalList::default();
+        l.insert(1, 0, 10);
+        l.insert(2, 5, 15);
+        assert!(l.tombstone(1));
+        assert!(!l.tombstone(1));
+        let mut out = Vec::new();
+        l.filter_overlap_into(0, 100, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+}

@@ -1,0 +1,339 @@
+//! **tIF+Slicing** (Berberich et al., Section 2.2): the time domain is cut
+//! into disjoint slices and every postings list is vertically divided into
+//! per-slice sub-lists, replicating entries into each slice they overlap.
+//! Duplicate results are avoided with the reference value method.
+
+use std::collections::HashMap;
+
+use crate::collection::Collection;
+use crate::freq::FreqTable;
+use crate::index_trait::TemporalIrIndex;
+use crate::postings::TemporalList;
+use crate::types::{Object, ObjectId, TimeTravelQuery, Timestamp};
+use tir_invidx::{live, mark_hits};
+
+/// Default slice count; Section 5.2 selects 50 as the smallest value in
+/// the highest-throughput plateau.
+pub const DEFAULT_SLICES: u32 = 50;
+
+/// A postings list divided into per-slice sub-lists. Sparse: only the
+/// slices between the first and last covered one are materialized.
+#[derive(Debug, Clone, Default)]
+struct SlicedList {
+    first: u32,
+    subs: Vec<TemporalList>,
+}
+
+impl SlicedList {
+    fn ensure_covers(&mut self, lo: u32, hi: u32) {
+        if self.subs.is_empty() {
+            self.first = lo;
+            self.subs.resize_with((hi - lo + 1) as usize, TemporalList::default);
+            return;
+        }
+        if lo < self.first {
+            let grow = (self.first - lo) as usize;
+            let mut fresh: Vec<TemporalList> = Vec::with_capacity(grow + self.subs.len());
+            fresh.resize_with(grow, TemporalList::default);
+            fresh.append(&mut self.subs);
+            self.subs = fresh;
+            self.first = lo;
+        }
+        let last = self.first + self.subs.len() as u32 - 1;
+        if hi > last {
+            self.subs
+                .resize_with(self.subs.len() + (hi - last) as usize, TemporalList::default);
+        }
+    }
+
+    fn sub(&self, s: u32) -> Option<&TemporalList> {
+        if s < self.first {
+            return None;
+        }
+        self.subs.get((s - self.first) as usize)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.subs
+            .iter()
+            .map(|l| l.size_bytes() + std::mem::size_of::<TemporalList>())
+            .sum()
+    }
+}
+
+/// The tIF+Slicing index.
+#[derive(Debug, Clone)]
+pub struct TifSlicing {
+    domain_min: Timestamp,
+    domain_max: Timestamp,
+    k: u32,
+    lists: HashMap<u32, SlicedList>,
+    freqs: FreqTable,
+}
+
+impl TifSlicing {
+    /// Builds with the default slice count.
+    pub fn build(coll: &Collection) -> Self {
+        Self::build_with_slices(coll, DEFAULT_SLICES)
+    }
+
+    /// Builds with `k` slices over the collection's domain.
+    pub fn build_with_slices(coll: &Collection, k: u32) -> Self {
+        assert!(k >= 1);
+        let d = coll.domain();
+        let mut idx = TifSlicing {
+            domain_min: d.st,
+            domain_max: d.end,
+            k,
+            lists: HashMap::new(),
+            freqs: FreqTable::from_counts(coll.freqs()),
+        };
+        for o in coll.objects() {
+            idx.place(o);
+        }
+        idx
+    }
+
+    /// Slice index of a raw timestamp (clamped to the domain).
+    #[inline]
+    pub fn slice_of(&self, t: Timestamp) -> u32 {
+        let t = t.clamp(self.domain_min, self.domain_max);
+        let span = (self.domain_max - self.domain_min) as u128 + 1;
+        (((t - self.domain_min) as u128 * self.k as u128) / span) as u32
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> u32 {
+        self.k
+    }
+
+    /// Total stored postings, counting replication.
+    pub fn num_postings(&self) -> usize {
+        self.lists
+            .values()
+            .flat_map(|sl| sl.subs.iter())
+            .map(TemporalList::len)
+            .sum()
+    }
+
+    fn place(&mut self, o: &Object) {
+        let lo = self.slice_of(o.interval.st);
+        let hi = self.slice_of(o.interval.end);
+        for &e in &o.desc {
+            let sl = self.lists.entry(e).or_default();
+            sl.ensure_covers(lo, hi);
+            for s in lo..=hi {
+                sl.subs[(s - sl.first) as usize].insert(o.id, o.interval.st, o.interval.end);
+            }
+        }
+    }
+}
+
+impl TemporalIrIndex for TifSlicing {
+    fn name(&self) -> &'static str {
+        "tIF+Slicing"
+    }
+
+    fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
+        let plan = self.freqs.plan(&q.elems);
+        let Some((&first, rest)) = plan.split_first() else {
+            return Vec::new();
+        };
+        let (q_st, q_end) = (q.interval.st, q.interval.end);
+        let s_lo = self.slice_of(q_st);
+        let s_hi = self.slice_of(q_end);
+
+        // Least frequent element: temporal filter + reference-value dedup.
+        let mut cands: Vec<ObjectId> = Vec::new();
+        if let Some(sl) = self.lists.get(&first) {
+            for s in s_lo..=s_hi {
+                let Some(sub) = sl.sub(s) else { continue };
+                for i in 0..sub.ids.len() {
+                    if live(sub.ids[i]) && sub.sts[i] <= q_end && sub.ends[i] >= q_st {
+                        // Reference value: report only from the slice
+                        // containing max(o.st, q.st).
+                        if self.slice_of(sub.sts[i].max(q_st)) == s {
+                            cands.push(sub.ids[i]);
+                        }
+                    }
+                }
+            }
+        }
+        cands.sort_unstable();
+
+        // Remaining elements: candidate marking across relevant sub-lists.
+        let mut hits = Vec::new();
+        for &e in rest {
+            if cands.is_empty() {
+                break;
+            }
+            hits.clear();
+            hits.resize(cands.len(), false);
+            if let Some(sl) = self.lists.get(&e) {
+                for s in s_lo..=s_hi {
+                    if let Some(sub) = sl.sub(s) {
+                        mark_hits(&cands, &sub.ids, &mut hits);
+                    }
+                }
+            }
+            let mut w = 0;
+            for i in 0..cands.len() {
+                if hits[i] {
+                    cands[w] = cands[i];
+                    w += 1;
+                }
+            }
+            cands.truncate(w);
+        }
+        cands
+    }
+
+    fn insert(&mut self, o: &Object) {
+        self.place(o);
+        for &e in &o.desc {
+            self.freqs.bump(e);
+        }
+    }
+
+    fn delete(&mut self, o: &Object) -> bool {
+        let lo = self.slice_of(o.interval.st);
+        let hi = self.slice_of(o.interval.end);
+        let mut any = false;
+        for &e in &o.desc {
+            if let Some(sl) = self.lists.get_mut(&e) {
+                let mut found = false;
+                for s in lo..=hi {
+                    if s >= sl.first {
+                        if let Some(sub) = sl.subs.get_mut((s - sl.first) as usize) {
+                            found |= sub.tombstone(o.id);
+                        }
+                    }
+                }
+                if found {
+                    self.freqs.drop_one(e);
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.lists
+            .values()
+            .map(|sl| sl.size_bytes() + std::mem::size_of::<SlicedList>() + 16)
+            .sum::<usize>()
+            + self.freqs.size_bytes()
+    }
+}
+
+/// Tunes the slice count per Berberich et al.: among candidate counts
+/// whose replication blow-up stays within `max_blowup` (factor over the
+/// unreplicated size), picks the one minimizing the expected number of
+/// postings read for a query of `extent` (fraction of the domain).
+///
+/// The expected read cost for `k` slices is
+/// `E[k] = postings(k) * (extent + 1/k)`: a query overlaps about
+/// `extent * k + 1` of the `k` slices and reads the entries replicated
+/// into them.
+pub fn tune_num_slices(coll: &Collection, candidates: &[u32], max_blowup: f64, extent: f64) -> u32 {
+    let d = coll.domain();
+    let span = (d.end - d.st) as u128 + 1;
+    let base: u64 = coll.objects().iter().map(|o| o.desc.len() as u64).sum();
+    let mut best = (f64::INFINITY, 1u32);
+    for &k in candidates {
+        assert!(k >= 1);
+        let slice_of = |t: Timestamp| -> u32 {
+            (((t - d.st) as u128 * k as u128) / span) as u32
+        };
+        let mut postings: u64 = 0;
+        for o in coll.objects() {
+            let copies = (slice_of(o.interval.end) - slice_of(o.interval.st) + 1) as u64;
+            postings += copies * o.desc.len() as u64;
+        }
+        if base > 0 && postings as f64 / base as f64 > max_blowup {
+            continue;
+        }
+        let cost = postings as f64 * (extent + 1.0 / k as f64);
+        if cost < best.0 {
+            best = (cost, k);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BruteForce;
+
+    #[test]
+    fn running_example_with_four_slices() {
+        // Figure 2 of the paper uses 4 slices.
+        let coll = Collection::running_example();
+        let idx = TifSlicing::build_with_slices(&coll, 4);
+        let q = TimeTravelQuery::new(5, 9, vec![0, 2]);
+        let mut got = idx.query(&q);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn matches_oracle_for_many_slice_counts() {
+        let coll = Collection::running_example();
+        let bf = BruteForce::build(coll.objects());
+        for k in [1u32, 2, 3, 4, 8, 16] {
+            let idx = TifSlicing::build_with_slices(&coll, k);
+            for st in 0..16u64 {
+                for end in st..16 {
+                    for elems in [vec![0], vec![2], vec![0, 2], vec![0, 1, 2]] {
+                        let q = TimeTravelQuery::new(st, end, elems);
+                        let mut got = idx.query(&q);
+                        let n = got.len();
+                        got.sort_unstable();
+                        got.dedup();
+                        assert_eq!(n, got.len(), "duplicates k={k} q={q:?}");
+                        assert_eq!(got, bf.answer(&q), "k={k} q={q:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_counted() {
+        let coll = Collection::running_example();
+        let k1 = TifSlicing::build_with_slices(&coll, 1);
+        let k8 = TifSlicing::build_with_slices(&coll, 8);
+        assert!(k8.num_postings() > k1.num_postings());
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let coll = Collection::running_example();
+        let mut idx = TifSlicing::build_with_slices(&coll, 4);
+        let mut bf = BruteForce::build(coll.objects());
+        let o = Object::new(8, 0, 15, vec![0, 2]);
+        idx.insert(&o);
+        bf.insert(&o);
+        assert!(idx.delete(coll.get(3)));
+        bf.delete(coll.get(3));
+        assert!(!idx.delete(coll.get(3)));
+        for (st, end) in [(0u64, 15u64), (5, 9), (14, 15)] {
+            let q = TimeTravelQuery::new(st, end, vec![0, 2]);
+            let mut got = idx.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, bf.answer(&q));
+        }
+    }
+
+    #[test]
+    fn tuner_respects_budget() {
+        let coll = Collection::running_example();
+        // With a tight budget, huge slice counts must be rejected.
+        let k = tune_num_slices(&coll, &[1, 4, 16, 64], 1.5, 0.001);
+        let idx_k = TifSlicing::build_with_slices(&coll, k);
+        let base = TifSlicing::build_with_slices(&coll, 1);
+        assert!(idx_k.num_postings() as f64 <= 1.5 * base.num_postings() as f64);
+    }
+}

@@ -1,0 +1,163 @@
+//! The base temporal inverted file **tIF** (Section 2.2, Algorithm 1):
+//! one time-aware postings list per element, no temporal indexing.
+
+use std::collections::HashMap;
+
+use crate::collection::Collection;
+use crate::freq::FreqTable;
+use crate::index_trait::TemporalIrIndex;
+use crate::postings::{build_lists, TemporalList};
+use crate::types::{Object, ObjectId, TimeTravelQuery};
+use tir_invidx::intersect_adaptive_into;
+
+/// The base temporal inverted file.
+///
+/// Query evaluation follows Algorithm 1: scan the postings list of the
+/// least frequent query element filtering by the temporal predicate, then
+/// intersect the candidate set with each remaining list in ascending
+/// frequency order.
+#[derive(Debug, Clone, Default)]
+pub struct Tif {
+    lists: HashMap<u32, TemporalList>,
+    freqs: FreqTable,
+}
+
+impl Tif {
+    /// Builds the index over a collection.
+    pub fn build(coll: &Collection) -> Self {
+        Tif {
+            lists: build_lists(coll.objects()),
+            freqs: FreqTable::from_counts(coll.freqs()),
+        }
+    }
+
+    /// The postings list of an element, if any object contains it.
+    pub fn list(&self, e: u32) -> Option<&TemporalList> {
+        self.lists.get(&e)
+    }
+
+    /// Total number of stored postings (with replication — none here).
+    pub fn num_postings(&self) -> usize {
+        self.lists.values().map(TemporalList::len).sum()
+    }
+}
+
+impl TemporalIrIndex for Tif {
+    fn name(&self) -> &'static str {
+        "tIF"
+    }
+
+    fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
+        let plan = self.freqs.plan(&q.elems);
+        let Some((&first, rest)) = plan.split_first() else {
+            return Vec::new();
+        };
+        let mut cands = Vec::new();
+        if let Some(list) = self.lists.get(&first) {
+            list.filter_overlap_into(q.interval.st, q.interval.end, &mut cands);
+        }
+        let mut next = Vec::new();
+        for &e in rest {
+            if cands.is_empty() {
+                break;
+            }
+            next.clear();
+            if let Some(list) = self.lists.get(&e) {
+                intersect_adaptive_into(&cands, &list.ids, &mut next);
+            }
+            std::mem::swap(&mut cands, &mut next);
+        }
+        cands
+    }
+
+    fn insert(&mut self, o: &Object) {
+        for &e in &o.desc {
+            self.lists
+                .entry(e)
+                .or_default()
+                .insert(o.id, o.interval.st, o.interval.end);
+            self.freqs.bump(e);
+        }
+    }
+
+    fn delete(&mut self, o: &Object) -> bool {
+        let mut any = false;
+        for &e in &o.desc {
+            if let Some(list) = self.lists.get_mut(&e) {
+                if list.tombstone(o.id) {
+                    self.freqs.drop_one(e);
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.lists
+            .values()
+            .map(|l| l.size_bytes() + std::mem::size_of::<TemporalList>() + 16)
+            .sum::<usize>()
+            + self.freqs.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BruteForce;
+
+    #[test]
+    fn running_example() {
+        let coll = Collection::running_example();
+        let tif = Tif::build(&coll);
+        let q = TimeTravelQuery::new(5, 9, vec![0, 2]);
+        let mut got = tif.query(&q);
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn matches_oracle_on_example_grid() {
+        let coll = Collection::running_example();
+        let tif = Tif::build(&coll);
+        let bf = BruteForce::build(coll.objects());
+        for st in 0..16u64 {
+            for end in st..16 {
+                for elems in [vec![0], vec![1], vec![2], vec![0, 2], vec![0, 1, 2], vec![5]] {
+                    let q = TimeTravelQuery::new(st, end, elems);
+                    let mut got = tif.query(&q);
+                    got.sort_unstable();
+                    assert_eq!(got, bf.answer(&q), "q={q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updates_keep_answers_correct() {
+        let coll = Collection::running_example();
+        let mut tif = Tif::build(&coll);
+        let mut bf = BruteForce::build(coll.objects());
+        let o = Object::new(8, 5, 9, vec![0, 2]);
+        tif.insert(&o);
+        bf.insert(&o);
+        assert!(tif.delete(coll.get(3)));
+        assert!(bf.delete(coll.get(3)));
+        assert!(!tif.delete(coll.get(3)));
+        let q = TimeTravelQuery::new(5, 9, vec![0, 2]);
+        let mut got = tif.query(&q);
+        got.sort_unstable();
+        assert_eq!(got, bf.answer(&q));
+        assert_eq!(got, vec![1, 6, 8]);
+    }
+
+    #[test]
+    fn empty_and_unknown_elements() {
+        let coll = Collection::running_example();
+        let tif = Tif::build(&coll);
+        assert!(tif.query(&TimeTravelQuery::new(0, 15, vec![])).is_empty());
+        assert!(tif.query(&TimeTravelQuery::new(0, 15, vec![42])).is_empty());
+        assert!(tif.query(&TimeTravelQuery::new(0, 15, vec![0, 42])).is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! **tIF+HINT** (Section 3.1): the temporal inverted file with every
+//! postings list organized as a HINT. Two query strategies:
+//!
+//! * [`IntersectStrategy::BinarySearch`] — Algorithm 3: each per-element
+//!   HINT keeps its beneficial sorting; candidate membership is probed
+//!   with binary searches while traversing bottom-up with endpoint checks;
+//! * [`IntersectStrategy::MergeSort`] — Algorithm 4: divisions are sorted
+//!   by object id and intersections run as merges, with no endpoint
+//!   checks at all (candidates already qualify temporally).
+
+use std::collections::HashMap;
+
+use crate::collection::Collection;
+use crate::freq::FreqTable;
+use crate::index_trait::TemporalIrIndex;
+use crate::types::{Object, ObjectId, TimeTravelQuery, Timestamp};
+use tir_hint::{CheckMode, DivisionOrder, Hint, HintConfig, IntervalRecord};
+use tir_invidx::{contains_sorted, live, mark_hits, raw};
+
+/// How candidate sets are intersected with the per-element HINTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntersectStrategy {
+    /// Algorithm 3: beneficial sorting + per-object binary search in the
+    /// candidate set.
+    BinarySearch,
+    /// Algorithm 4: id-sorted divisions + merge intersections.
+    MergeSort,
+}
+
+/// Configuration of [`TifHint`].
+#[derive(Debug, Clone, Copy)]
+pub struct TifHintConfig {
+    /// Intersection strategy.
+    pub strategy: IntersectStrategy,
+    /// Levels (minus one) of every per-element HINT. Section 5.2 tunes
+    /// `m = 10` for the binary-search variant and `m = 5` for merge-sort.
+    pub m: u32,
+}
+
+impl TifHintConfig {
+    /// The paper's tuned binary-search configuration (`m = 10`).
+    pub fn binary_search() -> Self {
+        TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 10 }
+    }
+
+    /// The paper's tuned merge-sort configuration (`m = 5`).
+    pub fn merge_sort() -> Self {
+        TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 5 }
+    }
+}
+
+/// The tIF+HINT index: one postings HINT `H[e]` per element.
+#[derive(Debug, Clone)]
+pub struct TifHint {
+    hints: HashMap<u32, Hint>,
+    freqs: FreqTable,
+    domain_min: Timestamp,
+    domain_max: Timestamp,
+    config: TifHintConfig,
+}
+
+impl TifHint {
+    /// Builds with the given strategy and `m`.
+    pub fn build(coll: &Collection, config: TifHintConfig) -> Self {
+        // Group interval records per element.
+        let mut per_elem: HashMap<u32, Vec<IntervalRecord>> = HashMap::new();
+        for o in coll.objects() {
+            let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+            for &e in &o.desc {
+                per_elem.entry(e).or_default().push(rec);
+            }
+        }
+        let d = coll.domain();
+        let hint_cfg = Self::hint_config(config);
+        let hints = per_elem
+            .into_iter()
+            .map(|(e, recs)| (e, Hint::build_with_domain(&recs, d.st, d.end, hint_cfg)))
+            .collect();
+        TifHint {
+            hints,
+            freqs: FreqTable::from_counts(coll.freqs()),
+            domain_min: d.st,
+            domain_max: d.end,
+            config,
+        }
+    }
+
+    /// Builds with the HINT cost model applied *per postings list* —
+    /// Section 5.2 evaluates this option and finds it inferior to fixed
+    /// small `m` (the model was designed for interval-only workloads);
+    /// kept for the ablation benches.
+    pub fn build_with_per_list_cost_model(coll: &Collection, strategy: IntersectStrategy) -> Self {
+        let mut per_elem: HashMap<u32, Vec<IntervalRecord>> = HashMap::new();
+        for o in coll.objects() {
+            let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+            for &e in &o.desc {
+                per_elem.entry(e).or_default().push(rec);
+            }
+        }
+        let d = coll.domain();
+        let config = TifHintConfig { strategy, m: 0 };
+        let base = Self::hint_config(config);
+        let hints = per_elem
+            .into_iter()
+            .map(|(e, recs)| {
+                let cfg = HintConfig { m: None, ..base };
+                (e, Hint::build_with_domain(&recs, d.st, d.end, cfg))
+            })
+            .collect();
+        TifHint {
+            hints,
+            freqs: FreqTable::from_counts(coll.freqs()),
+            domain_min: d.st,
+            domain_max: d.end,
+            config,
+        }
+    }
+
+    fn hint_config(config: TifHintConfig) -> HintConfig {
+        match config.strategy {
+            IntersectStrategy::BinarySearch => HintConfig {
+                m: Some(config.m),
+                order: DivisionOrder::Beneficial,
+                storage_opt: true,
+            },
+            IntersectStrategy::MergeSort => HintConfig {
+                m: Some(config.m),
+                order: DivisionOrder::ById,
+                storage_opt: true,
+            },
+        }
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> IntersectStrategy {
+        self.config.strategy
+    }
+
+    /// Total stored entries over all postings HINTs (with replication).
+    pub fn num_entries(&self) -> usize {
+        self.hints.values().map(Hint::num_entries).sum()
+    }
+
+    /// Algorithm 3 inner loop: traverse `H[e]` with endpoint checks and
+    /// keep candidates whose id is found (binary search in `cands`).
+    fn intersect_binary_search(
+        &self,
+        hint: &Hint,
+        q: &TimeTravelQuery,
+        cands: &[ObjectId],
+        out: &mut Vec<ObjectId>,
+    ) {
+        let (q_st, q_end) = (q.interval.st, q.interval.end);
+        hint.visit_relevant(q_st, q_end, |view, mode| {
+            for (i, &id) in view.ids.iter().enumerate() {
+                if !live(id) {
+                    continue;
+                }
+                let ok = match mode {
+                    CheckMode::None => true,
+                    CheckMode::Start => view.sts[i] <= q_end,
+                    CheckMode::End => view.ends[i] >= q_st,
+                    CheckMode::Both => view.sts[i] <= q_end && view.ends[i] >= q_st,
+                };
+                if ok && contains_sorted(cands, id) {
+                    out.push(id);
+                }
+            }
+        });
+    }
+
+    /// Algorithm 4 inner loop: merge-intersect the candidate set with each
+    /// relevant id-sorted division, marking hits (every candidate occurs
+    /// in at most one relevant division thanks to HINT's duplicate
+    /// avoidance, and temporal checks are unnecessary because candidates
+    /// already overlap the query).
+    fn intersect_merge_sort(
+        &self,
+        hint: &Hint,
+        q: &TimeTravelQuery,
+        cands: &[ObjectId],
+        hits: &mut Vec<bool>,
+    ) {
+        hits.clear();
+        hits.resize(cands.len(), false);
+        hint.visit_relevant(q.interval.st, q.interval.end, |view, _mode| {
+            mark_hits(cands, view.ids, hits);
+        });
+    }
+}
+
+impl TemporalIrIndex for TifHint {
+    fn name(&self) -> &'static str {
+        match self.config.strategy {
+            IntersectStrategy::BinarySearch => "tIF+HINT(bs)",
+            IntersectStrategy::MergeSort => "tIF+HINT(ms)",
+        }
+    }
+
+    fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
+        let plan = self.freqs.plan(&q.elems);
+        let Some((&first, rest)) = plan.split_first() else {
+            return Vec::new();
+        };
+        // Candidates: a plain HINT range query on H[e*].
+        let mut cands = match self.hints.get(&first) {
+            Some(h) => h.range_query(q.interval.st, q.interval.end),
+            None => return Vec::new(),
+        };
+        cands.iter_mut().for_each(|id| *id = raw(*id));
+
+        match self.config.strategy {
+            IntersectStrategy::BinarySearch => {
+                let mut next = Vec::new();
+                for &e in rest {
+                    if cands.is_empty() {
+                        break;
+                    }
+                    cands.sort_unstable();
+                    next.clear();
+                    if let Some(h) = self.hints.get(&e) {
+                        self.intersect_binary_search(h, q, &cands, &mut next);
+                    }
+                    std::mem::swap(&mut cands, &mut next);
+                }
+            }
+            IntersectStrategy::MergeSort => {
+                let mut hits = Vec::new();
+                for &e in rest {
+                    if cands.is_empty() {
+                        break;
+                    }
+                    cands.sort_unstable();
+                    match self.hints.get(&e) {
+                        Some(h) => {
+                            self.intersect_merge_sort(h, q, &cands, &mut hits);
+                            let mut w = 0;
+                            for i in 0..cands.len() {
+                                if hits[i] {
+                                    cands[w] = cands[i];
+                                    w += 1;
+                                }
+                            }
+                            cands.truncate(w);
+                        }
+                        None => cands.clear(),
+                    }
+                }
+            }
+        }
+        cands
+    }
+
+    fn insert(&mut self, o: &Object) {
+        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+        let cfg = Self::hint_config(self.config);
+        for &e in &o.desc {
+            self.hints
+                .entry(e)
+                .or_insert_with(|| {
+                    Hint::build_with_domain(&[], self.domain_min, self.domain_max, cfg)
+                })
+                .insert(&rec);
+            self.freqs.bump(e);
+        }
+    }
+
+    fn delete(&mut self, o: &Object) -> bool {
+        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+        let mut any = false;
+        for &e in &o.desc {
+            if let Some(h) = self.hints.get_mut(&e) {
+                if h.delete(&rec) {
+                    self.freqs.drop_one(e);
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.hints
+            .values()
+            .map(|h| h.size_bytes() + 16)
+            .sum::<usize>()
+            + self.freqs.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::BruteForce;
+
+    fn configs() -> Vec<TifHintConfig> {
+        vec![
+            TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 3 },
+            TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 10 },
+            TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 3 },
+            TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 5 },
+        ]
+    }
+
+    #[test]
+    fn running_example_both_strategies() {
+        let coll = Collection::running_example();
+        for cfg in configs() {
+            let idx = TifHint::build(&coll, cfg);
+            let q = TimeTravelQuery::new(5, 9, vec![0, 2]);
+            let mut got = idx.query(&q);
+            got.sort_unstable();
+            assert_eq!(got, vec![1, 3, 6], "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_example_grid() {
+        let coll = Collection::running_example();
+        let bf = BruteForce::build(coll.objects());
+        for cfg in configs() {
+            let idx = TifHint::build(&coll, cfg);
+            for st in 0..16u64 {
+                for end in st..16 {
+                    for elems in [vec![0], vec![2], vec![0, 2], vec![0, 1, 2], vec![1, 2]] {
+                        let q = TimeTravelQuery::new(st, end, elems);
+                        let mut got = idx.query(&q);
+                        let n = got.len();
+                        got.sort_unstable();
+                        got.dedup();
+                        assert_eq!(n, got.len(), "duplicates {cfg:?} q={q:?}");
+                        assert_eq!(got, bf.answer(&q), "{cfg:?} q={q:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn updates_match_oracle() {
+        let coll = Collection::running_example();
+        for cfg in configs() {
+            let mut idx = TifHint::build(&coll, cfg);
+            let mut bf = BruteForce::build(coll.objects());
+            let o = Object::new(8, 3, 12, vec![0, 2]);
+            idx.insert(&o);
+            bf.insert(&o);
+            assert!(idx.delete(coll.get(6)), "{cfg:?}");
+            bf.delete(coll.get(6));
+            assert!(!idx.delete(coll.get(6)));
+            for (st, end) in [(0u64, 15u64), (5, 9), (12, 15)] {
+                let q = TimeTravelQuery::new(st, end, vec![0, 2]);
+                let mut got = idx.query(&q);
+                got.sort_unstable();
+                assert_eq!(got, bf.answer(&q), "{cfg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replication_visible_in_entry_count() {
+        let coll = Collection::running_example();
+        let idx = TifHint::build(&coll, TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 3 });
+        let raw_postings: usize = coll.objects().iter().map(|o| o.desc.len()).sum();
+        assert!(idx.num_entries() >= raw_postings);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: every temporal-IR index must agree with the
+//! brute-force oracle on arbitrary collections, queries, and update
+//! sequences — the central correctness claim of the library.
+
+use proptest::prelude::*;
+use tir_core::prelude::*;
+
+const DOMAIN: u64 = 2000;
+const DICT: u32 = 12;
+
+fn arb_collection(max_objects: usize) -> impl Strategy<Value = Collection> {
+    prop::collection::vec(
+        (
+            0..DOMAIN,
+            0..DOMAIN,
+            prop::collection::btree_set(0..DICT, 1..5),
+        ),
+        1..max_objects,
+    )
+    .prop_map(|raw| {
+        let objects = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b, desc))| {
+                Object::new(i as u32, a.min(b), a.max(b), desc.into_iter().collect())
+            })
+            .collect();
+        Collection::new(objects)
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = TimeTravelQuery> {
+    (
+        0..DOMAIN + 100,
+        0..DOMAIN + 100,
+        prop::collection::btree_set(0..DICT + 2, 1..4),
+    )
+        .prop_map(|(a, b, elems)| {
+            TimeTravelQuery::new(a.min(b), a.max(b), elems.into_iter().collect())
+        })
+}
+
+fn all_indexes(coll: &Collection) -> Vec<Box<dyn TemporalIrIndex>> {
+    vec![
+        Box::new(Tif::build(coll)),
+        Box::new(TifSlicing::build_with_slices(coll, 7)),
+        Box::new(TifSharding::build(coll)),
+        Box::new(TifHint::build(
+            coll,
+            TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 6 },
+        )),
+        Box::new(TifHint::build(
+            coll,
+            TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 4 },
+        )),
+        Box::new(TifHintSlicing::build_with_params(coll, 4, 5)),
+        Box::new(IrHintPerf::build_with_m(coll, 6)),
+        Box::new(IrHintSize::build_with_m(coll, 6)),
+    ]
+}
+
+fn check(index: &dyn TemporalIrIndex, oracle: &BruteForce, q: &TimeTravelQuery) -> Result<(), TestCaseError> {
+    let mut got = index.query(q);
+    let n = got.len();
+    got.sort_unstable();
+    got.dedup();
+    prop_assert_eq!(n, got.len(), "{} returned duplicates for {:?}", index.name(), q);
+    prop_assert_eq!(
+        got,
+        oracle.answer(q),
+        "{} wrong answer for {:?}",
+        index.name(),
+        q
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_index_matches_oracle(
+        coll in arb_collection(60),
+        queries in prop::collection::vec(arb_query(), 1..12),
+    ) {
+        let oracle = BruteForce::build(coll.objects());
+        for index in all_indexes(&coll) {
+            for q in &queries {
+                check(index.as_ref(), &oracle, q)?;
+            }
+        }
+    }
+
+    #[test]
+    fn every_index_survives_update_sequences(
+        coll in arb_collection(40),
+        extra in prop::collection::vec(
+            (0..DOMAIN, 0..DOMAIN, prop::collection::btree_set(0..DICT, 1..4)),
+            0..15,
+        ),
+        delete_every in 2usize..5,
+        queries in prop::collection::vec(arb_query(), 1..8),
+    ) {
+        let mut oracle = BruteForce::build(coll.objects());
+        let mut indexes = all_indexes(&coll);
+        // Interleave inserts (fresh ids) and deletes of existing objects.
+        let base = coll.len() as u32;
+        for (i, (a, b, desc)) in extra.iter().enumerate() {
+            let o = Object::new(base + i as u32, *a.min(b), *a.max(b), desc.iter().copied().collect());
+            oracle.insert(&o);
+            for idx in indexes.iter_mut() {
+                idx.insert(&o);
+            }
+            if i % delete_every == 0 {
+                let victim = coll.get((i as u32 * 7) % base);
+                let expect = oracle.delete(victim);
+                for idx in indexes.iter_mut() {
+                    prop_assert_eq!(idx.delete(victim), expect, "{} delete disagrees", idx.name());
+                }
+            }
+        }
+        for idx in &indexes {
+            for q in &queries {
+                check(idx.as_ref(), &oracle, q)?;
+            }
+        }
+    }
+
+    #[test]
+    fn size_accounting_is_positive_and_ordered(coll in arb_collection(50)) {
+        let perf = IrHintPerf::build_with_m(&coll, 5);
+        let size = IrHintSize::build_with_m(&coll, 5);
+        prop_assert!(perf.size_bytes() > 0);
+        prop_assert!(size.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Distribution samplers used by the synthetic generator (Table 4 of the
+//! paper): zipfian interval durations and element frequencies, normal
+//! interval positions.
+//!
+//! Implemented in-house to keep the dependency set minimal: the zipfian
+//! sampler uses the continuous inverse-CDF approximation of a bounded
+//! power law (exact enough for workload shaping), the normal sampler uses
+//! Box–Muller.
+
+use rand::Rng;
+
+/// Bounded zipf-like sampler over ranks `1..=n` with exponent `alpha`:
+/// `P(k) ∝ k^{-alpha}`.
+///
+/// Uses the continuous inverse CDF of the power-law density, which for
+/// `alpha = 1` degenerates to `x = n^u`. Sampled ranks are clamped to
+/// `[1, n]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `1..=n` (requires `n >= 1`, `alpha >= 0`).
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n >= 1);
+        assert!(alpha >= 0.0);
+        Zipf { n, alpha }
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let w = self.n as f64;
+        let x = if (self.alpha - 1.0).abs() < 1e-9 {
+            // CDF(x) = ln(x)/ln(w)  =>  x = w^u
+            w.powf(u)
+        } else {
+            let e = 1.0 - self.alpha;
+            // CDF(x) = (x^e - 1)/(w^e - 1)
+            (1.0 + u * (w.powf(e) - 1.0)).powf(1.0 / e)
+        };
+        (x.round() as u64).clamp(1, self.n)
+    }
+}
+
+/// Normal sampler via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a sampler with the given mean and standard deviation.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0);
+        Normal { mean, sigma }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.sigma * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for alpha in [0.5, 1.0, 1.5, 2.0] {
+            let z = Zipf::new(1000, alpha);
+            for _ in 0..2000 {
+                let k = z.sample(&mut rng);
+                assert!((1..=1000).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn larger_alpha_concentrates_on_small_ranks() {
+        let mean = |alpha: f64, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let z = Zipf::new(10_000, alpha);
+            (0..5000).map(|_| z.sample(&mut rng) as f64).sum::<f64>() / 5000.0
+        };
+        let low = mean(1.01, 2);
+        let high = mean(1.8, 2);
+        assert!(
+            high < low,
+            "alpha=1.8 mean {high} should be below alpha=1.01 mean {low}"
+        );
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates_when_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(100, 2.0);
+        let ones = (0..4000).filter(|_| z.sample(&mut rng) == 1).count();
+        assert!(ones > 1200, "rank 1 drawn {ones}/4000 times");
+    }
+
+    #[test]
+    fn zipf_unit_domain() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Zipf::new(1, 1.5).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn normal_mean_and_spread() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let nrm = Normal::new(100.0, 10.0);
+        let xs: Vec<f64> = (0..8000).map(|_| nrm.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 10.0).abs() < 1.0, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let nrm = Normal::new(42.0, 0.0);
+        assert_eq!(nrm.sample(&mut rng), 42.0);
+    }
+}

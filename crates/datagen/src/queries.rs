@@ -1,0 +1,286 @@
+//! Query workload generation following Section 5.1 of the paper.
+//!
+//! Four experimental knobs are covered: query interval extent (including
+//! stabbing and the 100% IR-containment extreme), number of query
+//! elements |q.d|, element frequency bins, and result selectivity bins.
+//! Except for the deliberately-empty bin, workloads guarantee non-empty
+//! results by seeding each query from a random object that matches it.
+
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+use tir_core::{Collection, ElemId, TemporalIrIndex, TimeTravelQuery};
+
+/// Query interval extent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Extent {
+    /// A single timestamp (`q.tst == q.tend`), the stabbing query of
+    /// Berberich et al.
+    Stabbing,
+    /// Fraction of the domain span (1.0 = the entire domain, i.e. a pure
+    /// IR containment query).
+    Fraction(f64),
+}
+
+/// Where the query elements come from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ElemSource {
+    /// Random subset of the seed object's description (the default
+    /// workload: element frequencies follow the collection distribution).
+    SeedObject,
+    /// Elements whose document frequency (in % of the cardinality) lies
+    /// in `(lo_pct, hi_pct]`; seeded from objects containing enough such
+    /// elements so results stay non-empty.
+    FreqBin {
+        /// Lower bound, exclusive, in percent (use 0.0 for `*`).
+        lo_pct: f64,
+        /// Upper bound, inclusive, in percent (use 100.0 for `*`).
+        hi_pct: f64,
+    },
+}
+
+/// A workload specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Query interval extent (paper default: 0.1% of the domain).
+    pub extent: Extent,
+    /// Number of query elements (paper default: 3).
+    pub num_elems: usize,
+    /// Element source.
+    pub source: ElemSource,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            extent: Extent::Fraction(0.001),
+            num_elems: 3,
+            source: ElemSource::SeedObject,
+        }
+    }
+}
+
+/// Generates `n` queries for `spec`, each guaranteed to have at least one
+/// result (the seed object). Returns fewer than `n` only if the
+/// collection cannot support the spec at all (e.g. no object has enough
+/// in-bin elements).
+pub fn workload(coll: &Collection, spec: &WorkloadSpec, n: usize, seed: u64) -> Vec<TimeTravelQuery> {
+    assert!(spec.num_elems >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = coll.domain();
+    let span = domain.end - domain.st;
+
+    // Candidate seed objects and, per object, the element pool to draw from.
+    let bin_filter: Option<(f64, f64)> = match spec.source {
+        ElemSource::SeedObject => None,
+        ElemSource::FreqBin { lo_pct, hi_pct } => Some((lo_pct, hi_pct)),
+    };
+    let in_bin = |e: ElemId| -> bool {
+        match bin_filter {
+            None => true,
+            Some((lo, hi)) => {
+                let pct = 100.0 * coll.freq(e) as f64 / coll.len().max(1) as f64;
+                pct > lo && pct <= hi
+            }
+        }
+    };
+    let candidates: Vec<u32> = coll
+        .objects()
+        .iter()
+        .filter(|o| o.desc.iter().filter(|&&e| in_bin(e)).count() >= spec.num_elems)
+        .map(|o| o.id)
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    let extent_len = match spec.extent {
+        Extent::Stabbing => 0u64,
+        Extent::Fraction(f) => ((span as f64) * f).round() as u64,
+    };
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let oid = candidates[rng.gen_range(0..candidates.len())];
+        let o = coll.get(oid);
+        // Anchor inside the object's lifespan, window around it.
+        let anchor = rng.gen_range(o.interval.st..=o.interval.end);
+        let lo_off = if extent_len == 0 { 0 } else { rng.gen_range(0..=extent_len) };
+        let q_st = anchor.saturating_sub(lo_off).max(domain.st);
+        let q_end = (q_st + extent_len).min(domain.end);
+        let q_st = q_st.min(q_end);
+
+        let mut pool: Vec<ElemId> = o.desc.iter().copied().filter(|&e| in_bin(e)).collect();
+        pool.shuffle(&mut rng);
+        pool.truncate(spec.num_elems);
+        out.push(TimeTravelQuery::new(q_st, q_end, pool));
+    }
+    out
+}
+
+/// The selectivity bins of Section 5.1, as `(lo_pct, hi_pct]` over the
+/// result size in % of the cardinality; the first bin is exactly-zero.
+pub const SELECTIVITY_BINS: [(f64, f64); 6] = [
+    (-1.0, 0.0),
+    (0.0, 0.001),
+    (0.001, 0.01),
+    (0.01, 0.1),
+    (0.1, 1.0),
+    (1.0, 10.0),
+];
+
+/// Human-readable labels for [`SELECTIVITY_BINS`].
+pub const SELECTIVITY_LABELS: [&str; 6] =
+    ["0", "(0,1e-3]", "(1e-3,1e-2]", "(1e-2,1e-1]", "(1e-1,1]", "(1,10]"];
+
+/// Generates a mixed pool of queries (varying extent, |q.d| and element
+/// rarity) and buckets them by measured selectivity using `index` as the
+/// measuring device. Returns one vector per [`SELECTIVITY_BINS`] entry,
+/// each with at most `per_bin` queries.
+pub fn selectivity_binned(
+    coll: &Collection,
+    index: &dyn TemporalIrIndex,
+    per_bin: usize,
+    seed: u64,
+) -> Vec<Vec<TimeTravelQuery>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bins: Vec<Vec<TimeTravelQuery>> = vec![Vec::new(); SELECTIVITY_BINS.len()];
+    let n = coll.len().max(1) as f64;
+    let extents = [0.0001, 0.001, 0.01, 0.05, 0.1, 0.5];
+    let mut attempts = 0usize;
+    let budget = per_bin * SELECTIVITY_BINS.len() * 60;
+    while bins.iter().any(|b| b.len() < per_bin) && attempts < budget {
+        attempts += 1;
+        let spec = WorkloadSpec {
+            extent: Extent::Fraction(extents[rng.gen_range(0..extents.len())]),
+            num_elems: rng.gen_range(1..=5),
+            source: ElemSource::SeedObject,
+        };
+        let make_empty = rng.gen_bool(0.2);
+        let q = if make_empty {
+            // Random elements + random window: usually empty.
+            let domain = coll.domain();
+            let span = domain.end - domain.st;
+            let len = ((span as f64) * 0.0001) as u64;
+            let st = domain.st + rng.gen_range(0..=span.saturating_sub(len));
+            let elems: Vec<ElemId> = (0..spec.num_elems)
+                .map(|_| rng.gen_range(0..coll.dict_size() as u32))
+                .collect();
+            TimeTravelQuery::new(st, st + len, elems)
+        } else {
+            match workload(coll, &spec, 1, rng.gen()).pop() {
+                Some(q) => q,
+                None => continue,
+            }
+        };
+        let sel_pct = 100.0 * index.query(&q).len() as f64 / n;
+        for (b, &(lo, hi)) in SELECTIVITY_BINS.iter().enumerate() {
+            if sel_pct > lo && sel_pct <= hi && bins[b].len() < per_bin {
+                bins[b].push(q);
+                break;
+            }
+        }
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir_core::{BruteForce, Object};
+
+    fn coll() -> Collection {
+        let mut objects = Vec::new();
+        for i in 0..200u32 {
+            let st = (i as u64 * 13) % 900;
+            let desc = vec![i % 7, 7 + i % 5, 12 + i % 3];
+            objects.push(Object::new(i, st, st + 30, desc));
+        }
+        Collection::new(objects)
+    }
+
+    #[test]
+    fn seeded_queries_are_nonempty() {
+        let c = coll();
+        let bf = BruteForce::build(c.objects());
+        for num_elems in 1..=3 {
+            for extent in [Extent::Stabbing, Extent::Fraction(0.001), Extent::Fraction(0.1)] {
+                let spec = WorkloadSpec { extent, num_elems, source: ElemSource::SeedObject };
+                let qs = workload(&c, &spec, 40, 11);
+                assert_eq!(qs.len(), 40);
+                for q in &qs {
+                    assert!(!bf.answer(q).is_empty(), "empty result for {q:?}");
+                    assert_eq!(q.elems.len(), num_elems);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extent_controls_window_length() {
+        let c = coll();
+        let spec = WorkloadSpec { extent: Extent::Fraction(0.5), ..Default::default() };
+        let span = c.domain().end - c.domain().st;
+        for q in workload(&c, &spec, 20, 3) {
+            assert!(q.interval.duration() <= span / 2 + 2);
+        }
+        let stab = WorkloadSpec { extent: Extent::Stabbing, ..Default::default() };
+        for q in workload(&c, &stab, 20, 3) {
+            assert_eq!(q.interval.st, q.interval.end);
+        }
+    }
+
+    #[test]
+    fn freq_bins_restrict_elements() {
+        let c = coll();
+        // Elements 0..7 appear in ~200/7 ≈ 28 objects each → ~14%;
+        // a (10, 100] bin must exclude nothing there but a (0, 10] bin
+        // must exclude them.
+        let spec = WorkloadSpec {
+            extent: Extent::Fraction(0.1),
+            num_elems: 1,
+            source: ElemSource::FreqBin { lo_pct: 10.0, hi_pct: 100.0 },
+        };
+        for q in workload(&c, &spec, 30, 5) {
+            for &e in &q.elems {
+                let pct = 100.0 * c.freq(e) as f64 / c.len() as f64;
+                assert!(pct > 10.0, "element {e} has freq {pct}%");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_bin_returns_empty() {
+        let c = coll();
+        let spec = WorkloadSpec {
+            extent: Extent::Fraction(0.1),
+            num_elems: 2,
+            source: ElemSource::FreqBin { lo_pct: 99.0, hi_pct: 100.0 },
+        };
+        assert!(workload(&c, &spec, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn selectivity_bins_contain_correct_selectivities() {
+        let c = coll();
+        let bf = BruteForce::build(c.objects());
+        let bins = selectivity_binned(&c, &bf, 5, 17);
+        for (b, qs) in bins.iter().enumerate() {
+            let (lo, hi) = SELECTIVITY_BINS[b];
+            for q in qs {
+                let pct = 100.0 * bf.answer(q).len() as f64 / c.len() as f64;
+                assert!(pct > lo && pct <= hi, "bin {b}: {pct}% outside ({lo},{hi}]");
+            }
+        }
+        // The zero bin must be fillable on this tiny dictionary.
+        assert!(!bins[0].is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = coll();
+        let spec = WorkloadSpec::default();
+        assert_eq!(workload(&c, &spec, 10, 42), workload(&c, &spec, 10, 42));
+        assert_ne!(workload(&c, &spec, 10, 42), workload(&c, &spec, 10, 43));
+    }
+}

@@ -1,0 +1,197 @@
+//! Synthetic collection generator following Table 4 of the paper.
+//!
+//! * interval **duration** is zipfian with exponent `alpha` — small
+//!   `alpha` makes most intervals long, large `alpha` makes most of them
+//!   length 1;
+//! * the interval **middle point** is normal around the domain center
+//!   with deviation `sigma`;
+//! * **element frequencies** are zipfian with exponent `zeta` over the
+//!   dictionary (element id = rank − 1);
+//! * every description has exactly `desc_size` distinct elements.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{Normal, Zipf};
+use tir_core::{Collection, Object};
+
+/// Parameters of the synthetic generator (Table 4). Defaults are the
+/// paper's bold values scaled to the defaults used by our harness.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Number of objects.
+    pub cardinality: usize,
+    /// Time domain size (timestamps are `0..domain`).
+    pub domain: u64,
+    /// Zipf exponent of the interval duration (paper: 1.01–1.8, def 1.2).
+    pub alpha: f64,
+    /// Std-dev of the interval middle position (paper: 10K–10M, def 1M
+    /// for the 128M domain — i.e. about 1/128 of the domain).
+    pub sigma: u64,
+    /// Dictionary size (paper: 10K–1M, default 100K).
+    pub dict_size: u32,
+    /// Description size |d| (paper: 5–500, default 10).
+    pub desc_size: usize,
+    /// Zipf exponent of element frequencies (paper: 1.0–2.0, def 1.5).
+    pub zeta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            cardinality: 1_000_000,
+            domain: 128_000_000,
+            alpha: 1.2,
+            sigma: 1_000_000,
+            dict_size: 100_000,
+            desc_size: 10,
+            zeta: 1.5,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Scales cardinality, domain, sigma and dictionary by `s` (keeping
+    /// shape parameters), for laptop-scale runs of the paper's sweeps.
+    pub fn scaled(mut self, s: f64) -> Self {
+        assert!(s > 0.0);
+        self.cardinality = ((self.cardinality as f64 * s).round() as usize).max(1);
+        self.domain = ((self.domain as f64 * s).round() as u64).max(16);
+        self.sigma = ((self.sigma as f64 * s).round() as u64).max(1);
+        self.dict_size = ((self.dict_size as f64 * s).round() as u32).max(4);
+        self
+    }
+}
+
+/// Generates a collection per the configuration.
+pub fn generate(config: &SyntheticConfig) -> Collection {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let duration = Zipf::new(config.domain.max(1), config.alpha);
+    let position = Normal::new(config.domain as f64 / 2.0, config.sigma as f64);
+    let element = Zipf::new(config.dict_size as u64, config.zeta);
+
+    let mut objects = Vec::with_capacity(config.cardinality);
+    for id in 0..config.cardinality {
+        let dur = duration.sample(&mut rng).min(config.domain);
+        let mid = position.sample(&mut rng).round();
+        let mid = mid.clamp(0.0, (config.domain - 1) as f64) as u64;
+        let half = dur / 2;
+        let st = mid.saturating_sub(half);
+        let end = (st + dur - 1).min(config.domain - 1);
+        let st = st.min(end);
+
+        let desc = sample_description(&element, config.desc_size, config.dict_size, &mut rng);
+        objects.push(Object::new(id as u32, st, end, desc));
+    }
+    Collection::new(objects)
+}
+
+/// Draws `k` *distinct* elements from the zipfian element distribution;
+/// falls back to uniform fill if the skew makes distinct draws too rare.
+fn sample_description<R: Rng + ?Sized>(
+    element: &Zipf,
+    k: usize,
+    dict_size: u32,
+    rng: &mut R,
+) -> Vec<u32> {
+    let k = k.min(dict_size as usize);
+    let mut seen = std::collections::HashSet::with_capacity(k * 2);
+    let mut desc: Vec<u32> = Vec::with_capacity(k);
+    let mut tries = 0usize;
+    while desc.len() < k && tries < k * 20 {
+        let e = (element.sample(rng) - 1) as u32;
+        if seen.insert(e) {
+            desc.push(e);
+        }
+        tries += 1;
+    }
+    // Fill any shortfall with uniform draws.
+    while desc.len() < k {
+        let e = rng.gen_range(0..dict_size);
+        if seen.insert(e) {
+            desc.push(e);
+        }
+    }
+    desc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SyntheticConfig {
+        SyntheticConfig {
+            cardinality: 2000,
+            domain: 100_000,
+            alpha: 1.2,
+            sigma: 10_000,
+            dict_size: 500,
+            desc_size: 6,
+            zeta: 1.4,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn respects_cardinality_and_bounds() {
+        let coll = generate(&small());
+        assert_eq!(coll.len(), 2000);
+        for o in coll.objects() {
+            assert!(o.interval.end < 100_000);
+            assert_eq!(o.desc.len(), 6);
+            assert!(o.desc.iter().all(|&e| e < 500));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.objects()[..50], b.objects()[..50]);
+        let c = generate(&SyntheticConfig { seed: 8, ..small() });
+        assert_ne!(a.objects()[..50], c.objects()[..50]);
+    }
+
+    #[test]
+    fn alpha_controls_duration() {
+        let long = generate(&SyntheticConfig { alpha: 1.01, ..small() });
+        let short = generate(&SyntheticConfig { alpha: 1.8, ..small() });
+        assert!(long.stats().avg_duration > short.stats().avg_duration);
+    }
+
+    #[test]
+    fn zeta_controls_skew() {
+        let flat = generate(&SyntheticConfig { zeta: 1.0, ..small() });
+        let skewed = generate(&SyntheticConfig { zeta: 2.0, ..small() });
+        // Max frequency rises with skew.
+        let max_flat = flat.freqs().iter().max().copied().unwrap();
+        let max_skew = skewed.freqs().iter().max().copied().unwrap();
+        assert!(max_skew > max_flat, "{max_skew} vs {max_flat}");
+    }
+
+    #[test]
+    fn sigma_controls_spread() {
+        let narrow = generate(&SyntheticConfig { sigma: 100, ..small() });
+        let wide = generate(&SyntheticConfig { sigma: 30_000, ..small() });
+        let spread = |c: &Collection| {
+            let mids: Vec<f64> = c
+                .objects()
+                .iter()
+                .map(|o| (o.interval.st + o.interval.end) as f64 / 2.0)
+                .collect();
+            let m = mids.iter().sum::<f64>() / mids.len() as f64;
+            mids.iter().map(|x| (x - m).powi(2)).sum::<f64>() / mids.len() as f64
+        };
+        assert!(spread(&wide) > spread(&narrow));
+    }
+
+    #[test]
+    fn scaled_shrinks() {
+        let cfg = SyntheticConfig::default().scaled(0.001);
+        assert_eq!(cfg.cardinality, 1000);
+        assert_eq!(cfg.domain, 128_000);
+    }
+}

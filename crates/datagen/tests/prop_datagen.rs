@@ -1,0 +1,78 @@
+//! Property tests: generator outputs must satisfy the documented
+//! invariants for arbitrary configurations, and workloads must honor
+//! their specifications.
+
+use proptest::prelude::*;
+use tir_core::BruteForce;
+use tir_datagen::{
+    generate, workload, ElemSource, Extent, SyntheticConfig, WorkloadSpec,
+};
+
+fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
+    (
+        10usize..400,
+        1_000u64..1_000_000,
+        1.01f64..2.0,
+        1u64..50_000,
+        8u32..2_000,
+        1usize..12,
+        1.0f64..2.0,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(cardinality, domain, alpha, sigma, dict_size, desc_size, zeta, seed)| {
+                SyntheticConfig {
+                    cardinality,
+                    domain,
+                    alpha,
+                    sigma,
+                    dict_size,
+                    desc_size,
+                    zeta,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_collections_satisfy_invariants(cfg in arb_config()) {
+        let coll = generate(&cfg);
+        prop_assert_eq!(coll.len(), cfg.cardinality);
+        for (i, o) in coll.objects().iter().enumerate() {
+            prop_assert_eq!(o.id as usize, i);
+            prop_assert!(o.interval.st <= o.interval.end);
+            prop_assert!(o.interval.end < cfg.domain);
+            prop_assert_eq!(o.desc.len(), cfg.desc_size.min(cfg.dict_size as usize));
+            prop_assert!(o.desc.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+            prop_assert!(o.desc.iter().all(|&e| e < cfg.dict_size));
+        }
+    }
+
+    #[test]
+    fn workloads_respect_spec_and_are_nonempty(
+        cfg in arb_config(),
+        num_elems in 1usize..4,
+        extent_pick in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let coll = generate(&cfg);
+        let extent = [Extent::Stabbing, Extent::Fraction(0.001), Extent::Fraction(0.1), Extent::Fraction(1.0)][extent_pick];
+        let spec = WorkloadSpec { extent, num_elems, source: ElemSource::SeedObject };
+        let qs = workload(&coll, &spec, 8, seed);
+        if cfg.desc_size.min(cfg.dict_size as usize) >= num_elems {
+            prop_assert_eq!(qs.len(), 8, "every object is a valid seed");
+        }
+        let oracle = BruteForce::build(coll.objects());
+        let domain = coll.domain();
+        for q in &qs {
+            prop_assert_eq!(q.elems.len(), num_elems);
+            prop_assert!(q.interval.st >= domain.st);
+            prop_assert!(q.interval.end <= domain.end);
+            prop_assert!(!oracle.answer(q).is_empty(), "seeded queries are non-empty");
+        }
+    }
+}

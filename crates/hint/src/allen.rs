@@ -1,0 +1,327 @@
+//! Allen-relationship queries on [`Hint`] — the extension of the HINT
+//! journal version (reference \[20\] in the temporal-IR paper): instead of plain
+//! overlap, retrieve the intervals standing in one specific Allen
+//! relation to the query interval.
+//!
+//! The implementation exploits a structural fact of the hierarchy: the
+//! decomposition of every interval covers its cell range disjointly, so
+//! **exactly one** assigned partition contains any given cell of the
+//! interval. Relations anchored at a query endpoint (equals, starts,
+//! meets, overlaps, contains, …) therefore only need the `m + 1`
+//! partitions on the *column* of that endpoint's cell; `before` / `after`
+//! / `during` scan originals (each interval has exactly one original
+//! partition), giving duplicate-free answers without hashing.
+//!
+//! Endpoint comparisons are exact on the raw timestamps, so the column
+//! pruning is conservative and the filters precise. Because several
+//! relations compare both endpoints in every subdivision, Allen queries
+//! require an index built with `storage_opt: false`.
+
+use crate::index::Hint;
+use crate::partition::{Division, TOMBSTONE};
+use crate::IntervalRecord;
+
+/// The thirteen relations of Allen's interval algebra, phrased for a
+/// stored interval `i` against the query `q` (closed intervals, endpoint
+/// comparisons as listed on each variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllenRelation {
+    /// `i.st == q.st && i.end == q.end`
+    Equals,
+    /// `i.end < q.st`
+    Before,
+    /// `i.st > q.end`
+    After,
+    /// `i.end == q.st`
+    Meets,
+    /// `i.st == q.end`
+    MetBy,
+    /// `i.st < q.st && q.st < i.end && i.end < q.end`
+    Overlaps,
+    /// `q.st < i.st && i.st < q.end && q.end < i.end`
+    OverlappedBy,
+    /// `i.st > q.st && i.end < q.end`
+    During,
+    /// `i.st < q.st && i.end > q.end`
+    Contains,
+    /// `i.st == q.st && i.end < q.end`
+    Starts,
+    /// `i.st == q.st && i.end > q.end`
+    StartedBy,
+    /// `i.end == q.end && i.st > q.st`
+    Finishes,
+    /// `i.end == q.end && i.st < q.st`
+    FinishedBy,
+}
+
+impl AllenRelation {
+    /// All thirteen relations.
+    pub const ALL: [AllenRelation; 13] = [
+        AllenRelation::Equals,
+        AllenRelation::Before,
+        AllenRelation::After,
+        AllenRelation::Meets,
+        AllenRelation::MetBy,
+        AllenRelation::Overlaps,
+        AllenRelation::OverlappedBy,
+        AllenRelation::During,
+        AllenRelation::Contains,
+        AllenRelation::Starts,
+        AllenRelation::StartedBy,
+        AllenRelation::Finishes,
+        AllenRelation::FinishedBy,
+    ];
+
+    /// The exact predicate this relation denotes.
+    #[inline]
+    pub fn matches(self, i_st: u64, i_end: u64, q_st: u64, q_end: u64) -> bool {
+        use AllenRelation::*;
+        match self {
+            Equals => i_st == q_st && i_end == q_end,
+            Before => i_end < q_st,
+            After => i_st > q_end,
+            Meets => i_end == q_st,
+            MetBy => i_st == q_end,
+            Overlaps => i_st < q_st && q_st < i_end && i_end < q_end,
+            OverlappedBy => q_st < i_st && i_st < q_end && q_end < i_end,
+            During => i_st > q_st && i_end < q_end,
+            Contains => i_st < q_st && i_end > q_end,
+            Starts => i_st == q_st && i_end < q_end,
+            StartedBy => i_st == q_st && i_end > q_end,
+            Finishes => i_end == q_end && i_st > q_st,
+            FinishedBy => i_end == q_end && i_st < q_st,
+        }
+    }
+}
+
+/// Reference implementation for tests and benchmarks.
+pub fn brute_force_allen(
+    records: &[IntervalRecord],
+    rel: AllenRelation,
+    q_st: u64,
+    q_end: u64,
+) -> Vec<u32> {
+    let mut out: Vec<u32> = records
+        .iter()
+        .filter(|r| rel.matches(r.st, r.end, q_st, q_end))
+        .map(|r| r.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+impl Hint {
+    /// Returns the ids of all live intervals standing in `rel` to
+    /// `[q_st, q_end]`. Results are duplicate-free.
+    ///
+    /// # Panics
+    /// Panics if the index was built with the storage optimization: Allen
+    /// filters compare both endpoints in every subdivision, so all
+    /// endpoint arrays must be materialized (`storage_opt: false` —
+    /// consistent with the paper's experimental setup, which drops the
+    /// storage optimization in line with the HINT journal version).
+    pub fn allen_query(&self, rel: AllenRelation, q_st: u64, q_end: u64) -> Vec<u32> {
+        assert!(q_st <= q_end, "invalid query range");
+        assert!(
+            !self.storage_opt,
+            "Allen queries need HintConfig {{ storage_opt: false, .. }}"
+        );
+        use AllenRelation::*;
+        let mut out = Vec::new();
+        match rel {
+            // Anchored at q.st, interval *starts* there: originals only.
+            Equals | Starts | StartedBy => {
+                self.scan_column(self.domain.cell(q_st), true, rel, q_st, q_end, &mut out)
+            }
+            // Interval crosses/ends/starts at an endpoint cell: the one
+            // assigned partition containing that cell sees it.
+            Meets | Overlaps | Contains => {
+                self.scan_column(self.domain.cell(q_st), false, rel, q_st, q_end, &mut out)
+            }
+            MetBy | OverlappedBy | Finishes | FinishedBy => {
+                self.scan_column(self.domain.cell(q_end), false, rel, q_st, q_end, &mut out)
+            }
+            // Order relations: scan originals over a half-open cell range.
+            Before => self.scan_originals_range(0, self.domain.cell(q_st), rel, q_st, q_end, &mut out),
+            After => self.scan_originals_range(
+                self.domain.cell(q_end),
+                self.domain.num_cells() - 1,
+                rel,
+                q_st,
+                q_end,
+                &mut out,
+            ),
+            During => self.scan_originals_range(
+                self.domain.cell(q_st),
+                self.domain.cell(q_end),
+                rel,
+                q_st,
+                q_end,
+                &mut out,
+            ),
+        }
+        out
+    }
+
+    /// Visits the partition containing `cell` at every level, filtering
+    /// entries by the exact predicate. `originals_only` skips replicas
+    /// when the relation pins the interval start (originals are the only
+    /// copies whose partition contains the start cell).
+    fn scan_column(
+        &self,
+        cell: u32,
+        originals_only: bool,
+        rel: AllenRelation,
+        q_st: u64,
+        q_end: u64,
+        out: &mut Vec<u32>,
+    ) {
+        let m = self.layout.m();
+        for level in 0..=m {
+            let j = cell >> (m - level);
+            let lvl = &self.levels[level as usize];
+            if let Ok(i) = lvl.keys.binary_search(&j) {
+                let part = &lvl.parts[i];
+                filter_division(&part.orig_in, rel, q_st, q_end, out);
+                filter_division(&part.orig_aft, rel, q_st, q_end, out);
+                if !originals_only {
+                    filter_division(&part.repl_in, rel, q_st, q_end, out);
+                    filter_division(&part.repl_aft, rel, q_st, q_end, out);
+                }
+            }
+        }
+    }
+
+    /// Visits the originals of every partition intersecting the cell range
+    /// `[lo, hi]` at every level (each interval has exactly one original
+    /// partition, and it contains the interval's start cell).
+    fn scan_originals_range(
+        &self,
+        lo: u32,
+        hi: u32,
+        rel: AllenRelation,
+        q_st: u64,
+        q_end: u64,
+        out: &mut Vec<u32>,
+    ) {
+        let m = self.layout.m();
+        for level in 0..=m {
+            let shift = m - level;
+            let (f, l) = (lo >> shift, hi >> shift);
+            let lvl = &self.levels[level as usize];
+            let start = lvl.keys.partition_point(|&k| k < f);
+            for i in start..lvl.keys.len() {
+                if lvl.keys[i] > l {
+                    break;
+                }
+                let part = &lvl.parts[i];
+                filter_division(&part.orig_in, rel, q_st, q_end, out);
+                filter_division(&part.orig_aft, rel, q_st, q_end, out);
+            }
+        }
+    }
+}
+
+fn filter_division(d: &Division, rel: AllenRelation, q_st: u64, q_end: u64, out: &mut Vec<u32>) {
+    for i in 0..d.ids.len() {
+        let id = d.ids[i];
+        if id & TOMBSTONE == 0 && rel.matches(d.sts[i], d.ends[i], q_st, q_end) {
+            out.push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::DivisionOrder;
+    use crate::{HintConfig, IntervalRecord};
+
+    fn allen_config(m: u32) -> HintConfig {
+        HintConfig { m: Some(m), order: DivisionOrder::Beneficial, storage_opt: false }
+    }
+
+    fn sample() -> Vec<IntervalRecord> {
+        let mut recs = Vec::new();
+        let mut id = 0;
+        for st in 0..20u64 {
+            for len in [0u64, 1, 3, 7, 15] {
+                recs.push(IntervalRecord { id, st, end: st + len });
+                id += 1;
+            }
+        }
+        recs
+    }
+
+    #[test]
+    fn all_relations_match_oracle_exhaustively() {
+        let recs = sample();
+        for m in [0u32, 2, 4, 5] {
+            let hint = Hint::build(&recs, allen_config(m));
+            for q_st in 0..22u64 {
+                for q_end in q_st..26 {
+                    for rel in AllenRelation::ALL {
+                        let mut got = hint.allen_query(rel, q_st, q_end);
+                        let n = got.len();
+                        got.sort_unstable();
+                        got.dedup();
+                        assert_eq!(n, got.len(), "duplicates {rel:?} m={m} q=[{q_st},{q_end}]");
+                        assert_eq!(
+                            got,
+                            brute_force_allen(&recs, rel, q_st, q_end),
+                            "{rel:?} m={m} q=[{q_st},{q_end}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relations_partition_nondegenerate_cases() {
+        // For intervals and queries with distinct endpoints, exactly one
+        // relation holds — the classic Allen property.
+        let cases = [
+            (2u64, 5u64, 10u64, 20u64),
+            (10, 20, 2, 5),
+            (2, 15, 10, 20),
+            (12, 25, 10, 20),
+            (12, 15, 10, 20),
+            (5, 25, 10, 20),
+            (10, 15, 10, 20),
+            (10, 25, 10, 20),
+            (15, 20, 10, 20),
+            (5, 20, 10, 20),
+            (10, 20, 10, 20),
+            (2, 10, 10, 20),
+            (20, 30, 10, 20),
+        ];
+        for (i_st, i_end, q_st, q_end) in cases {
+            let holds: Vec<_> = AllenRelation::ALL
+                .iter()
+                .filter(|r| r.matches(i_st, i_end, q_st, q_end))
+                .collect();
+            assert_eq!(holds.len(), 1, "i=[{i_st},{i_end}] q=[{q_st},{q_end}]: {holds:?}");
+        }
+    }
+
+    #[test]
+    fn respects_tombstones() {
+        let recs = sample();
+        let mut hint = Hint::build(&recs, allen_config(4));
+        let victim = recs[17];
+        assert!(hint.delete(&victim));
+        for rel in AllenRelation::ALL {
+            let got = hint.allen_query(rel, victim.st, victim.end);
+            assert!(!got.contains(&victim.id), "{rel:?} returned deleted id");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_storage_optimized_index() {
+        let recs = sample();
+        let hint = Hint::build(&recs, HintConfig::with_m(4)); // storage_opt: true
+        let _ = hint.allen_query(AllenRelation::Equals, 0, 5);
+    }
+}

@@ -1,0 +1,182 @@
+//! A static centered interval tree (Edelsbrunner), used as a classical
+//! baseline for the interval-index micro-benchmarks.
+//!
+//! Every node stores the intervals that contain the node's center, sorted
+//! twice (by start ascending and by end descending) so that a range query
+//! scans only qualifying prefixes.
+
+use crate::IntervalRecord;
+
+#[derive(Debug, Clone)]
+struct Node {
+    center: u64,
+    by_st: Vec<IntervalRecord>,
+    by_end: Vec<IntervalRecord>,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+/// Static centered interval tree.
+#[derive(Debug, Clone)]
+pub struct IntervalTree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl IntervalTree {
+    /// Builds the tree; `O(n log n)`.
+    pub fn build(records: &[IntervalRecord]) -> Self {
+        let mut recs = records.to_vec();
+        let len = recs.len();
+        let root = build_node(&mut recs);
+        IntervalTree { root, len }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        fn node_size(n: &Node) -> usize {
+            std::mem::size_of::<Node>()
+                + (n.by_st.capacity() + n.by_end.capacity())
+                    * std::mem::size_of::<IntervalRecord>()
+                + n.left.as_deref().map_or(0, node_size)
+                + n.right.as_deref().map_or(0, node_size)
+        }
+        self.root.as_deref().map_or(0, node_size)
+    }
+
+    /// All ids of intervals overlapping `[q_st, q_end]`.
+    pub fn range_query(&self, q_st: u64, q_end: u64) -> Vec<u32> {
+        assert!(q_st <= q_end);
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            query_node(root, q_st, q_end, &mut out);
+        }
+        out
+    }
+}
+
+fn build_node(recs: &mut [IntervalRecord]) -> Option<Box<Node>> {
+    if recs.is_empty() {
+        return None;
+    }
+    // Center: median of interval starts — good enough for balance.
+    let mid = recs.len() / 2;
+    recs.sort_unstable_by_key(|r| r.st);
+    let center = recs[mid].st;
+
+    let mut here = Vec::new();
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for r in recs.iter() {
+        if r.end < center {
+            left.push(*r);
+        } else if r.st > center {
+            right.push(*r);
+        } else {
+            here.push(*r);
+        }
+    }
+    let mut by_st = here.clone();
+    by_st.sort_unstable_by_key(|r| r.st);
+    let mut by_end = here;
+    by_end.sort_unstable_by_key(|r| std::cmp::Reverse(r.end));
+    Some(Box::new(Node {
+        center,
+        by_st,
+        by_end,
+        left: build_node(&mut left),
+        right: build_node(&mut right),
+    }))
+}
+
+fn query_node(node: &Node, q_st: u64, q_end: u64, out: &mut Vec<u32>) {
+    if q_end < node.center {
+        // Intervals at this node all contain center > q_end, so only those
+        // starting at or before q_end qualify.
+        for r in &node.by_st {
+            if r.st > q_end {
+                break;
+            }
+            out.push(r.id);
+        }
+        if let Some(l) = &node.left {
+            query_node(l, q_st, q_end, out);
+        }
+    } else if q_st > node.center {
+        for r in &node.by_end {
+            if r.end < q_st {
+                break;
+            }
+            out.push(r.id);
+        }
+        if let Some(r) = &node.right {
+            query_node(r, q_st, q_end, out);
+        }
+    } else {
+        // Query contains the center: everything here overlaps.
+        out.extend(node.by_st.iter().map(|r| r.id));
+        if let Some(l) = &node.left {
+            query_node(l, q_st, q_end, out);
+        }
+        if let Some(r) = &node.right {
+            query_node(r, q_st, q_end, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_overlap;
+
+    #[test]
+    fn matches_oracle() {
+        let recs: Vec<IntervalRecord> = (0..200u32)
+            .map(|i| {
+                let st = ((i as u64) * 37) % 500;
+                IntervalRecord { id: i, st, end: st + (i as u64 % 40) }
+            })
+            .collect();
+        let tree = IntervalTree::build(&recs);
+        for q_st in (0..550u64).step_by(7) {
+            for w in [0u64, 1, 13, 100] {
+                let q_end = q_st + w;
+                let mut got = tree.range_query(q_st, q_end);
+                got.sort_unstable();
+                got.dedup();
+                assert_eq!(got, brute_force_overlap(&recs, q_st, q_end));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = IntervalTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.range_query(0, 10).is_empty());
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let recs: Vec<IntervalRecord> = (0..100u32)
+            .map(|i| IntervalRecord { id: i, st: 10, end: 20 })
+            .collect();
+        let tree = IntervalTree::build(&recs);
+        let mut got = tree.range_query(15, 15);
+        let n = got.len();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(n, got.len());
+        assert_eq!(n, 100);
+    }
+}

@@ -1,0 +1,199 @@
+//! Interval overlap joins — the "other types of temporal IR queries,
+//! e.g., joins" direction of the paper's Section 7.
+//!
+//! Three algorithms with identical output sets:
+//!
+//! * [`forward_scan_join`] — the classic plane-sweep (FS) join over two
+//!   start-sorted lists, `O(sort + output)`;
+//! * [`grid_join`] — domain-partitioned join with reference-value
+//!   de-duplication, the parallelization-friendly layout;
+//! * [`hint_inl_join`] — index-nested-loop probing a [`Hint`] built on
+//!   one side, the right choice when one side is already indexed.
+
+use crate::grid::Grid1D;
+use crate::index::Hint;
+use crate::IntervalRecord;
+
+/// Emits every overlapping pair `(a.id, b.id)` via plane sweep.
+/// Pairs are emitted exactly once, in no particular order.
+pub fn forward_scan_join(
+    a: &[IntervalRecord],
+    b: &[IntervalRecord],
+    mut emit: impl FnMut(u32, u32),
+) {
+    let mut a: Vec<IntervalRecord> = a.to_vec();
+    let mut b: Vec<IntervalRecord> = b.to_vec();
+    a.sort_unstable_by_key(|r| r.st);
+    b.sort_unstable_by_key(|r| r.st);
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i].st <= b[j].st {
+            // a[i] is the reference: join it with every b starting within.
+            let bound = a[i].end;
+            let mut k = j;
+            while k < b.len() && b[k].st <= bound {
+                emit(a[i].id, b[k].id);
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let bound = b[j].end;
+            let mut k = i;
+            while k < a.len() && a[k].st <= bound {
+                emit(a[k].id, b[j].id);
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// Domain-partitioned overlap join on a `k`-cell grid: both inputs are
+/// replicated into overlapping cells, cells are joined independently
+/// (mini forward scans), and the reference value method reports each pair
+/// exactly once — from the cell containing `max(a.st, b.st)`.
+pub fn grid_join(
+    a: &[IntervalRecord],
+    b: &[IntervalRecord],
+    k: u32,
+    mut emit: impl FnMut(u32, u32),
+) {
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    let (min, max) = a.iter().chain(b.iter()).fold((u64::MAX, 0u64), |(lo, hi), r| {
+        (lo.min(r.st), hi.max(r.end))
+    });
+    let ga = Grid1D::build_with_domain(a, min, max, k);
+    let gb = Grid1D::build_with_domain(b, min, max, k);
+    for c in 0..k {
+        let ca = ga.cell_contents(c);
+        let cb = gb.cell_contents(c);
+        if ca.is_empty() || cb.is_empty() {
+            continue;
+        }
+        for ra in ca {
+            for rb in cb {
+                if ra.st <= rb.end && rb.st <= ra.end {
+                    let refv = ra.st.max(rb.st);
+                    if ga.cell_of(refv) == c {
+                        emit(ra.id, rb.id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Index-nested-loop join: probes `indexed_b` with every interval of `a`.
+pub fn hint_inl_join(
+    a: &[IntervalRecord],
+    indexed_b: &Hint,
+    mut emit: impl FnMut(u32, u32),
+) {
+    let mut buf = Vec::new();
+    for ra in a {
+        buf.clear();
+        indexed_b.range_query_into(ra.st, ra.end, &mut buf);
+        for &idb in &buf {
+            emit(ra.id, idb);
+        }
+    }
+}
+
+/// Reference nested-loop join for tests.
+pub fn brute_force_join(a: &[IntervalRecord], b: &[IntervalRecord]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for ra in a {
+        for rb in b {
+            if ra.st <= rb.end && rb.st <= ra.end {
+                out.push((ra.id, rb.id));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HintConfig;
+
+    fn mk(seed: u64, n: u32, domain: u64, max_len: u64) -> Vec<IntervalRecord> {
+        (0..n)
+            .map(|i| {
+                let st = (i as u64 * 2654435761 + seed * 97) % domain;
+                let len = (i as u64 * 48271 + seed) % max_len;
+                IntervalRecord { id: i, st, end: (st + len).min(domain + max_len) }
+            })
+            .collect()
+    }
+
+    fn run_all(a: &[IntervalRecord], b: &[IntervalRecord]) {
+        let want = brute_force_join(a, b);
+        let mut fs = Vec::new();
+        forward_scan_join(a, b, |x, y| fs.push((x, y)));
+        let n = fs.len();
+        fs.sort_unstable();
+        fs.dedup();
+        assert_eq!(n, fs.len(), "FS emitted duplicates");
+        assert_eq!(fs, want, "forward scan");
+
+        for k in [1u32, 3, 17] {
+            let mut gj = Vec::new();
+            grid_join(a, b, k, |x, y| gj.push((x, y)));
+            let n = gj.len();
+            gj.sort_unstable();
+            gj.dedup();
+            assert_eq!(n, gj.len(), "grid k={k} emitted duplicates");
+            assert_eq!(gj, want, "grid k={k}");
+        }
+
+        let hint = Hint::build(b, HintConfig::default());
+        let mut inl = Vec::new();
+        hint_inl_join(a, &hint, |x, y| inl.push((x, y)));
+        inl.sort_unstable();
+        assert_eq!(inl, want, "hint INL");
+    }
+
+    #[test]
+    fn joins_match_oracle() {
+        let a = mk(1, 120, 1000, 80);
+        let b = mk(2, 90, 1000, 200);
+        run_all(&a, &b);
+    }
+
+    #[test]
+    fn joins_with_ties_and_points() {
+        let a = vec![
+            IntervalRecord { id: 0, st: 5, end: 5 },
+            IntervalRecord { id: 1, st: 5, end: 10 },
+            IntervalRecord { id: 2, st: 0, end: 4 },
+        ];
+        let b = vec![
+            IntervalRecord { id: 0, st: 5, end: 7 },
+            IntervalRecord { id: 1, st: 10, end: 12 },
+            IntervalRecord { id: 2, st: 4, end: 5 },
+        ];
+        run_all(&a, &b);
+    }
+
+    #[test]
+    fn empty_sides() {
+        run_all(&[], &mk(3, 10, 100, 10));
+        run_all(&mk(3, 10, 100, 10), &[]);
+        run_all(&[], &[]);
+    }
+
+    #[test]
+    fn self_join_contains_diagonal() {
+        let a = mk(5, 50, 500, 60);
+        let mut fs = Vec::new();
+        forward_scan_join(&a, &a, |x, y| fs.push((x, y)));
+        for r in &a {
+            assert!(fs.contains(&(r.id, r.id)), "missing self pair {r:?}");
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! # tir-hint
+//!
+//! Interval indexing substrates for temporal information retrieval:
+//!
+//! * [`Hint`] — the state-of-the-art **H**ierarchical index for
+//!   **int**ervals of Christodoulou, Bouros & Mamoulis (SIGMOD 2022), with
+//!   the subdivision, beneficial-sorting, storage, sparse-partition and
+//!   cache-miss optimizations, plus incremental inserts and logical
+//!   deletes;
+//! * [`Grid1D`] — the flat 1D-grid underlying the Slicing technique;
+//! * [`IntervalTree`], [`SegmentTree`], [`TimelineIndex`],
+//!   [`PeriodIndex`] — the classical baselines of the paper's related
+//!   work (Section 6.2);
+//! * [`allen`] — Allen-relationship queries on HINT;
+//! * [`join`] — interval overlap joins (plane sweep, grid, index-NL);
+//! * [`layout`] — the reusable partition-assignment / relevant-partition
+//!   machinery that composite indexes (irHINT) build on.
+//!
+//! All indexes answer *range (overlap) queries* over closed intervals:
+//! given `[q_st, q_end]`, return every stored interval `i` with
+//! `i.st <= q_end && q_st <= i.end`.
+
+#![warn(missing_docs)]
+
+pub mod allen;
+pub mod cost;
+pub mod domain;
+pub mod grid;
+pub mod index;
+pub mod interval_tree;
+pub mod join;
+pub mod layout;
+pub mod partition;
+pub mod period_index;
+pub mod segment_tree;
+pub mod timeline;
+
+pub use allen::{brute_force_allen, AllenRelation};
+pub use domain::Domain;
+pub use grid::Grid1D;
+pub use index::{Hint, HintConfig};
+pub use interval_tree::IntervalTree;
+pub use join::{brute_force_join, forward_scan_join, grid_join, hint_inl_join};
+pub use layout::{CheckMode, DivisionKind, Layout};
+pub use period_index::PeriodIndex;
+pub use segment_tree::SegmentTree;
+pub use timeline::TimelineIndex;
+pub use partition::{DivisionOrder, DivisionView, TOMBSTONE};
+
+/// An interval with an attached object id — the unit every index in this
+/// crate stores.
+///
+/// Intervals are closed: `[st, end]` with `st <= end`. Ids must be smaller
+/// than `2^31`; the high bit is reserved for tombstones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntervalRecord {
+    /// Object identifier (`< 2^31`).
+    pub id: u32,
+    /// Inclusive start timestamp.
+    pub st: u64,
+    /// Inclusive end timestamp.
+    pub end: u64,
+}
+
+impl IntervalRecord {
+    /// Creates a record, checking the interval invariant.
+    pub fn new(id: u32, st: u64, end: u64) -> Self {
+        assert!(st <= end, "invalid interval [{st}, {end}]");
+        assert!(id & TOMBSTONE == 0, "id {id} uses the tombstone bit");
+        IntervalRecord { id, st, end }
+    }
+
+    /// Inclusive-overlap test against a query range.
+    #[inline]
+    pub fn overlaps(&self, q_st: u64, q_end: u64) -> bool {
+        self.st <= q_end && q_st <= self.end
+    }
+}
+
+/// Reference result: ids of all records overlapping `[q_st, q_end]`,
+/// sorted ascending. Used as the oracle throughout the test suites.
+pub fn brute_force_overlap(records: &[IntervalRecord], q_st: u64, q_end: u64) -> Vec<u32> {
+    let mut out: Vec<u32> = records
+        .iter()
+        .filter(|r| r.overlaps(q_st, q_end))
+        .map(|r| r.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_inclusive() {
+        let r = IntervalRecord::new(1, 5, 10);
+        assert!(r.overlaps(10, 20));
+        assert!(r.overlaps(0, 5));
+        assert!(r.overlaps(7, 7));
+        assert!(!r.overlaps(11, 20));
+        assert!(!r.overlaps(0, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_interval() {
+        let _ = IntervalRecord::new(1, 10, 5);
+    }
+}

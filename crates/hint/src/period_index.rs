@@ -1,0 +1,198 @@
+//! A period index (Behrend et al.) — the duration-aware structure of
+//! Section 6.2: the domain is cut into coarse buckets and every bucket
+//! organizes its intervals by *duration class*, so range-duration queries
+//! prune whole classes.
+//!
+//! This is the non-learned variant: uniform buckets, power-of-two
+//! duration classes, replication into every overlapped bucket with
+//! reference-value de-duplication.
+
+use crate::IntervalRecord;
+
+/// Period index over closed `u64` intervals.
+#[derive(Debug, Clone)]
+pub struct PeriodIndex {
+    min: u64,
+    max: u64,
+    num_buckets: u32,
+    /// `buckets[b][c]` = intervals overlapping bucket `b` with duration
+    /// class `c` (`c = floor(log2(duration))`).
+    buckets: Vec<Vec<Vec<IntervalRecord>>>,
+    len: usize,
+}
+
+const NUM_CLASSES: usize = 64;
+
+#[inline]
+fn class_of(duration: u64) -> usize {
+    debug_assert!(duration >= 1);
+    (63 - duration.leading_zeros()) as usize
+}
+
+impl PeriodIndex {
+    /// Builds with `num_buckets >= 1` uniform buckets.
+    pub fn build(records: &[IntervalRecord], num_buckets: u32) -> Self {
+        assert!(num_buckets >= 1);
+        let (min, max) = records.iter().fold((u64::MAX, 0u64), |(lo, hi), r| {
+            (lo.min(r.st), hi.max(r.end))
+        });
+        let (min, max) = if records.is_empty() { (0, 0) } else { (min, max) };
+        let mut idx = PeriodIndex {
+            min,
+            max,
+            num_buckets,
+            buckets: vec![Vec::new(); num_buckets as usize],
+            len: 0,
+        };
+        for r in records {
+            idx.insert(r);
+        }
+        idx
+    }
+
+    #[inline]
+    fn bucket_of(&self, t: u64) -> u32 {
+        let t = t.clamp(self.min, self.max);
+        let span = (self.max - self.min) as u128 + 1;
+        (((t - self.min) as u128 * self.num_buckets as u128) / span) as u32
+    }
+
+    /// Adds one interval (replicated into each overlapped bucket).
+    pub fn insert(&mut self, r: &IntervalRecord) {
+        let class = class_of(r.end - r.st + 1);
+        for b in self.bucket_of(r.st)..=self.bucket_of(r.end) {
+            let bucket = &mut self.buckets[b as usize];
+            if bucket.len() <= class {
+                bucket.resize_with(class + 1, Vec::new);
+            }
+            bucket[class].push(*r);
+        }
+        self.len += 1;
+    }
+
+    /// All ids overlapping `[q_st, q_end]`.
+    pub fn range_query(&self, q_st: u64, q_end: u64) -> Vec<u32> {
+        self.range_duration_query(q_st, q_end, 1, u64::MAX)
+    }
+
+    /// All ids overlapping `[q_st, q_end]` whose duration lies in
+    /// `[d_min, d_max]` — the query type this index specializes in:
+    /// duration classes outside the band are skipped wholesale.
+    pub fn range_duration_query(&self, q_st: u64, q_end: u64, d_min: u64, d_max: u64) -> Vec<u32> {
+        assert!(q_st <= q_end);
+        assert!(d_min >= 1 && d_min <= d_max);
+        let c_lo = class_of(d_min);
+        let c_hi = if d_max == u64::MAX { NUM_CLASSES - 1 } else { class_of(d_max) };
+        let mut out = Vec::new();
+        for b in self.bucket_of(q_st)..=self.bucket_of(q_end) {
+            let bucket = &self.buckets[b as usize];
+            if bucket.len() <= c_lo {
+                continue;
+            }
+            for class in c_lo..=c_hi.min(bucket.len() - 1) {
+                for r in &bucket[class] {
+                    let dur = r.end - r.st + 1;
+                    if r.st <= q_end && r.end >= q_st && dur >= d_min && dur <= d_max {
+                        // Reference value de-duplication.
+                        if self.bucket_of(r.st.max(q_st)) == b {
+                            out.push(r.id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|c| c.capacity() * std::mem::size_of::<IntervalRecord>() + 24)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_overlap;
+
+    fn sample() -> Vec<IntervalRecord> {
+        (0..400u32)
+            .map(|i| {
+                let st = (i as u64 * 48271) % 8_000;
+                let len = 1 + (i as u64 * 31) % 512;
+                IntervalRecord { id: i, st, end: st + len - 1 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn range_matches_oracle() {
+        let recs = sample();
+        for k in [1u32, 4, 32] {
+            let idx = PeriodIndex::build(&recs, k);
+            for q_st in (0..8_600u64).step_by(331) {
+                for w in [0u64, 10, 500] {
+                    let mut got = idx.range_query(q_st, q_st + w);
+                    let n = got.len();
+                    got.sort_unstable();
+                    got.dedup();
+                    assert_eq!(n, got.len(), "duplicates k={k}");
+                    assert_eq!(got, brute_force_overlap(&recs, q_st, q_st + w), "k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duration_band_matches_filtered_oracle() {
+        let recs = sample();
+        let idx = PeriodIndex::build(&recs, 16);
+        for (d_min, d_max) in [(1u64, 4u64), (5, 100), (100, u64::MAX), (1, u64::MAX)] {
+            for q_st in (0..8_000u64).step_by(977) {
+                let q_end = q_st + 300;
+                let mut got = idx.range_duration_query(q_st, q_end, d_min, d_max);
+                got.sort_unstable();
+                let want: Vec<u32> = brute_force_overlap(&recs, q_st, q_end)
+                    .into_iter()
+                    .filter(|&id| {
+                        let r = recs[id as usize];
+                        let dur = r.end - r.st + 1;
+                        dur >= d_min && dur <= d_max
+                    })
+                    .collect();
+                assert_eq!(got, want, "band [{d_min},{d_max}] q=[{q_st},{q_end}]");
+            }
+        }
+    }
+
+    #[test]
+    fn duration_classes_prune() {
+        // All intervals short: a long-duration band must touch nothing.
+        let recs: Vec<IntervalRecord> =
+            (0..50u32).map(|i| IntervalRecord { id: i, st: i as u64, end: i as u64 + 1 }).collect();
+        let idx = PeriodIndex::build(&recs, 4);
+        assert!(idx.range_duration_query(0, 100, 1000, u64::MAX).is_empty());
+        assert_eq!(idx.range_duration_query(0, 100, 1, 2).len(), 50);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = PeriodIndex::build(&[], 8);
+        assert!(idx.is_empty());
+        assert!(idx.range_query(0, 5).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! A static segment tree (de Berg et al.) — the classic structure for
+//! *stabbing* queries cited in Section 6.2 of the temporal-IR paper.
+//!
+//! The domain is cut into elementary slabs at the distinct interval
+//! endpoints; every interval is stored at the `O(log n)` canonical nodes
+//! whose slab range it fully covers. A stabbing query walks one
+//! root-to-leaf path and reports everything stored on it; each interval
+//! appears at most once on any such path, so no de-duplication is needed.
+
+use crate::IntervalRecord;
+
+/// Static segment tree over closed `u64` intervals, answering stabbing
+/// queries (`which intervals contain t?`).
+#[derive(Debug, Clone)]
+pub struct SegmentTree {
+    /// Sorted slab boundaries; slab `i` covers `[bounds[i], bounds[i+1])`,
+    /// the last slab is `[bounds[n-1], ∞)`.
+    bounds: Vec<u64>,
+    /// Heap-layout nodes (1-based); each holds the ids assigned to it.
+    nodes: Vec<Vec<u32>>,
+    /// Number of leaves (power of two).
+    leaves: usize,
+    len: usize,
+}
+
+impl SegmentTree {
+    /// Builds the tree; `O(n log n)` space and time.
+    pub fn build(records: &[IntervalRecord]) -> Self {
+        let mut bounds: Vec<u64> = Vec::with_capacity(records.len() * 2 + 1);
+        bounds.push(0);
+        for r in records {
+            bounds.push(r.st);
+            // A closed interval stops containing points at end + 1.
+            bounds.push(r.end.saturating_add(1));
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let leaves = bounds.len().next_power_of_two();
+        let mut tree = SegmentTree {
+            bounds,
+            nodes: vec![Vec::new(); leaves * 2],
+            leaves,
+            len: records.len(),
+        };
+        for r in records {
+            tree.place(r);
+        }
+        tree
+    }
+
+    /// Slab index of a raw timestamp.
+    fn slab_of(&self, t: u64) -> usize {
+        // Last boundary <= t.
+        self.bounds.partition_point(|&b| b <= t) - 1
+    }
+
+    /// Assigns `r` to the canonical node cover of its slab range.
+    fn place(&mut self, r: &IntervalRecord) {
+        let mut lo = self.slab_of(r.st) + self.leaves;
+        let mut hi = self.slab_of(r.end) + self.leaves;
+        // Standard bottom-up canonical decomposition on the heap layout.
+        loop {
+            if lo == hi {
+                self.nodes[lo].push(r.id);
+                break;
+            }
+            if lo & 1 == 1 {
+                self.nodes[lo].push(r.id);
+                lo += 1;
+            }
+            if hi & 1 == 0 {
+                self.nodes[hi].push(r.id);
+                hi -= 1;
+            }
+            if lo > hi {
+                break;
+            }
+            lo >>= 1;
+            hi >>= 1;
+        }
+    }
+
+    /// All ids of intervals containing `t`.
+    pub fn stab_query(&self, t: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut node = self.slab_of(t) + self.leaves;
+        while node >= 1 {
+            out.extend_from_slice(&self.nodes[node]);
+            if node == 1 {
+                break;
+            }
+            node >>= 1;
+        }
+        out
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bounds.capacity() * 8
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_overlap;
+
+    fn sample() -> Vec<IntervalRecord> {
+        vec![
+            IntervalRecord { id: 0, st: 0, end: 30 },
+            IntervalRecord { id: 1, st: 5, end: 6 },
+            IntervalRecord { id: 2, st: 10, end: 20 },
+            IntervalRecord { id: 3, st: 29, end: 30 },
+            IntervalRecord { id: 4, st: 15, end: 15 },
+            IntervalRecord { id: 5, st: 6, end: 10 },
+        ]
+    }
+
+    #[test]
+    fn stabbing_matches_oracle() {
+        let recs = sample();
+        let tree = SegmentTree::build(&recs);
+        for t in 0..40u64 {
+            let mut got = tree.stab_query(t);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            assert_eq!(n, got.len(), "duplicates at t={t}");
+            assert_eq!(got, brute_force_overlap(&recs, t, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn random_stabbing() {
+        let recs: Vec<IntervalRecord> = (0..500u32)
+            .map(|i| {
+                let st = (i as u64 * 48271) % 10_000;
+                IntervalRecord { id: i, st, end: st + (i as u64 * 7) % 300 }
+            })
+            .collect();
+        let tree = SegmentTree::build(&recs);
+        for t in (0..10_300u64).step_by(97) {
+            let mut got = tree.stab_query(t);
+            got.sort_unstable();
+            assert_eq!(got, brute_force_overlap(&recs, t, t), "t={t}");
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = SegmentTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.stab_query(5).is_empty());
+    }
+
+    #[test]
+    fn point_intervals() {
+        let recs = vec![
+            IntervalRecord { id: 0, st: 7, end: 7 },
+            IntervalRecord { id: 1, st: 7, end: 7 },
+        ];
+        let tree = SegmentTree::build(&recs);
+        let mut got = tree.stab_query(7);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1]);
+        assert!(tree.stab_query(6).is_empty());
+        assert!(tree.stab_query(8).is_empty());
+    }
+}

@@ -1,0 +1,205 @@
+//! The Timeline index (Kaufmann et al., SAP HANA) — the versioned-data
+//! access method discussed in Section 6.2 of the temporal-IR paper.
+//!
+//! An *event list* holds one `(time, id, is_start)` entry per interval
+//! endpoint, sorted by time; *checkpoints* materialize the full set of
+//! active intervals every `checkpoint_every` events. A range query
+//! reconstructs the active set at `q.st` from the nearest checkpoint plus
+//! a replay, then appends every interval starting inside `(q.st, q.end]`.
+
+use std::collections::HashSet;
+
+use crate::IntervalRecord;
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    /// Event time: the start, or `end + 1` for expiry (closed intervals).
+    time: u64,
+    id: u32,
+    is_start: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    /// Index into the event list this checkpoint reflects (all events
+    /// `< pos` applied).
+    pos: usize,
+    /// Sorted ids active after applying those events.
+    active: Vec<u32>,
+}
+
+/// The timeline index.
+#[derive(Debug, Clone)]
+pub struct TimelineIndex {
+    events: Vec<Event>,
+    checkpoints: Vec<Checkpoint>,
+    len: usize,
+}
+
+/// Default checkpoint spacing.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 1024;
+
+impl TimelineIndex {
+    /// Builds with the default checkpoint spacing.
+    pub fn build(records: &[IntervalRecord]) -> Self {
+        Self::build_with_checkpoints(records, DEFAULT_CHECKPOINT_EVERY)
+    }
+
+    /// Builds with a checkpoint every `checkpoint_every` events.
+    pub fn build_with_checkpoints(records: &[IntervalRecord], checkpoint_every: usize) -> Self {
+        assert!(checkpoint_every >= 1);
+        let mut events = Vec::with_capacity(records.len() * 2);
+        for r in records {
+            events.push(Event { time: r.st, id: r.id, is_start: true });
+            events.push(Event { time: r.end.saturating_add(1), id: r.id, is_start: false });
+        }
+        // Expiries before starts at equal times so that a closed interval
+        // ending at t-1 is inactive at t even if another starts at t.
+        events.sort_unstable_by_key(|e| (e.time, e.is_start, e.id));
+
+        let mut checkpoints = Vec::new();
+        let mut active: HashSet<u32> = HashSet::new();
+        for (i, e) in events.iter().enumerate() {
+            if i % checkpoint_every == 0 {
+                let mut snapshot: Vec<u32> = active.iter().copied().collect();
+                snapshot.sort_unstable();
+                checkpoints.push(Checkpoint { pos: i, active: snapshot });
+            }
+            if e.is_start {
+                active.insert(e.id);
+            } else {
+                active.remove(&e.id);
+            }
+        }
+        TimelineIndex { events, checkpoints, len: records.len() }
+    }
+
+    /// All ids of intervals overlapping `[q_st, q_end]` (inclusive).
+    pub fn range_query(&self, q_st: u64, q_end: u64) -> Vec<u32> {
+        assert!(q_st <= q_end);
+        // Everything active at q_st …
+        let mut out = self.active_at(q_st);
+        // … plus everything starting in (q_st, q_end].
+        let from = self.events.partition_point(|e| e.time <= q_st);
+        for e in &self.events[from..] {
+            if e.time > q_end {
+                break;
+            }
+            if e.is_start {
+                out.push(e.id);
+            }
+        }
+        out
+    }
+
+    /// Sorted-ish list of ids active at time `t` (unordered overall).
+    fn active_at(&self, t: u64) -> Vec<u32> {
+        // Closest checkpoint whose replay window ends at or before the
+        // first event with time > t.
+        let limit = self.events.partition_point(|e| e.time <= t);
+        let ci = self
+            .checkpoints
+            .partition_point(|c| c.pos <= limit)
+            .saturating_sub(1);
+        let Some(chk) = self.checkpoints.get(ci) else {
+            return Vec::new();
+        };
+        let mut active: HashSet<u32> = chk.active.iter().copied().collect();
+        for e in &self.events[chk.pos..limit] {
+            if e.is_start {
+                active.insert(e.id);
+            } else {
+                active.remove(&e.id);
+            }
+        }
+        active.into_iter().collect()
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.events.capacity() * std::mem::size_of::<Event>()
+            + self
+                .checkpoints
+                .iter()
+                .map(|c| c.active.capacity() * 4 + std::mem::size_of::<Checkpoint>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute_force_overlap;
+
+    fn sample() -> Vec<IntervalRecord> {
+        (0..300u32)
+            .map(|i| {
+                let st = (i as u64 * 2654435761) % 5_000;
+                IntervalRecord { id: i, st, end: st + (i as u64 * 13) % 400 }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_oracle_for_various_checkpoint_spacings() {
+        let recs = sample();
+        for every in [1usize, 7, 64, 100_000] {
+            let idx = TimelineIndex::build_with_checkpoints(&recs, every);
+            for q_st in (0..5_500u64).step_by(131) {
+                for w in [0u64, 5, 200, 3_000] {
+                    let q_end = q_st + w;
+                    let mut got = idx.range_query(q_st, q_end);
+                    let n = got.len();
+                    got.sort_unstable();
+                    got.dedup();
+                    assert_eq!(n, got.len(), "duplicates every={every} q=[{q_st},{q_end}]");
+                    assert_eq!(
+                        got,
+                        brute_force_overlap(&recs, q_st, q_end),
+                        "every={every} q=[{q_st},{q_end}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_intervals_at_boundaries() {
+        // [0,4] and [5,9]: at t=5 only the second is active.
+        let recs = vec![
+            IntervalRecord { id: 0, st: 0, end: 4 },
+            IntervalRecord { id: 1, st: 5, end: 9 },
+        ];
+        let idx = TimelineIndex::build(&recs);
+        assert_eq!(idx.range_query(5, 5), vec![1]);
+        assert_eq!(idx.range_query(4, 4), vec![0]);
+        let mut both = idx.range_query(4, 5);
+        both.sort_unstable();
+        assert_eq!(both, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = TimelineIndex::build(&[]);
+        assert!(idx.is_empty());
+        assert!(idx.range_query(0, 100).is_empty());
+    }
+
+    #[test]
+    fn more_checkpoints_more_space() {
+        let recs = sample();
+        let sparse = TimelineIndex::build_with_checkpoints(&recs, 100_000);
+        let dense = TimelineIndex::build_with_checkpoints(&recs, 4);
+        assert!(dense.size_bytes() > sparse.size_bytes());
+    }
+}

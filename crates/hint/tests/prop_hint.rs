@@ -1,0 +1,123 @@
+//! Property-based tests: every interval index in the crate must agree with
+//! the brute-force oracle on arbitrary inputs, configurations and queries.
+
+use proptest::prelude::*;
+use tir_hint::{
+    brute_force_overlap, DivisionOrder, Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree,
+};
+
+fn arb_records(max_len: usize, domain: u64) -> impl Strategy<Value = Vec<IntervalRecord>> {
+    prop::collection::vec((0..domain, 0..domain), 0..max_len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| IntervalRecord {
+                id: i as u32,
+                st: a.min(b),
+                end: a.max(b),
+            })
+            .collect()
+    })
+}
+
+fn arb_query(domain: u64) -> impl Strategy<Value = (u64, u64)> {
+    (0..domain, 0..domain).prop_map(|(a, b)| (a.min(b), a.max(b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hint_matches_oracle(
+        recs in arb_records(120, 1000),
+        queries in prop::collection::vec(arb_query(1100), 1..20),
+        m in 0u32..10,
+        order_pick in 0u8..3,
+        storage_opt in any::<bool>(),
+    ) {
+        let order = match order_pick {
+            0 => DivisionOrder::Beneficial,
+            1 => DivisionOrder::ById,
+            _ => DivisionOrder::Insertion,
+        };
+        let cfg = HintConfig { m: Some(m), order, storage_opt };
+        let hint = Hint::build(&recs, cfg);
+        for (qs, qe) in queries {
+            let mut got = hint.range_query(qs, qe);
+            let n = got.len();
+            got.sort_unstable();
+            got.dedup();
+            prop_assert_eq!(n, got.len(), "duplicates");
+            prop_assert_eq!(got, brute_force_overlap(&recs, qs, qe));
+        }
+    }
+
+    #[test]
+    fn hint_cost_model_config_matches_oracle(
+        recs in arb_records(80, 100_000),
+        queries in prop::collection::vec(arb_query(100_000), 1..10),
+    ) {
+        let hint = Hint::build(&recs, HintConfig::default());
+        for (qs, qe) in queries {
+            let mut got = hint.range_query(qs, qe);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_force_overlap(&recs, qs, qe));
+        }
+    }
+
+    #[test]
+    fn hint_insert_delete_matches_oracle(
+        base in arb_records(60, 500),
+        extra in arb_records(30, 500),
+        del_mask in prop::collection::vec(any::<bool>(), 60),
+        (qs, qe) in arb_query(600),
+    ) {
+        // Re-id the extras so ids stay unique.
+        let extra: Vec<IntervalRecord> = extra
+            .iter()
+            .enumerate()
+            .map(|(i, r)| IntervalRecord { id: (1000 + i) as u32, ..*r })
+            .collect();
+        let mut hint = Hint::build_with_domain(&base, 0, 600, HintConfig::with_m(6));
+        for r in &extra {
+            hint.insert(r);
+        }
+        let mut live: Vec<IntervalRecord> = base.iter().chain(extra.iter()).copied().collect();
+        for (i, r) in base.iter().enumerate() {
+            if *del_mask.get(i).unwrap_or(&false) {
+                prop_assert!(hint.delete(r));
+                live.retain(|x| x.id != r.id);
+            }
+        }
+        let mut got = hint.range_query(qs, qe);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_force_overlap(&live, qs, qe));
+    }
+
+    #[test]
+    fn grid_matches_oracle(
+        recs in arb_records(100, 1000),
+        (qs, qe) in arb_query(1100),
+        k in 1u32..40,
+    ) {
+        let grid = Grid1D::build(&recs, k);
+        let mut got = grid.range_query(qs, qe);
+        let n = got.len();
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(n, got.len(), "duplicates");
+        prop_assert_eq!(got, brute_force_overlap(&recs, qs, qe));
+    }
+
+    #[test]
+    fn interval_tree_matches_oracle(
+        recs in arb_records(100, 1000),
+        (qs, qe) in arb_query(1100),
+    ) {
+        let tree = IntervalTree::build(&recs);
+        let mut got = tree.range_query(qs, qe);
+        got.sort_unstable();
+        got.dedup();
+        prop_assert_eq!(got, brute_force_overlap(&recs, qs, qe));
+    }
+}

@@ -1,0 +1,503 @@
+//! Compact per-division inverted indexes.
+//!
+//! irHINT stores an inverted index inside **every** non-empty HINT
+//! division, so the per-structure overhead matters: these indexes are flat
+//! structure-of-arrays with a sorted element directory, no hash maps.
+
+use crate::kernels::{raw, TOMBSTONE};
+
+/// A compact inverted index mapping element ids to id-sorted postings.
+///
+/// Used by the *size* variant of irHINT (Section 4.2), where postings hold
+/// only object ids and the temporal information lives in a separate
+/// interval store.
+#[derive(Debug, Clone)]
+pub struct CompactInverted {
+    elems: Vec<u32>,
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl Default for CompactInverted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompactInverted {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        CompactInverted { elems: Vec::new(), offsets: vec![0], ids: Vec::new() }
+    }
+
+    /// Builds from `(element, object id)` pairs; consumes and sorts the
+    /// buffer.
+    pub fn build(pairs: &mut Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        let mut idx = CompactInverted::new();
+        idx.ids.reserve(pairs.len());
+        for &(e, id) in pairs.iter() {
+            if idx.elems.last() != Some(&e) {
+                idx.elems.push(e);
+                idx.offsets.push(idx.ids.len() as u32);
+                *idx.offsets.last_mut().unwrap() = idx.ids.len() as u32;
+            }
+            idx.ids.push(id);
+            *idx.offsets.last_mut().unwrap() += 1;
+        }
+        idx
+    }
+
+    /// The id-sorted postings of `elem` (may contain tombstoned entries).
+    pub fn postings(&self, elem: u32) -> &[u32] {
+        match self.elems.binary_search(&elem) {
+            Ok(i) => {
+                let lo = self.offsets[i] as usize;
+                let hi = self.offsets[i + 1] as usize;
+                &self.ids[lo..hi]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// Inserts one posting, keeping element and id order.
+    pub fn insert(&mut self, elem: u32, id: u32) {
+        match self.elems.binary_search(&elem) {
+            Ok(i) => {
+                let lo = self.offsets[i] as usize;
+                let hi = self.offsets[i + 1] as usize;
+                let pos = lo + self.ids[lo..hi].partition_point(|&x| raw(x) <= id);
+                self.ids.insert(pos, id);
+                for off in &mut self.offsets[i + 1..] {
+                    *off += 1;
+                }
+            }
+            Err(i) => {
+                let pos = self.offsets[i] as usize;
+                self.elems.insert(i, elem);
+                self.offsets.insert(i + 1, self.offsets[i]);
+                self.ids.insert(pos, id);
+                for off in &mut self.offsets[i + 1..] {
+                    *off += 1;
+                }
+            }
+        }
+    }
+
+    /// Tombstones the posting `(elem, id)`; returns true if found alive.
+    pub fn tombstone(&mut self, elem: u32, id: u32) -> bool {
+        if let Ok(i) = self.elems.binary_search(&elem) {
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            if let Ok(p) = self.ids[lo..hi].binary_search_by_key(&id, |&x| raw(x)) {
+                let slot = &mut self.ids[lo + p];
+                if *slot & TOMBSTONE == 0 {
+                    *slot |= TOMBSTONE;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Merges a batch of `(elem, id)` pairs in one rebuild pass —
+    /// `O(existing + batch log batch)` instead of one memmove per pair.
+    pub fn merge_in(&mut self, new: &mut Vec<(u32, u32)>) {
+        if new.is_empty() {
+            return;
+        }
+        new.sort_unstable_by_key(|&(e, id)| (e, id));
+        let mut out = CompactInverted::new();
+        out.ids.reserve(self.ids.len() + new.len());
+        let push = |out: &mut CompactInverted, e: u32, id: u32| {
+            if out.elems.last() != Some(&e) {
+                out.elems.push(e);
+                out.offsets.push(out.ids.len() as u32);
+            }
+            out.ids.push(id);
+            *out.offsets.last_mut().unwrap() = out.ids.len() as u32;
+        };
+        let mut ni = 0usize;
+        for (i, &e) in self.elems.iter().enumerate() {
+            // New pairs for elements strictly before `e`.
+            while ni < new.len() && new[ni].0 < e {
+                push(&mut out, new[ni].0, new[ni].1);
+                ni += 1;
+            }
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            let mut oi = lo;
+            // Merge same-element runs by raw id.
+            while oi < hi && ni < new.len() && new[ni].0 == e {
+                if raw(self.ids[oi]) <= new[ni].1 {
+                    push(&mut out, e, self.ids[oi]);
+                    oi += 1;
+                } else {
+                    push(&mut out, e, new[ni].1);
+                    ni += 1;
+                }
+            }
+            for &id in &self.ids[oi..hi] {
+                push(&mut out, e, id);
+            }
+            while ni < new.len() && new[ni].0 == e {
+                push(&mut out, e, new[ni].1);
+                ni += 1;
+            }
+        }
+        while ni < new.len() {
+            push(&mut out, new[ni].0, new[ni].1);
+            ni += 1;
+        }
+        *self = out;
+    }
+
+    /// Number of stored postings (including tombstoned).
+    pub fn num_postings(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no posting is stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.elems.capacity() + self.offsets.capacity() + self.ids.capacity()) * 4
+    }
+}
+
+/// A compact *temporal* inverted index: postings carry the object's time
+/// interval alongside its id.
+///
+/// Used by the *performance* variant of irHINT (Section 4.1), whose
+/// per-division `QueryTemporalIF` filters postings by the division's
+/// residual temporal condition before intersecting.
+#[derive(Debug, Clone)]
+pub struct CompactTemporalInverted {
+    elems: Vec<u32>,
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+    sts: Vec<u64>,
+    ends: Vec<u64>,
+}
+
+/// A view of one element's temporal postings: parallel slices.
+#[derive(Debug, Clone, Copy)]
+pub struct TemporalPostings<'a> {
+    /// Object ids, sorted by raw id; tombstone bit marks deleted entries.
+    pub ids: &'a [u32],
+    /// Interval starts.
+    pub sts: &'a [u64],
+    /// Interval ends.
+    pub ends: &'a [u64],
+}
+
+impl<'a> TemporalPostings<'a> {
+    /// An empty postings view.
+    pub fn empty() -> Self {
+        TemporalPostings { ids: &[], sts: &[], ends: &[] }
+    }
+
+    /// Number of postings in the view.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the view holds no postings.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl Default for CompactTemporalInverted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompactTemporalInverted {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        CompactTemporalInverted {
+            elems: Vec::new(),
+            offsets: vec![0],
+            ids: Vec::new(),
+            sts: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+
+    /// Builds from `(element, id, st, end)` tuples; consumes and sorts the
+    /// buffer.
+    pub fn build(entries: &mut Vec<(u32, u32, u64, u64)>) -> Self {
+        entries.sort_unstable_by_key(|&(e, id, _, _)| (e, id));
+        let mut idx = CompactTemporalInverted::new();
+        idx.ids.reserve(entries.len());
+        for &(e, id, st, end) in entries.iter() {
+            if idx.elems.last() != Some(&e) {
+                idx.elems.push(e);
+                idx.offsets.push(idx.ids.len() as u32);
+                *idx.offsets.last_mut().unwrap() = idx.ids.len() as u32;
+            }
+            idx.ids.push(id);
+            idx.sts.push(st);
+            idx.ends.push(end);
+            *idx.offsets.last_mut().unwrap() += 1;
+        }
+        idx
+    }
+
+    /// The temporal postings of `elem`.
+    pub fn postings(&self, elem: u32) -> TemporalPostings<'_> {
+        match self.elems.binary_search(&elem) {
+            Ok(i) => {
+                let lo = self.offsets[i] as usize;
+                let hi = self.offsets[i + 1] as usize;
+                TemporalPostings {
+                    ids: &self.ids[lo..hi],
+                    sts: &self.sts[lo..hi],
+                    ends: &self.ends[lo..hi],
+                }
+            }
+            Err(_) => TemporalPostings::empty(),
+        }
+    }
+
+    /// Inserts one temporal posting, keeping element and id order.
+    pub fn insert(&mut self, elem: u32, id: u32, st: u64, end: u64) {
+        let (i, pos) = match self.elems.binary_search(&elem) {
+            Ok(i) => {
+                let lo = self.offsets[i] as usize;
+                let hi = self.offsets[i + 1] as usize;
+                (i, lo + self.ids[lo..hi].partition_point(|&x| raw(x) <= id))
+            }
+            Err(i) => {
+                let pos = self.offsets[i] as usize;
+                self.elems.insert(i, elem);
+                self.offsets.insert(i + 1, self.offsets[i]);
+                (i, pos)
+            }
+        };
+        self.ids.insert(pos, id);
+        self.sts.insert(pos, st);
+        self.ends.insert(pos, end);
+        for off in &mut self.offsets[i + 1..] {
+            *off += 1;
+        }
+    }
+
+    /// Tombstones the posting `(elem, id)`; returns true if found alive.
+    pub fn tombstone(&mut self, elem: u32, id: u32) -> bool {
+        if let Ok(i) = self.elems.binary_search(&elem) {
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            if let Ok(p) = self.ids[lo..hi].binary_search_by_key(&id, |&x| raw(x)) {
+                let slot = &mut self.ids[lo + p];
+                if *slot & TOMBSTONE == 0 {
+                    *slot |= TOMBSTONE;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Merges a batch of `(elem, id, st, end)` tuples in one rebuild pass —
+    /// `O(existing + batch log batch)` instead of one memmove per tuple.
+    pub fn merge_in(&mut self, new: &mut Vec<(u32, u32, u64, u64)>) {
+        if new.is_empty() {
+            return;
+        }
+        new.sort_unstable_by_key(|&(e, id, _, _)| (e, id));
+        let mut out = CompactTemporalInverted::new();
+        out.ids.reserve(self.ids.len() + new.len());
+        let push = |out: &mut CompactTemporalInverted, e: u32, id: u32, st: u64, end: u64| {
+            if out.elems.last() != Some(&e) {
+                out.elems.push(e);
+                out.offsets.push(out.ids.len() as u32);
+            }
+            out.ids.push(id);
+            out.sts.push(st);
+            out.ends.push(end);
+            *out.offsets.last_mut().unwrap() = out.ids.len() as u32;
+        };
+        let mut ni = 0usize;
+        for (i, &e) in self.elems.iter().enumerate() {
+            while ni < new.len() && new[ni].0 < e {
+                let (ne, nid, nst, nend) = new[ni];
+                push(&mut out, ne, nid, nst, nend);
+                ni += 1;
+            }
+            let lo = self.offsets[i] as usize;
+            let hi = self.offsets[i + 1] as usize;
+            let mut oi = lo;
+            while oi < hi && ni < new.len() && new[ni].0 == e {
+                if raw(self.ids[oi]) <= new[ni].1 {
+                    push(&mut out, e, self.ids[oi], self.sts[oi], self.ends[oi]);
+                    oi += 1;
+                } else {
+                    let (_, nid, nst, nend) = new[ni];
+                    push(&mut out, e, nid, nst, nend);
+                    ni += 1;
+                }
+            }
+            while oi < hi {
+                push(&mut out, e, self.ids[oi], self.sts[oi], self.ends[oi]);
+                oi += 1;
+            }
+            while ni < new.len() && new[ni].0 == e {
+                let (_, nid, nst, nend) = new[ni];
+                push(&mut out, e, nid, nst, nend);
+                ni += 1;
+            }
+        }
+        while ni < new.len() {
+            let (ne, nid, nst, nend) = new[ni];
+            push(&mut out, ne, nid, nst, nend);
+            ni += 1;
+        }
+        *self = out;
+    }
+
+    /// Number of stored postings (including tombstoned).
+    pub fn num_postings(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if no posting is stored.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.elems.capacity() + self.offsets.capacity() + self.ids.capacity()) * 4
+            + (self.sts.capacity() + self.ends.capacity()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut pairs = vec![(2u32, 5u32), (1, 3), (2, 1), (1, 9), (7, 4)];
+        let idx = CompactInverted::build(&mut pairs);
+        assert_eq!(idx.postings(1), &[3, 9]);
+        assert_eq!(idx.postings(2), &[1, 5]);
+        assert_eq!(idx.postings(7), &[4]);
+        assert_eq!(idx.postings(3), &[] as &[u32]);
+        assert_eq!(idx.num_postings(), 5);
+    }
+
+    #[test]
+    fn insert_matches_build() {
+        let mut pairs = vec![(2u32, 5u32), (1, 3), (2, 1), (1, 9), (7, 4)];
+        let built = CompactInverted::build(&mut pairs.clone());
+        let mut inc = CompactInverted::new();
+        for (e, id) in pairs.drain(..) {
+            inc.insert(e, id);
+        }
+        for e in [0u32, 1, 2, 3, 7] {
+            assert_eq!(built.postings(e), inc.postings(e), "elem {e}");
+        }
+    }
+
+    #[test]
+    fn tombstone_marks_without_removing() {
+        let mut pairs = vec![(1u32, 3u32), (1, 9)];
+        let mut idx = CompactInverted::build(&mut pairs);
+        assert!(idx.tombstone(1, 3));
+        assert!(!idx.tombstone(1, 3));
+        assert!(!idx.tombstone(1, 4));
+        assert_eq!(idx.postings(1), &[3 | TOMBSTONE, 9]);
+    }
+
+    #[test]
+    fn temporal_build_and_lookup() {
+        let mut entries = vec![
+            (1u32, 4u32, 10u64, 20u64),
+            (1, 2, 5, 8),
+            (3, 2, 5, 8),
+        ];
+        let idx = CompactTemporalInverted::build(&mut entries);
+        let p = idx.postings(1);
+        assert_eq!(p.ids, &[2, 4]);
+        assert_eq!(p.sts, &[5, 10]);
+        assert_eq!(p.ends, &[8, 20]);
+        assert!(idx.postings(9).is_empty());
+    }
+
+    #[test]
+    fn temporal_insert_keeps_parallel_arrays() {
+        let mut idx = CompactTemporalInverted::new();
+        idx.insert(5, 10, 100, 200);
+        idx.insert(5, 3, 50, 60);
+        idx.insert(2, 7, 1, 2);
+        let p = idx.postings(5);
+        assert_eq!(p.ids, &[3, 10]);
+        assert_eq!(p.sts, &[50, 100]);
+        let p2 = idx.postings(2);
+        assert_eq!(p2.ends, &[2]);
+        assert!(idx.tombstone(5, 10));
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    #[test]
+    fn merge_in_equals_rebuild() {
+        let mut base_pairs = vec![(1u32, 2u32), (1, 8), (3, 1), (5, 9)];
+        let mut idx = CompactInverted::build(&mut base_pairs);
+        let mut batch = vec![(0u32, 4u32), (1, 5), (3, 0), (6, 2), (1, 9)];
+        idx.merge_in(&mut batch);
+        let mut all = vec![(1u32, 2u32), (1, 8), (3, 1), (5, 9), (0, 4), (1, 5), (3, 0), (6, 2), (1, 9)];
+        let want = CompactInverted::build(&mut all);
+        for e in 0..8u32 {
+            assert_eq!(idx.postings(e), want.postings(e), "elem {e}");
+        }
+    }
+
+    #[test]
+    fn merge_in_empty_batch_is_noop() {
+        let mut pairs = vec![(1u32, 2u32)];
+        let mut idx = CompactInverted::build(&mut pairs);
+        idx.merge_in(&mut Vec::new());
+        assert_eq!(idx.postings(1), &[2]);
+    }
+
+    #[test]
+    fn merge_into_empty_index() {
+        let mut idx = CompactInverted::new();
+        idx.merge_in(&mut vec![(2u32, 7u32), (1, 3)]);
+        assert_eq!(idx.postings(1), &[3]);
+        assert_eq!(idx.postings(2), &[7]);
+    }
+
+    #[test]
+    fn temporal_merge_in_equals_rebuild() {
+        let mut base = vec![(1u32, 2u32, 10u64, 20u64), (3, 1, 5, 6)];
+        let mut idx = CompactTemporalInverted::build(&mut base);
+        let mut batch = vec![(1u32, 5u32, 30u64, 40u64), (0, 9, 1, 2), (3, 7, 8, 9)];
+        idx.merge_in(&mut batch);
+        let mut all = vec![
+            (1u32, 2u32, 10u64, 20u64),
+            (3, 1, 5, 6),
+            (1, 5, 30, 40),
+            (0, 9, 1, 2),
+            (3, 7, 8, 9),
+        ];
+        let want = CompactTemporalInverted::build(&mut all);
+        for e in 0..5u32 {
+            let (a, b) = (idx.postings(e), want.postings(e));
+            assert_eq!(a.ids, b.ids, "elem {e}");
+            assert_eq!(a.sts, b.sts, "elem {e}");
+            assert_eq!(a.ends, b.ends, "elem {e}");
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Compressed postings lists: delta + LEB128 varint encoding.
+//!
+//! The paper leaves inverted-file compression as future work (Section 7);
+//! this module provides the standard technique so the IR-first indexes
+//! can trade CPU for space. Lists are immutable once encoded — dynamic
+//! updates go to an uncompressed overlay (see `tir-core`'s
+//! `CompressedTif`).
+
+/// Appends `v` as a LEB128 varint.
+#[inline]
+fn put_varint(data: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            data.push(byte);
+            break;
+        }
+        data.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint at `pos`, advancing it.
+#[inline]
+fn get_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// A compressed id-sorted postings list: ids are delta-encoded varints.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedPostings {
+    data: Vec<u8>,
+    len: u32,
+}
+
+impl CompressedPostings {
+    /// Encodes a sorted, duplicate-free id list.
+    pub fn encode(ids: &[u32]) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly ascending");
+        let mut data = Vec::with_capacity(ids.len() * 2);
+        let mut prev = 0u32;
+        for (i, &id) in ids.iter().enumerate() {
+            let delta = if i == 0 { id } else { id - prev };
+            put_varint(&mut data, delta as u64);
+            prev = id;
+        }
+        data.shrink_to_fit();
+        CompressedPostings { data, len: ids.len() as u32 }
+    }
+
+    /// Number of encoded postings.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no posting is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decodes into `out` (cleared first).
+    pub fn decode_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(self.len as usize);
+        let mut pos = 0;
+        let mut acc = 0u32;
+        for i in 0..self.len {
+            let delta = get_varint(&self.data, &mut pos) as u32;
+            acc = if i == 0 { delta } else { acc + delta };
+            out.push(acc);
+        }
+    }
+
+    /// Iterates the decoded ids without materializing them.
+    pub fn iter(&self) -> CompressedIter<'_> {
+        CompressedIter { data: &self.data, pos: 0, remaining: self.len, acc: 0, first: true }
+    }
+
+    /// Streaming intersection with a sorted candidate set; appends every
+    /// candidate present in this list to `out`.
+    pub fn intersect_into(&self, cands: &[u32], out: &mut Vec<u32>) {
+        let mut ci = 0usize;
+        for id in self.iter() {
+            while ci < cands.len() && cands[ci] < id {
+                ci += 1;
+            }
+            if ci == cands.len() {
+                return;
+            }
+            if cands[ci] == id {
+                out.push(id);
+                ci += 1;
+            }
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.capacity() + std::mem::size_of::<Self>()
+    }
+}
+
+/// Iterator over a [`CompressedPostings`].
+#[derive(Debug)]
+pub struct CompressedIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    remaining: u32,
+    acc: u32,
+    first: bool,
+}
+
+impl Iterator for CompressedIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let delta = get_varint(self.data, &mut self.pos) as u32;
+        self.acc = if self.first { delta } else { self.acc + delta };
+        self.first = false;
+        Some(self.acc)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// A compressed *temporal* postings list: `(id delta, st, end - st)`
+/// varint triples, id-sorted.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedTemporalPostings {
+    data: Vec<u8>,
+    len: u32,
+}
+
+impl CompressedTemporalPostings {
+    /// Encodes parallel arrays sorted by strictly ascending id.
+    pub fn encode(ids: &[u32], sts: &[u64], ends: &[u64]) -> Self {
+        assert_eq!(ids.len(), sts.len());
+        assert_eq!(ids.len(), ends.len());
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        let mut data = Vec::with_capacity(ids.len() * 6);
+        let mut prev = 0u32;
+        for i in 0..ids.len() {
+            let delta = if i == 0 { ids[i] } else { ids[i] - prev };
+            put_varint(&mut data, delta as u64);
+            put_varint(&mut data, sts[i]);
+            put_varint(&mut data, ends[i] - sts[i]);
+            prev = ids[i];
+        }
+        data.shrink_to_fit();
+        CompressedTemporalPostings { data, len: ids.len() as u32 }
+    }
+
+    /// Number of encoded postings.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Calls `f(id, st, end)` for every posting.
+    pub fn for_each(&self, mut f: impl FnMut(u32, u64, u64)) {
+        let mut pos = 0;
+        let mut acc = 0u32;
+        for i in 0..self.len {
+            let delta = get_varint(&self.data, &mut pos) as u32;
+            acc = if i == 0 { delta } else { acc + delta };
+            let st = get_varint(&self.data, &mut pos);
+            let dur = get_varint(&self.data, &mut pos);
+            f(acc, st, st + dur);
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.capacity() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let ids = vec![0u32, 1, 127, 128, 300, 1_000_000, 1_000_001];
+        let c = CompressedPostings::encode(&ids);
+        let mut out = Vec::new();
+        c.decode_into(&mut out);
+        assert_eq!(out, ids);
+        assert_eq!(c.iter().collect::<Vec<_>>(), ids);
+        assert_eq!(c.len(), ids.len());
+    }
+
+    #[test]
+    fn empty_list() {
+        let c = CompressedPostings::encode(&[]);
+        assert!(c.is_empty());
+        assert_eq!(c.iter().count(), 0);
+    }
+
+    #[test]
+    fn compresses_dense_lists() {
+        let ids: Vec<u32> = (0..10_000).collect();
+        let c = CompressedPostings::encode(&ids);
+        assert!(
+            c.size_bytes() < ids.len() * 2,
+            "dense deltas should take ~1 byte each, got {}",
+            c.size_bytes()
+        );
+    }
+
+    #[test]
+    fn streaming_intersection() {
+        let ids: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let c = CompressedPostings::encode(&ids);
+        let cands = vec![0u32, 2, 3, 9, 10, 2997, 3000];
+        let mut out = Vec::new();
+        c.intersect_into(&cands, &mut out);
+        assert_eq!(out, vec![0, 3, 9, 2997]);
+    }
+
+    #[test]
+    fn temporal_roundtrip() {
+        let ids = vec![5u32, 9, 1000];
+        let sts = vec![100u64, 0, 1 << 40];
+        let ends = vec![200u64, 7, (1 << 40) + 3];
+        let c = CompressedTemporalPostings::encode(&ids, &sts, &ends);
+        let mut got = Vec::new();
+        c.for_each(|id, st, end| got.push((id, st, end)));
+        assert_eq!(got, vec![(5, 100, 200), (9, 0, 7), (1000, 1 << 40, (1 << 40) + 3)]);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut data = Vec::new();
+            put_varint(&mut data, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&data, &mut pos), v);
+            assert_eq!(pos, data.len());
+        }
+    }
+}

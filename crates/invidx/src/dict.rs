@@ -1,0 +1,122 @@
+//! String dictionaries: interning of descriptive elements (terms, track
+//! ids, product names, …) to dense `u32` element ids with document
+//! frequencies.
+
+use std::collections::HashMap;
+
+/// Interns element strings to dense ids and tracks how many objects
+/// contain each element (document frequency).
+///
+/// ```
+/// use tir_invidx::Dictionary;
+///
+/// let mut dict = Dictionary::new();
+/// let us = dict.intern("US");
+/// let elections = dict.intern("elections");
+/// assert_ne!(us, elections);
+/// assert_eq!(dict.intern("US"), us);
+/// assert_eq!(dict.term(us), Some("US"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    terms: Vec<String>,
+    map: HashMap<String, u32>,
+    freq: Vec<u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `term`, interning it if new.
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.map.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(term.to_owned());
+        self.freq.push(0);
+        self.map.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already interned term.
+    pub fn lookup(&self, term: &str) -> Option<u32> {
+        self.map.get(term).copied()
+    }
+
+    /// The string for an element id.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Increments the document frequency of `id` (call once per object
+    /// containing the element).
+    pub fn bump_freq(&mut self, id: u32) {
+        self.freq[id as usize] += 1;
+    }
+
+    /// Document frequency of an element.
+    pub fn freq(&self, id: u32) -> u32 {
+        self.freq.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct elements.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no element was interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns every term of an object description, bumping frequencies,
+    /// and returns the deduplicated element-id set.
+    pub fn intern_description<'a>(&mut self, terms: impl IntoIterator<Item = &'a str>) -> Vec<u32> {
+        let mut ids: Vec<u32> = terms.into_iter().map(|t| self.intern(t)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for &id in &ids {
+            self.bump_freq(id);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.intern("beta"), b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn frequencies_count_objects_not_occurrences() {
+        let mut d = Dictionary::new();
+        let ids = d.intern_description(["it", "the", "it", "shining"]);
+        assert_eq!(ids.len(), 3, "duplicates removed");
+        let it = d.lookup("it").unwrap();
+        assert_eq!(d.freq(it), 1);
+        d.intern_description(["it"]);
+        assert_eq!(d.freq(it), 2);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("ode to joy");
+        assert_eq!(d.term(id), Some("ode to joy"));
+        assert_eq!(d.term(999), None);
+        assert_eq!(d.lookup("missing"), None);
+    }
+}

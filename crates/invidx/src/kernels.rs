@@ -1,0 +1,194 @@
+//! Sorted-set intersection kernels for id-sorted postings.
+//!
+//! All kernels operate on `u32` id slices sorted ascending by their *raw*
+//! id (tombstone bit masked out). The candidate side is always clean
+//! (query-time sets never contain tombstones); the postings side may
+//! contain logically deleted entries, which are skipped.
+
+/// Tombstone marker shared with the interval indexes: deleted postings
+/// have this bit set.
+pub const TOMBSTONE: u32 = 1 << 31;
+
+/// True if the stored id is live (not tombstoned).
+#[inline]
+pub fn live(id: u32) -> bool {
+    id & TOMBSTONE == 0
+}
+
+/// The id with the tombstone bit masked out.
+#[inline]
+pub fn raw(id: u32) -> u32 {
+    id & !TOMBSTONE
+}
+
+/// Debug helper: checks that a slice is sorted ascending by raw id.
+pub fn is_sorted_by_raw(ids: &[u32]) -> bool {
+    ids.windows(2).all(|w| raw(w[0]) <= raw(w[1]))
+}
+
+/// Classic merge (zipper) intersection: appends every candidate that has a
+/// live posting to `out`. Linear in `cands.len() + postings.len()`.
+pub fn intersect_merge_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
+    debug_assert!(cands.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(is_sorted_by_raw(postings));
+    let (mut i, mut j) = (0, 0);
+    while i < cands.len() && j < postings.len() {
+        let c = cands[i];
+        let p = raw(postings[j]);
+        match c.cmp(&p) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if live(postings[j]) {
+                    out.push(c);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Galloping (exponential-search) intersection, efficient when `cands` is
+/// much smaller than `postings`: `O(|cands| * log |postings|)`.
+pub fn intersect_gallop_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
+    debug_assert!(cands.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(is_sorted_by_raw(postings));
+    let mut lo = 0usize;
+    for &c in cands {
+        // Gallop to find the first posting with raw id >= c.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < postings.len() && raw(postings[hi]) < c {
+            lo = hi + 1;
+            hi = lo + step;
+            step <<= 1;
+        }
+        let hi = hi.min(postings.len());
+        let idx = lo + postings[lo..hi].partition_point(|&p| raw(p) < c);
+        if idx < postings.len() && raw(postings[idx]) == c {
+            if live(postings[idx]) {
+                out.push(c);
+            }
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= postings.len() {
+            break;
+        }
+    }
+}
+
+/// Ratio above which [`intersect_adaptive_into`] switches from merging to
+/// galloping.
+pub const GALLOP_RATIO: usize = 16;
+
+/// Picks merge or gallop based on the size ratio of the inputs.
+pub fn intersect_adaptive_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
+    if cands.len().saturating_mul(GALLOP_RATIO) < postings.len() {
+        intersect_gallop_into(cands, postings, out);
+    } else {
+        intersect_merge_into(cands, postings, out);
+    }
+}
+
+/// Binary-search membership test in a clean sorted candidate set — the
+/// per-object probe of Algorithm 3.
+#[inline]
+pub fn contains_sorted(cands: &[u32], id: u32) -> bool {
+    cands.binary_search(&id).is_ok()
+}
+
+/// Marks `hits[i] = true` for every candidate `cands[i]` that has a live
+/// posting. Used when a candidate may occur in several postings runs (e.g.
+/// replicated slice sub-lists) and must still be emitted once.
+pub fn mark_hits(cands: &[u32], postings: &[u32], hits: &mut [bool]) {
+    debug_assert_eq!(cands.len(), hits.len());
+    debug_assert!(cands.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(is_sorted_by_raw(postings));
+    let (mut i, mut j) = (0, 0);
+    while i < cands.len() && j < postings.len() {
+        let c = cands[i];
+        let p = raw(postings[j]);
+        match c.cmp(&p) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if live(postings[j]) {
+                    hits[i] = true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Merges many sorted id runs into one sorted, deduplicated vector.
+/// Tombstoned entries are dropped.
+pub fn kway_merge_dedup(runs: &[&[u32]]) -> Vec<u32> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut all = Vec::with_capacity(total);
+    for run in runs {
+        all.extend(run.iter().copied().filter(|&id| live(id)));
+    }
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_all(cands: &[u32], postings: &[u32], want: &[u32]) {
+        for f in [
+            intersect_merge_into as fn(&[u32], &[u32], &mut Vec<u32>),
+            intersect_gallop_into,
+            intersect_adaptive_into,
+        ] {
+            let mut out = Vec::new();
+            f(cands, postings, &mut out);
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn basic_intersection() {
+        check_all(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], &[3, 7]);
+        check_all(&[], &[1, 2], &[]);
+        check_all(&[1, 2], &[], &[]);
+        check_all(&[5], &[5], &[5]);
+    }
+
+    #[test]
+    fn skips_tombstones() {
+        let postings = [1, 2 | TOMBSTONE, 3, 7 | TOMBSTONE];
+        check_all(&[1, 2, 3, 7], &postings, &[1, 3]);
+    }
+
+    #[test]
+    fn gallop_handles_large_gaps() {
+        let postings: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        let cands = [0u32, 2999 * 3, 9999 * 3, 30_001];
+        let mut out = Vec::new();
+        intersect_gallop_into(&cands, &postings, &mut out);
+        assert_eq!(out, vec![0, 2999 * 3, 9999 * 3]);
+    }
+
+    #[test]
+    fn kway_merge_dedups_and_drops_dead() {
+        let a = [1u32, 4, 9];
+        let b = [2u32, 4 | TOMBSTONE, 9];
+        let got = kway_merge_dedup(&[&a, &b]);
+        assert_eq!(got, vec![1, 2, 4, 9]);
+    }
+
+    #[test]
+    fn contains_sorted_works() {
+        assert!(contains_sorted(&[1, 5, 9], 5));
+        assert!(!contains_sorted(&[1, 5, 9], 4));
+        assert!(!contains_sorted(&[], 4));
+    }
+}

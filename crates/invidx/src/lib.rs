@@ -1,0 +1,33 @@
+//! # tir-invidx
+//!
+//! Inverted-index substrate for temporal information retrieval:
+//!
+//! * [`Dictionary`] — string-to-element-id interning with document
+//!   frequencies;
+//! * [`InvertedIndex`] — a corpus-level inverted index for classic
+//!   containment search;
+//! * [`CompactInverted`] / [`CompactTemporalInverted`] — flat,
+//!   low-overhead per-division indexes used inside irHINT partitions;
+//! * [`kernels`] — merge / galloping / adaptive sorted-set intersection
+//!   primitives, tombstone-aware;
+//! * [`compress`] — delta/varint compressed postings (the paper's
+//!   compression future-work direction).
+
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod compress;
+pub mod dict;
+pub mod kernels;
+pub mod plain;
+pub mod sigfile;
+
+pub use compact::{CompactInverted, CompactTemporalInverted, TemporalPostings};
+pub use compress::{CompressedPostings, CompressedTemporalPostings};
+pub use dict::Dictionary;
+pub use kernels::{
+    contains_sorted, intersect_adaptive_into, intersect_gallop_into, intersect_merge_into,
+    kway_merge_dedup, live, mark_hits, raw, TOMBSTONE,
+};
+pub use plain::InvertedIndex;
+pub use sigfile::{Signature, SignatureFile};

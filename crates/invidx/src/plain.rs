@@ -1,0 +1,185 @@
+//! A corpus-level inverted index for classic (non-temporal) containment
+//! search, used as a building block and as the degenerate 100%-extent
+//! baseline in the evaluation.
+
+use crate::kernels::{intersect_adaptive_into, live, raw, TOMBSTONE};
+use std::collections::HashMap;
+
+/// Inverted index over a corpus: element id → id-sorted postings list.
+///
+/// Containment queries (`q.d ⊆ o.d`) are answered by intersecting the
+/// postings of all query elements, cheapest list first.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    lists: HashMap<u32, Vec<u32>>,
+    num_objects: usize,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(object id, description)` pairs. Descriptions must be
+    /// duplicate-free per object; object ids must be unique and ascending
+    /// insertion keeps postings sorted for free.
+    pub fn build<'a>(objects: impl IntoIterator<Item = (u32, &'a [u32])>) -> Self {
+        let mut idx = Self::new();
+        for (id, desc) in objects {
+            idx.insert(id, desc);
+        }
+        idx
+    }
+
+    /// Adds one object.
+    pub fn insert(&mut self, id: u32, desc: &[u32]) {
+        for &e in desc {
+            let list = self.lists.entry(e).or_default();
+            match list.last() {
+                Some(&last) if raw(last) > id => {
+                    let pos = list.partition_point(|&x| raw(x) <= id);
+                    list.insert(pos, id);
+                }
+                _ => list.push(id),
+            }
+        }
+        self.num_objects += 1;
+    }
+
+    /// Tombstones one object. Returns true if any posting was marked.
+    pub fn delete(&mut self, id: u32, desc: &[u32]) -> bool {
+        let mut any = false;
+        for &e in desc {
+            if let Some(list) = self.lists.get_mut(&e) {
+                if let Ok(p) = list.binary_search_by_key(&id, |&x| raw(x)) {
+                    if live(list[p]) {
+                        list[p] |= TOMBSTONE;
+                        any = true;
+                    }
+                }
+            }
+        }
+        if any {
+            self.num_objects -= 1;
+        }
+        any
+    }
+
+    /// The postings of one element (empty if unknown).
+    pub fn postings(&self, elem: u32) -> &[u32] {
+        self.lists.get(&elem).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Document frequency (live-agnostic: counts stored postings).
+    pub fn freq(&self, elem: u32) -> usize {
+        self.postings(elem).len()
+    }
+
+    /// All object ids containing every element of `query`, ascending.
+    /// An empty `query` returns an empty result (matching the paper's
+    /// queries, which always carry at least one element).
+    pub fn containment_query(&self, query: &[u32]) -> Vec<u32> {
+        let ordered = order_by_freq(self, query);
+        let Some((&first, rest)) = ordered.split_first() else {
+            return Vec::new();
+        };
+        let mut cands: Vec<u32> = self
+            .postings(first)
+            .iter()
+            .copied()
+            .filter(|&id| live(id))
+            .collect();
+        let mut next = Vec::new();
+        for &e in rest {
+            next.clear();
+            intersect_adaptive_into(&cands, self.postings(e), &mut next);
+            std::mem::swap(&mut cands, &mut next);
+            if cands.is_empty() {
+                break;
+            }
+        }
+        cands
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.num_objects
+    }
+
+    /// True if the index holds no object.
+    pub fn is_empty(&self) -> bool {
+        self.num_objects == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.lists
+            .values()
+            .map(|l| l.capacity() * 4 + std::mem::size_of::<Vec<u32>>() + 16)
+            .sum()
+    }
+}
+
+/// Returns the query elements ordered by ascending document frequency —
+/// the standard processing order that keeps intermediate results small.
+fn order_by_freq(idx: &InvertedIndex, query: &[u32]) -> Vec<u32> {
+    let mut q = query.to_vec();
+    q.sort_unstable_by_key(|&e| idx.freq(e));
+    q.dedup();
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InvertedIndex {
+        // Objects from the paper's running example (a=0, b=1, c=2).
+        let descs: Vec<(u32, Vec<u32>)> = vec![
+            (1, vec![0, 1, 2]),
+            (2, vec![0, 2]),
+            (3, vec![1]),
+            (4, vec![0, 1, 2]),
+            (5, vec![1, 2]),
+            (6, vec![2]),
+            (7, vec![0, 2]),
+            (8, vec![2]),
+        ];
+        InvertedIndex::build(descs.iter().map(|(id, d)| (*id, d.as_slice())))
+    }
+
+    #[test]
+    fn running_example_containment() {
+        let idx = sample();
+        assert_eq!(idx.containment_query(&[0, 2]), vec![1, 2, 4, 7]);
+        assert_eq!(idx.containment_query(&[1]), vec![1, 3, 4, 5]);
+        assert_eq!(idx.containment_query(&[0, 1, 2]), vec![1, 4]);
+        assert_eq!(idx.containment_query(&[]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn unknown_element_gives_empty() {
+        let idx = sample();
+        assert!(idx.containment_query(&[99]).is_empty());
+        assert!(idx.containment_query(&[0, 99]).is_empty());
+    }
+
+    #[test]
+    fn delete_hides_object() {
+        let mut idx = sample();
+        assert!(idx.delete(4, &[0, 1, 2]));
+        assert!(!idx.delete(4, &[0, 1, 2]));
+        assert_eq!(idx.containment_query(&[0, 2]), vec![1, 2, 7]);
+        assert_eq!(idx.len(), 7);
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_postings_sorted() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(5, &[1]);
+        idx.insert(2, &[1]);
+        idx.insert(9, &[1]);
+        assert_eq!(idx.postings(1), &[2, 5, 9]);
+    }
+}

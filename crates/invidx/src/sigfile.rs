@@ -1,0 +1,213 @@
+//! Signature files — the competing IR index family of Section 6.1.
+//!
+//! Every element hashes to a fixed number of bits in a `W`-bit word;
+//! superimposing (OR-ing) the codes of an object's elements yields the
+//! *object signature*. A containment query ORs its elements' codes and
+//! scans all signatures: objects whose signature does not cover the query
+//! signature are filtered out cheaply; survivors are verified against
+//! their actual descriptions (superimposition causes false positives).
+//!
+//! The temporal-IR paper builds exclusively on inverted files because
+//! surveys showed signature files lose on containment search; the
+//! `temporal_ir` criterion bench `sigfile_vs_inverted` lets you watch
+//! that happen.
+
+use crate::kernels::live;
+
+/// Number of 64-bit words per signature.
+const SIG_WORDS: usize = 2;
+/// Bits set per element.
+const BITS_PER_ELEM: usize = 3;
+
+/// A superimposed-coding signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Signature([u64; SIG_WORDS]);
+
+impl Signature {
+    /// The code of a single element.
+    pub fn of_element(e: u32) -> Self {
+        let mut sig = [0u64; SIG_WORDS];
+        // Three independent multiplicative hashes pick the bits.
+        let mut h = e as u64 ^ 0x9E37_79B9_7F4A_7C15;
+        for _ in 0..BITS_PER_ELEM {
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9) ^ (h >> 31);
+            let bit = (h % (SIG_WORDS as u64 * 64)) as usize;
+            sig[bit / 64] |= 1u64 << (bit % 64);
+        }
+        Signature(sig)
+    }
+
+    /// The superimposed code of an element set.
+    pub fn of_description(desc: &[u32]) -> Self {
+        let mut sig = Signature::default();
+        for &e in desc {
+            sig.or_assign(Signature::of_element(e));
+        }
+        sig
+    }
+
+    /// `self |= other`.
+    pub fn or_assign(&mut self, other: Signature) {
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            *a |= b;
+        }
+    }
+
+    /// True if this signature covers every bit of `query` — the cheap
+    /// filter (necessary, not sufficient, for containment).
+    #[inline]
+    pub fn covers(&self, query: &Signature) -> bool {
+        self.0
+            .iter()
+            .zip(&query.0)
+            .all(|(a, b)| a & b == *b)
+    }
+}
+
+/// A sequential signature file over `(object id, description)` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureFile {
+    ids: Vec<u32>,
+    sigs: Vec<Signature>,
+    descs: Vec<Vec<u32>>,
+}
+
+impl SignatureFile {
+    /// Builds from objects; descriptions must be sorted sets.
+    pub fn build<'a>(objects: impl IntoIterator<Item = (u32, &'a [u32])>) -> Self {
+        let mut sf = SignatureFile::default();
+        for (id, desc) in objects {
+            sf.insert(id, desc);
+        }
+        sf
+    }
+
+    /// Adds one object.
+    pub fn insert(&mut self, id: u32, desc: &[u32]) {
+        debug_assert!(desc.windows(2).all(|w| w[0] < w[1]), "sorted set expected");
+        self.ids.push(id);
+        self.sigs.push(Signature::of_description(desc));
+        self.descs.push(desc.to_vec());
+    }
+
+    /// All object ids whose description contains every query element
+    /// (exact: survivors of the signature filter are verified).
+    pub fn containment_query(&self, query: &[u32]) -> Vec<u32> {
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let mut q = query.to_vec();
+        q.sort_unstable();
+        q.dedup();
+        let q_sig = Signature::of_description(&q);
+        let mut out = Vec::new();
+        for i in 0..self.ids.len() {
+            if live(self.ids[i]) && self.sigs[i].covers(&q_sig) && contains_all(&self.descs[i], &q)
+            {
+                out.push(self.ids[i]);
+            }
+        }
+        out
+    }
+
+    /// Signature-filter drop rate for a query: fraction of objects
+    /// eliminated without touching their descriptions (diagnostics).
+    pub fn filter_rate(&self, query: &[u32]) -> f64 {
+        if self.ids.is_empty() {
+            return 0.0;
+        }
+        let q_sig = Signature::of_description(query);
+        let passed = self.sigs.iter().filter(|s| s.covers(&q_sig)).count();
+        1.0 - passed as f64 / self.ids.len() as f64
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.ids.capacity() * 4
+            + self.sigs.capacity() * std::mem::size_of::<Signature>()
+            + self
+                .descs
+                .iter()
+                .map(|d| d.capacity() * 4 + std::mem::size_of::<Vec<u32>>())
+                .sum::<usize>()
+    }
+}
+
+fn contains_all(desc: &[u32], query: &[u32]) -> bool {
+    let mut it = desc.iter();
+    'outer: for &q in query {
+        for &d in it.by_ref() {
+            if d == q {
+                continue 'outer;
+            }
+            if d > q {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain::InvertedIndex;
+
+    fn objects() -> Vec<(u32, Vec<u32>)> {
+        (0..400u32)
+            .map(|i| {
+                let mut d = vec![i % 11, 11 + i % 7, 18 + i % 5];
+                d.sort_unstable();
+                d.dedup();
+                (i, d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_inverted_index() {
+        let objs = objects();
+        let sf = SignatureFile::build(objs.iter().map(|(id, d)| (*id, d.as_slice())));
+        let inv = InvertedIndex::build(objs.iter().map(|(id, d)| (*id, d.as_slice())));
+        for q in [vec![0u32], vec![0, 11], vec![3, 12, 20], vec![99], vec![]] {
+            assert_eq!(sf.containment_query(&q), inv.containment_query(&q), "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn covers_is_necessary_for_containment() {
+        let desc = vec![1u32, 5, 9];
+        let obj_sig = Signature::of_description(&desc);
+        for sub in [vec![1u32], vec![5, 9], vec![1, 5, 9]] {
+            assert!(obj_sig.covers(&Signature::of_description(&sub)));
+        }
+    }
+
+    #[test]
+    fn filter_actually_filters() {
+        let objs = objects();
+        let sf = SignatureFile::build(objs.iter().map(|(id, d)| (*id, d.as_slice())));
+        // A query for elements no object combines should drop most rows
+        // before verification.
+        let rate = sf.filter_rate(&[0, 12, 21]);
+        assert!(rate > 0.3, "filter rate {rate}");
+    }
+
+    #[test]
+    fn duplicate_query_elements_are_fine() {
+        let objs = objects();
+        let sf = SignatureFile::build(objs.iter().map(|(id, d)| (*id, d.as_slice())));
+        assert_eq!(sf.containment_query(&[0, 0, 0]), sf.containment_query(&[0]));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests: intersection kernels against a naive set model, compact
+//! indexes against a hash-map model.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use tir_invidx::{
+    intersect_adaptive_into, intersect_gallop_into, intersect_merge_into, CompactInverted,
+    CompactTemporalInverted, InvertedIndex, TOMBSTONE,
+};
+
+fn sorted_unique(max: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0..max, 0..len).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kernels_agree_with_set_model(
+        cands in sorted_unique(300, 80),
+        postings in sorted_unique(300, 80),
+        dead in prop::collection::vec(any::<bool>(), 80),
+    ) {
+        // Tombstone some postings.
+        let postings: Vec<u32> = postings
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| if *dead.get(i).unwrap_or(&false) { id | TOMBSTONE } else { id })
+            .collect();
+        let live_set: BTreeSet<u32> = postings
+            .iter()
+            .filter(|&&id| id & TOMBSTONE == 0)
+            .copied()
+            .collect();
+        let want: Vec<u32> = cands.iter().copied().filter(|c| live_set.contains(c)).collect();
+        for f in [
+            intersect_merge_into as fn(&[u32], &[u32], &mut Vec<u32>),
+            intersect_gallop_into,
+            intersect_adaptive_into,
+        ] {
+            let mut out = Vec::new();
+            f(&cands, &postings, &mut out);
+            prop_assert_eq!(&out, &want);
+        }
+    }
+
+    #[test]
+    fn compact_inverted_matches_model(
+        pairs in prop::collection::vec((0u32..20, 0u32..200), 0..150),
+    ) {
+        // Dedup (elem, id) pairs — descriptions are sets.
+        let set: BTreeSet<(u32, u32)> = pairs.into_iter().collect();
+        let mut buf: Vec<(u32, u32)> = set.iter().copied().collect();
+        let idx = CompactInverted::build(&mut buf);
+        let mut model: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for &(e, id) in &set {
+            model.entry(e).or_default().push(id);
+        }
+        for e in 0..21 {
+            let want = model.get(&e).cloned().unwrap_or_default();
+            prop_assert_eq!(idx.postings(e), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn compact_inverted_incremental_matches_build(
+        pairs in prop::collection::vec((0u32..15, 0u32..100), 0..100),
+    ) {
+        let set: BTreeSet<(u32, u32)> = pairs.into_iter().collect();
+        let mut buf: Vec<(u32, u32)> = set.iter().copied().collect();
+        let built = CompactInverted::build(&mut buf);
+        let mut inc = CompactInverted::new();
+        // insert in arbitrary (reversed) order
+        for &(e, id) in set.iter().rev() {
+            inc.insert(e, id);
+        }
+        for e in 0..16 {
+            prop_assert_eq!(built.postings(e), inc.postings(e));
+        }
+    }
+
+    #[test]
+    fn compact_temporal_parallel_arrays_consistent(
+        entries in prop::collection::vec((0u32..10, 0u32..50, 0u64..100, 0u64..100), 0..80),
+    ) {
+        let mut seen = BTreeSet::new();
+        let mut buf: Vec<(u32, u32, u64, u64)> = Vec::new();
+        for (e, id, a, b) in entries {
+            if seen.insert((e, id)) {
+                buf.push((e, id, a.min(b), a.max(b)));
+            }
+        }
+        let model = buf.clone();
+        let idx = CompactTemporalInverted::build(&mut buf);
+        for e in 0..11u32 {
+            let p = idx.postings(e);
+            prop_assert_eq!(p.ids.len(), p.sts.len());
+            prop_assert_eq!(p.ids.len(), p.ends.len());
+            for (i, &id) in p.ids.iter().enumerate() {
+                let want = model.iter().find(|&&(me, mid, _, _)| me == e && mid == id).unwrap();
+                prop_assert_eq!(p.sts[i], want.2);
+                prop_assert_eq!(p.ends[i], want.3);
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_index_containment_matches_model(
+        descs in prop::collection::vec(prop::collection::btree_set(0u32..12, 1..6), 1..40),
+        query in prop::collection::btree_set(0u32..12, 1..4),
+    ) {
+        let objects: Vec<(u32, Vec<u32>)> = descs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i as u32, d.iter().copied().collect()))
+            .collect();
+        let idx = InvertedIndex::build(objects.iter().map(|(id, d)| (*id, d.as_slice())));
+        let q: Vec<u32> = query.iter().copied().collect();
+        let want: Vec<u32> = objects
+            .iter()
+            .filter(|(_, d)| q.iter().all(|e| d.contains(e)))
+            .map(|(id, _)| *id)
+            .collect();
+        prop_assert_eq!(idx.containment_query(&q), want);
+    }
+}

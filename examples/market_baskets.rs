@@ -1,0 +1,108 @@
+//! Market-basket analysis (the paper's third motivating scenario): basket
+//! objects hold the products bought during one store visit; the interval
+//! is the visit's time span. "Find all last-month visits where 'The
+//! Shining', 'It' and 'Misery' were bought together."
+//!
+//! Also demonstrates choosing between methods by measuring them on *your*
+//! workload, using the library's own harness-style timing.
+//!
+//! ```text
+//! cargo run --release --example market_baskets
+//! ```
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_ir::core::prelude::*;
+use temporal_ir::invidx::Dictionary;
+
+fn main() {
+    let mut dict = Dictionary::new();
+    let shining = dict.intern("the-shining");
+    let it = dict.intern("it");
+    let misery = dict.intern("misery");
+    // A long tail of other products.
+    let tail: Vec<u32> = (0..2000).map(|i| dict.intern(&format!("product-{i}"))).collect();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let minutes_per_day = 24 * 60;
+    let horizon = 120 * minutes_per_day; // four months of visits
+
+    let mut baskets = Vec::new();
+    for id in 0..30_000u32 {
+        let start = rng.gen_range(0..horizon - 90);
+        let visit = rng.gen_range(5..90); // 5-90 minute visits
+        let mut products: Vec<u32> = (0..rng.gen_range(1..12))
+            .map(|_| tail[rng.gen_range(0..tail.len())])
+            .collect();
+        // King fans: ~2% of visits buy the whole trilogy of terror.
+        if rng.gen_bool(0.02) {
+            products.extend([shining, it, misery]);
+        } else if rng.gen_bool(0.1) {
+            products.push([shining, it, misery][rng.gen_range(0..3)]);
+        }
+        baskets.push(Object::new(id, start, start + visit, products));
+    }
+    let coll = Collection::new(baskets);
+
+    // "Last month" = the final 30 days of the horizon.
+    let last_month = TimeTravelQuery::new(
+        horizon - 30 * minutes_per_day,
+        horizon,
+        vec![shining, it, misery],
+    );
+
+    // Measure two contenders on this workload before committing.
+    let t0 = Instant::now();
+    let ir = IrHintPerf::build(&coll);
+    let build_ir = t0.elapsed();
+    let t0 = Instant::now();
+    let sharding = TifSharding::build(&coll);
+    let build_sh = t0.elapsed();
+
+    let time = |f: &dyn Fn() -> Vec<ObjectId>| {
+        let t0 = Instant::now();
+        let mut r = Vec::new();
+        for _ in 0..200 {
+            r = f();
+        }
+        (r, t0.elapsed().as_secs_f64() / 200.0)
+    };
+    let (mut hits_ir, t_ir) = time(&|| ir.query(&last_month));
+    let (mut hits_sh, t_sh) = time(&|| sharding.query(&last_month));
+    hits_ir.sort_unstable();
+    hits_sh.sort_unstable();
+    assert_eq!(hits_ir, hits_sh);
+
+    println!("{} baskets, horizon {} days", coll.len(), horizon / minutes_per_day);
+    println!(
+        "visits buying the full trilogy last month: {}",
+        hits_ir.len()
+    );
+    println!(
+        "irHINT(perf):  build {:>7.1?}, query {:>8.1}us, {:>7} KiB",
+        build_ir,
+        t_ir * 1e6,
+        ir.size_bytes() / 1024
+    );
+    println!(
+        "tIF+Sharding:  build {:>7.1?}, query {:>8.1}us, {:>7} KiB",
+        build_sh,
+        t_sh * 1e6,
+        sharding.size_bytes() / 1024
+    );
+
+    // Spot-check one qualifying visit.
+    if let Some(&id) = hits_ir.first() {
+        let b = coll.get(id);
+        for needed in [shining, it, misery] {
+            assert!(b.desc.contains(&needed));
+        }
+        println!(
+            "  e.g. visit {id}: day {}, {} products",
+            b.interval.st / minutes_per_day,
+            b.desc.len()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Beyond boolean search: the library's extension features on one
+//! workload — Allen-relationship analytics, temporal joins, relevance
+//! ranking and compressed indexing over a fleet of support-chat sessions.
+//!
+//! ```text
+//! cargo run --release --example session_analytics
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use temporal_ir::core::prelude::*;
+use temporal_ir::core::{
+    temporal_common_elements_join, CompressedTif, RankedQuery, RankedTif,
+};
+use temporal_ir::hint::{AllenRelation, DivisionOrder, Hint, HintConfig, IntervalRecord};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // 15K support sessions over one week (minute resolution); topics 0..60.
+    let week = 7 * 24 * 60u64;
+    let mut sessions = Vec::new();
+    for id in 0..15_000u32 {
+        let st = rng.gen_range(0..week - 120);
+        let len = rng.gen_range(1..120u64);
+        let topics: Vec<u32> = (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..60)).collect();
+        sessions.push(Object::new(id, st, st + len, topics));
+    }
+    let coll = Collection::new(sessions);
+
+    // ----- Allen analytics on the interval substrate -------------------
+    // "Which sessions ran entirely within the Tuesday maintenance window,
+    //  which ones were cut exactly at its start?"
+    let records: Vec<IntervalRecord> = coll
+        .objects()
+        .iter()
+        .map(|o| IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end })
+        .collect();
+    let hint = Hint::build(
+        &records,
+        HintConfig { m: Some(8), order: DivisionOrder::Beneficial, storage_opt: false },
+    );
+    let window = (2 * 24 * 60u64, 2 * 24 * 60 + 180); // Tuesday, 3h
+    let during = hint.allen_query(AllenRelation::During, window.0, window.1);
+    let meets = hint.allen_query(AllenRelation::Meets, window.0, window.1);
+    let overlaps = hint.allen_query(AllenRelation::Overlaps, window.0, window.1);
+    println!(
+        "maintenance window: {} sessions fully inside, {} ended exactly at its start, {} ran into it",
+        during.len(),
+        meets.len(),
+        overlaps.len()
+    );
+
+    // ----- Temporal join ------------------------------------------------
+    // "Concurrent session pairs sharing >= 2 topics" (self-join on a
+    // thinned sample to keep the demo quick).
+    let sample = Collection::new(
+        coll.objects().iter().take(2_000).cloned().collect::<Vec<_>>(),
+    );
+    let pairs = temporal_common_elements_join(&sample, &sample, 2);
+    let off_diagonal = pairs.iter().filter(|p| p.left != p.right).count();
+    println!("concurrent pairs sharing >=2 topics (2K-session sample): {off_diagonal}");
+
+    // ----- Relevance ranking --------------------------------------------
+    // "Most relevant sessions about topics {3, 17, 42} on Wednesday" —
+    // partial matches allowed, rare topics weighted up.
+    let ranked = RankedTif::build(&coll);
+    let wednesday = (3 * 24 * 60u64, 4 * 24 * 60u64);
+    let top = ranked.query_topk(&RankedQuery::new(wednesday.0, wednesday.1, vec![3, 17, 42], 5));
+    println!("top-5 ranked hits for topics {{3,17,42}} on Wednesday:");
+    for hit in &top {
+        let o = coll.get(hit.id);
+        println!(
+            "  session {:<6} score {:.3}  topics {:?}",
+            hit.id, hit.score, o.desc
+        );
+    }
+    assert!(top.windows(2).all(|w| w[0].score >= w[1].score));
+
+    // ----- Compressed index ----------------------------------------------
+    // Same answers, smaller footprint.
+    let plain = Tif::build(&coll);
+    let compressed = CompressedTif::build(&coll);
+    let q = TimeTravelQuery::new(wednesday.0, wednesday.1, vec![3, 17]);
+    let mut a = plain.query(&q);
+    let mut b = compressed.query(&q);
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    println!(
+        "boolean query agrees on plain tIF ({} KiB) and cTIF ({} KiB): {} results",
+        plain.size_bytes() / 1024,
+        compressed.size_bytes() / 1024,
+        a.len()
+    );
+}
