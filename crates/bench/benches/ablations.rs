@@ -24,7 +24,11 @@ fn records() -> Vec<IntervalRecord> {
         .map(|i| {
             let st = (i as u64).wrapping_mul(2654435761) % (DOMAIN - 50_000);
             let len = 1 + (i as u64).wrapping_mul(48271) % 50_000;
-            IntervalRecord { id: i, st, end: st + len }
+            IntervalRecord {
+                id: i,
+                st,
+                end: st + len,
+            }
         })
         .collect()
 }
@@ -44,7 +48,14 @@ fn bench_division_order(c: &mut Criterion) {
         ("insertion", DivisionOrder::Insertion, false),
         ("by_id", DivisionOrder::ById, true),
     ] {
-        let hint = Hint::build(&recs, HintConfig { m: None, order, storage_opt: storage });
+        let hint = Hint::build(
+            &recs,
+            HintConfig {
+                m: None,
+                order,
+                storage_opt: storage,
+            },
+        );
         group.bench_function(BenchmarkId::new(name, "0.1%"), |b| {
             b.iter(|| {
                 let mut n = 0;
@@ -138,14 +149,21 @@ fn bench_irhint_m_choice(c: &mut Criterion) {
         .coll
         .objects()
         .iter()
-        .map(|o| IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end })
+        .map(|o| IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        })
         .collect();
     let dom = d.coll.domain();
     let m_interval_only = tir_hint::cost::choose_m(&records, dom.st, dom.end);
     let cost_model = IrHintPerf::build_with_m(&d.coll, m_interval_only);
     for (name, idx) in [
         (format!("ir_aware(m={})", ir_aware.m()), &ir_aware),
-        (format!("interval_cost_model(m={m_interval_only})"), &cost_model),
+        (
+            format!("interval_cost_model(m={m_interval_only})"),
+            &cost_model,
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {

@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
-use tir_hint::{Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree, PeriodIndex, TimelineIndex};
+use tir_hint::{
+    Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree, PeriodIndex, TimelineIndex,
+};
 
 const N: u32 = 100_000;
 const DOMAIN: u64 = 10_000_000;
@@ -15,7 +17,11 @@ fn records() -> Vec<IntervalRecord> {
         .map(|i| {
             let st = (i as u64).wrapping_mul(2654435761) % (DOMAIN - 10_000);
             let len = 1 + (i as u64).wrapping_mul(48271) % 10_000;
-            IntervalRecord { id: i, st, end: st + len }
+            IntervalRecord {
+                id: i,
+                st,
+                end: st + len,
+            }
         })
         .collect()
 }
@@ -69,15 +75,19 @@ fn bench_range_queries(c: &mut Criterion) {
                 black_box(n)
             })
         });
-        group.bench_with_input(BenchmarkId::new("interval_tree", extent_pct), &qs, |b, qs| {
-            b.iter(|| {
-                let mut n = 0;
-                for &(a, z) in qs {
-                    n += tree.range_query(a, z).len();
-                }
-                black_box(n)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("interval_tree", extent_pct),
+            &qs,
+            |b, qs| {
+                b.iter(|| {
+                    let mut n = 0;
+                    for &(a, z) in qs {
+                        n += tree.range_query(a, z).len();
+                    }
+                    black_box(n)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("timeline", extent_pct), &qs, |b, qs| {
             b.iter(|| {
                 let mut n = 0;
@@ -87,15 +97,19 @@ fn bench_range_queries(c: &mut Criterion) {
                 black_box(n)
             })
         });
-        group.bench_with_input(BenchmarkId::new("period_index", extent_pct), &qs, |b, qs| {
-            b.iter(|| {
-                let mut n = 0;
-                for &(a, z) in qs {
-                    n += period.range_query(a, z).len();
-                }
-                black_box(n)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("period_index", extent_pct),
+            &qs,
+            |b, qs| {
+                b.iter(|| {
+                    let mut n = 0;
+                    for &(a, z) in qs {
+                        n += period.range_query(a, z).len();
+                    }
+                    black_box(n)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -107,8 +121,12 @@ fn bench_build(c: &mut Criterion) {
     group.bench_function("hint", |b| {
         b.iter(|| black_box(Hint::build(&recs, HintConfig::default())))
     });
-    group.bench_function("grid100", |b| b.iter(|| black_box(Grid1D::build(&recs, 100))));
-    group.bench_function("interval_tree", |b| b.iter(|| black_box(IntervalTree::build(&recs))));
+    group.bench_function("grid100", |b| {
+        b.iter(|| black_box(Grid1D::build(&recs, 100)))
+    });
+    group.bench_function("interval_tree", |b| {
+        b.iter(|| black_box(IntervalTree::build(&recs)))
+    });
     group.finish();
 }
 

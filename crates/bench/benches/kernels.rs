@@ -20,7 +20,10 @@ fn bench_kernels(c: &mut Criterion) {
     for cand_size in [100usize, 1_000, 10_000, 100_000] {
         let cands = sorted(cand_size, 300_000 / cand_size as u32, 1);
         for (name, f) in [
-            ("merge", intersect_merge_into as fn(&[u32], &[u32], &mut Vec<u32>)),
+            (
+                "merge",
+                intersect_merge_into as fn(&[u32], &[u32], &mut Vec<u32>),
+            ),
             ("gallop", intersect_gallop_into),
             ("adaptive", intersect_adaptive_into),
         ] {

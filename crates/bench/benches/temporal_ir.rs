@@ -34,7 +34,10 @@ fn bench_extent_sweep(c: &mut Criterion) {
     for extent in [0.001f64, 0.01, 0.1, 1.0] {
         let qs = workload(
             &d.coll,
-            &WorkloadSpec { extent: Extent::Fraction(extent), ..Default::default() },
+            &WorkloadSpec {
+                extent: Extent::Fraction(extent),
+                ..Default::default()
+            },
             100,
             7,
         );

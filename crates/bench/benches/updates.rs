@@ -29,7 +29,13 @@ fn bench_insertions(c: &mut Criterion) {
 
 fn bench_deletions(c: &mut Criterion) {
     let d = &datasets(0.5)[0];
-    let victims: Vec<_> = d.coll.objects().iter().take(d.coll.len() / 10).cloned().collect();
+    let victims: Vec<_> = d
+        .coll
+        .objects()
+        .iter()
+        .take(d.coll.len() / 10)
+        .cloned()
+        .collect();
     let mut group = c.benchmark_group("delete_10pct_ECLOG");
     group.sample_size(10);
     for &m in Method::all() {

@@ -25,13 +25,16 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 1.0, queries: 1000, seed: 7 }
+        Opts {
+            scale: 1.0,
+            queries: 1000,
+            seed: 7,
+        }
     }
 }
 
 /// The element-frequency bins of Section 5.1, in percent.
-pub const FREQ_BINS: [(f64, f64); 4] =
-    [(0.0, 0.1), (0.1, 1.0), (1.0, 10.0), (10.0, 100.0)];
+pub const FREQ_BINS: [(f64, f64); 4] = [(0.0, 0.1), (0.1, 1.0), (1.0, 10.0), (10.0, 100.0)];
 
 /// Labels for [`FREQ_BINS`].
 pub const FREQ_LABELS: [&str; 4] = ["[*-0.1]", "(0.1-1]", "(1-10]", "(10-*]"];
@@ -50,10 +53,7 @@ fn default_queries(coll: &Collection, n: usize, seed: u64) -> Vec<TimeTravelQuer
 /// Table 3 / Figure 7: dataset shape statistics.
 pub fn table3(o: &Opts) {
     banner("Table 3: characteristics of (shape-matched) real datasets");
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "", "ECLOG", "WIKIPEDIA"
-    );
+    println!("{:<28} {:>14} {:>14}", "", "ECLOG", "WIKIPEDIA");
     let ds = datasets(o.scale);
     let stats: Vec<_> = ds.iter().map(|d| d.coll.stats()).collect();
     let row = |name: &str, f: &dyn Fn(&CollectionStats) -> String| {
@@ -64,13 +64,17 @@ pub fn table3(o: &Opts) {
     row("Min duration", &|s| s.min_duration.to_string());
     row("Max duration", &|s| s.max_duration.to_string());
     row("Avg duration", &|s| format!("{:.0}", s.avg_duration));
-    row("Avg duration [%]", &|s| format!("{:.1}", s.avg_duration_pct));
+    row("Avg duration [%]", &|s| {
+        format!("{:.1}", s.avg_duration_pct)
+    });
     row("Dictionary size", &|s| s.dictionary_size.to_string());
     row("Min description", &|s| s.min_desc.to_string());
     row("Max description", &|s| s.max_desc.to_string());
     row("Avg description", &|s| format!("{:.0}", s.avg_desc));
     row("Avg elem frequency", &|s| format!("{:.0}", s.avg_elem_freq));
-    row("Avg elem frequency [%]", &|s| format!("{:.2}", s.avg_elem_freq_pct));
+    row("Avg elem frequency [%]", &|s| {
+        format!("{:.2}", s.avg_elem_freq_pct)
+    });
 }
 
 /// Figure 8: tuning the number of slices for tIF+Slicing.
@@ -103,9 +107,15 @@ pub fn fig9(o: &Opts) {
         println!(
             "{:>4} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12} | {:>10} {:>10} {:>12}",
             "m",
-            "bs [s]", "bs [MiB]", "bs q/s",
-            "ms [s]", "ms [MiB]", "ms q/s",
-            "hyb [s]", "hyb [MiB]", "hyb q/s",
+            "bs [s]",
+            "bs [MiB]",
+            "bs q/s",
+            "ms [s]",
+            "ms [MiB]",
+            "ms q/s",
+            "hyb [s]",
+            "hyb [MiB]",
+            "hyb q/s",
         );
         for m in [1u32, 3, 5, 8, 10, 13, 16] {
             let mut cells = Vec::new();
@@ -114,11 +124,17 @@ pub fn fig9(o: &Opts) {
                 let idx: Box<dyn TemporalIrIndex> = match variant {
                     0 => Box::new(TifHint::build(
                         &d.coll,
-                        TifHintConfig { strategy: IntersectStrategy::BinarySearch, m },
+                        TifHintConfig {
+                            strategy: IntersectStrategy::BinarySearch,
+                            m,
+                        },
                     )),
                     1 => Box::new(TifHint::build(
                         &d.coll,
-                        TifHintConfig { strategy: IntersectStrategy::MergeSort, m },
+                        TifHintConfig {
+                            strategy: IntersectStrategy::MergeSort,
+                            m,
+                        },
                     )),
                     _ => Box::new(TifHintSlicing::build_with_params(&d.coll, m, 50)),
                 };
@@ -147,7 +163,10 @@ fn freq_bin_queries(
     let spec = WorkloadSpec {
         extent: Extent::Fraction(0.001),
         num_elems: 3,
-        source: ElemSource::FreqBin { lo_pct: bin.0, hi_pct: bin.1 },
+        source: ElemSource::FreqBin {
+            lo_pct: bin.0,
+            hi_pct: bin.1,
+        },
     };
     workload(coll, &spec, n, seed)
 }
@@ -197,13 +216,22 @@ fn run_panels(d: &Dataset, methods: &[Method], o: &Opts, extents: &[Extent]) {
         .map(|&extent| {
             workload(
                 &d.coll,
-                &WorkloadSpec { extent, ..Default::default() },
+                &WorkloadSpec {
+                    extent,
+                    ..Default::default()
+                },
                 o.queries,
                 o.seed,
             )
         })
         .collect();
-    print_throughput_panel("query interval extent:", methods, &indexes, &labels, &workloads);
+    print_throughput_panel(
+        "query interval extent:",
+        methods,
+        &indexes,
+        &labels,
+        &workloads,
+    );
 
     // Panel 2: |q.d|.
     let labels: Vec<String> = (1..=5).map(|k| format!("|q.d|={k}")).collect();
@@ -211,13 +239,22 @@ fn run_panels(d: &Dataset, methods: &[Method], o: &Opts, extents: &[Extent]) {
         .map(|k| {
             workload(
                 &d.coll,
-                &WorkloadSpec { num_elems: k, ..Default::default() },
+                &WorkloadSpec {
+                    num_elems: k,
+                    ..Default::default()
+                },
                 o.queries,
                 o.seed,
             )
         })
         .collect();
-    print_throughput_panel("number of query elements:", methods, &indexes, &labels, &workloads);
+    print_throughput_panel(
+        "number of query elements:",
+        methods,
+        &indexes,
+        &labels,
+        &workloads,
+    );
 
     // Panel 3: element frequency bins.
     let labels: Vec<String> = FREQ_LABELS.iter().map(|s| s.to_string()).collect();
@@ -225,13 +262,25 @@ fn run_panels(d: &Dataset, methods: &[Method], o: &Opts, extents: &[Extent]) {
         .iter()
         .map(|&bin| freq_bin_queries(&d.coll, bin, o.queries, o.seed))
         .collect();
-    print_throughput_panel("element frequency bins:", methods, &indexes, &labels, &workloads);
+    print_throughput_panel(
+        "element frequency bins:",
+        methods,
+        &indexes,
+        &labels,
+        &workloads,
+    );
 
     // Panel 4: selectivity bins (measured with the first index).
     let per_bin = (o.queries / 5).max(10);
     let bins = selectivity_binned(&d.coll, indexes[0].as_ref(), per_bin, o.seed);
     let labels: Vec<String> = SELECTIVITY_LABELS.iter().map(|s| s.to_string()).collect();
-    print_throughput_panel("result selectivity bins [%]:", methods, &indexes, &labels, &bins);
+    print_throughput_panel(
+        "result selectivity bins [%]:",
+        methods,
+        &indexes,
+        &labels,
+        &bins,
+    );
 }
 
 /// Figure 10: comparing the three tIF+HINT variants.
@@ -415,7 +464,10 @@ pub fn fig12(o: &Opts) {
 
     // Query-side sweeps on the default synthetic dataset.
     let coll = tir_datagen::generate(&base);
-    let d = Dataset { name: "synthetic(default)", coll };
+    let d = Dataset {
+        name: "synthetic(default)",
+        coll,
+    };
     println!("\n-- {} --", d.name);
     let extents = [
         Extent::Fraction(0.0001),

@@ -99,7 +99,11 @@ pub fn build_method(method: Method, coll: &Collection) -> BuildStats {
     };
     let build_secs = t0.elapsed().as_secs_f64();
     let size_mib = index.size_bytes() as f64 / (1024.0 * 1024.0);
-    BuildStats { index, build_secs, size_mib }
+    BuildStats {
+        index,
+        build_secs,
+        size_mib,
+    }
 }
 
 /// Measures query throughput in queries/second: one warm-up pass, then
@@ -167,8 +171,14 @@ pub struct Dataset {
 /// WIKIPEDIA stand-ins; raise for fidelity, lower for speed).
 pub fn datasets(scale: f64) -> Vec<Dataset> {
     vec![
-        Dataset { name: "ECLOG", coll: eclog_like((0.02 * scale).min(1.0), 42) },
-        Dataset { name: "WIKIPEDIA", coll: wikipedia_like((0.005 * scale).min(1.0), 42) },
+        Dataset {
+            name: "ECLOG",
+            coll: eclog_like((0.02 * scale).min(1.0), 42),
+        },
+        Dataset {
+            name: "WIKIPEDIA",
+            coll: wikipedia_like((0.005 * scale).min(1.0), 42),
+        },
     ]
 }
 

@@ -18,4 +18,6 @@
 pub mod experiments;
 pub mod harness;
 
-pub use harness::{build_method, datasets, par_throughput, throughput, BuildStats, Dataset, Method};
+pub use harness::{
+    build_method, datasets, par_throughput, throughput, BuildStats, Dataset, Method,
+};

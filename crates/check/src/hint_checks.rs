@@ -1,0 +1,461 @@
+//! Validators for the interval-index substrate (`tir-hint`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{fail, Validate, Violation};
+use tir_hint::{DivisionKind, DivisionOrder, Grid1D, Hint, IntervalTree, TOMBSTONE};
+
+#[inline]
+fn hraw(id: u32) -> u32 {
+    id & !TOMBSTONE
+}
+
+#[inline]
+fn hlive(id: u32) -> bool {
+    id & TOMBSTONE == 0
+}
+
+fn kind_name(kind: DivisionKind) -> &'static str {
+    match kind {
+        DivisionKind::OrigIn => "O_in",
+        DivisionKind::OrigAft => "O_aft",
+        DivisionKind::ReplIn => "R_in",
+        DivisionKind::ReplAft => "R_aft",
+    }
+}
+
+/// Mirrors the crate-private `kept_endpoints` of `tir-hint`: which of the
+/// two endpoint arrays each subdivision stores under the storage
+/// optimization.
+fn kept(kind: DivisionKind, storage_opt: bool) -> (bool, bool) {
+    if !storage_opt {
+        return (true, true);
+    }
+    match kind {
+        DivisionKind::OrigIn => (true, true),
+        DivisionKind::OrigAft => (true, false),
+        DivisionKind::ReplIn => (false, true),
+        DivisionKind::ReplAft => (false, false),
+    }
+}
+
+impl Validate for Hint {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let domain = self.domain();
+        if self.num_levels() != domain.m() as usize + 1 {
+            fail(
+                &mut out,
+                "hint/levels",
+                format!(
+                    "{} levels for m = {} (want m + 1)",
+                    self.num_levels(),
+                    domain.m()
+                ),
+            );
+        }
+        for level in 0..self.num_levels() as u32 {
+            let keys = self.level_keys(level);
+            let path = format!("hint/level{level}/keys");
+            if !keys.windows(2).all(|w| w[0] < w[1]) {
+                fail(
+                    &mut out,
+                    &path,
+                    "partition keys not strictly ascending".into(),
+                );
+            }
+            let width = 1u64 << level;
+            if let Some(&last) = keys.last() {
+                if (last as u64) >= width {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!("partition index {last} out of range for level {level}"),
+                    );
+                }
+            }
+        }
+
+        // Live original occurrences per raw id across every O_in/O_aft
+        // division, for the minimal-cover check; live replica ids for the
+        // dangling-replica check.
+        let mut orig_count: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut repl_ids: BTreeSet<u32> = BTreeSet::new();
+
+        self.for_each_division(|div, dead| {
+            let path = format!("hint/level{}/partition{}/{}", div.level, div.j, kind_name(div.kind));
+            let n = div.ids.len();
+            let actual_dead = div.ids.iter().filter(|&&id| !hlive(id)).count();
+            if actual_dead != dead {
+                fail(
+                    &mut out,
+                    &path,
+                    format!("dead counter says {dead}, {actual_dead} tombstones stored"),
+                );
+            }
+            let (keep_st, keep_end) = kept(div.kind, self.storage_opt());
+            for (kept_flag, arr, name) in
+                [(keep_st, div.sts, "sts"), (keep_end, div.ends, "ends")]
+            {
+                let want = if kept_flag { n } else { 0 };
+                if arr.len() != want {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!("{name} has {} entries, want {want} for {n} ids", arr.len()),
+                    );
+                }
+            }
+            // Bail before elementwise walks if the parallel arrays are
+            // inconsistent — everything below indexes by ids position.
+            if (keep_st && div.sts.len() != n) || (keep_end && div.ends.len() != n) {
+                return;
+            }
+
+            match self.division_order() {
+                DivisionOrder::Beneficial => match div.kind {
+                    DivisionKind::OrigIn | DivisionKind::OrigAft => {
+                        if !div.sts.windows(2).all(|w| w[0] <= w[1]) {
+                            fail(&mut out, &path, "starts not ascending (Beneficial order)".into());
+                        }
+                    }
+                    DivisionKind::ReplIn => {
+                        if !div.ends.windows(2).all(|w| w[0] >= w[1]) {
+                            fail(&mut out, &path, "ends not descending (Beneficial order)".into());
+                        }
+                    }
+                    DivisionKind::ReplAft => {}
+                },
+                DivisionOrder::ById => {
+                    if !div.ids.windows(2).all(|w| hraw(w[0]) < hraw(w[1])) {
+                        fail(&mut out, &path, "ids not sorted".into());
+                    }
+                }
+                DivisionOrder::Insertion => {}
+            }
+
+            let fc = domain.partition_first_cell(div.level, div.j);
+            let lc = domain.partition_last_cell(div.level, div.j);
+            let original =
+                matches!(div.kind, DivisionKind::OrigIn | DivisionKind::OrigAft);
+            for i in 0..n {
+                let id = div.ids[i];
+                if keep_st && keep_end && div.sts[i] > div.ends[i] {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!(
+                            "id {}: inverted interval [{}, {}]",
+                            hraw(id),
+                            div.sts[i],
+                            div.ends[i]
+                        ),
+                    );
+                }
+                if keep_st {
+                    let cs = domain.cell(div.sts[i]);
+                    if original && !(fc..=lc).contains(&cs) {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "id {}: original with start cell {cs} outside partition [{fc}, {lc}]",
+                                hraw(id)
+                            ),
+                        );
+                    }
+                    if !original && cs >= fc {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "id {}: replica with start cell {cs} not before partition [{fc}, {lc}]",
+                                hraw(id)
+                            ),
+                        );
+                    }
+                }
+                if keep_end {
+                    let ce = domain.cell(div.ends[i]);
+                    let inside = matches!(div.kind, DivisionKind::OrigIn | DivisionKind::ReplIn);
+                    if inside && ce > lc {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "id {}: *_in entry with end cell {ce} after partition [{fc}, {lc}]",
+                                hraw(id)
+                            ),
+                        );
+                    }
+                    if div.kind == DivisionKind::ReplIn && ce < fc {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "id {}: R_in entry with end cell {ce} before partition [{fc}, {lc}]",
+                                hraw(id)
+                            ),
+                        );
+                    }
+                    if !inside && ce <= lc {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "id {}: *_aft entry with end cell {ce} inside partition [{fc}, {lc}]",
+                                hraw(id)
+                            ),
+                        );
+                    }
+                }
+                if hlive(id) {
+                    if original {
+                        *orig_count.entry(id).or_insert(0) += 1;
+                    } else {
+                        repl_ids.insert(id);
+                    }
+                }
+            }
+        });
+
+        for (&id, &count) in &orig_count {
+            if count != 1 {
+                fail(
+                    &mut out,
+                    "hint/cover",
+                    format!("id {id} stored as original {count} times (minimal cover wants 1)"),
+                );
+            }
+        }
+        if orig_count.len() != self.len() {
+            fail(
+                &mut out,
+                "hint/conservation",
+                format!(
+                    "{} live originals across divisions, index reports {} live intervals",
+                    orig_count.len(),
+                    self.len()
+                ),
+            );
+        }
+        for &id in repl_ids.difference(&orig_count.keys().copied().collect()) {
+            fail(
+                &mut out,
+                "hint/replicas",
+                format!("live replica of id {id} has no live original"),
+            );
+        }
+        out
+    }
+}
+
+impl Validate for Grid1D {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        // Copies per distinct record: each interval must be replicated
+        // into exactly the cells it overlaps, so its copy count is a
+        // multiple of its cell span.
+        let mut copies: BTreeMap<(u32, u64, u64), usize> = BTreeMap::new();
+        for c in 0..self.num_cells() {
+            let path = format!("grid/cell{c}");
+            for r in self.cell_contents(c) {
+                if r.st > r.end {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!("id {}: inverted interval [{}, {}]", r.id, r.st, r.end),
+                    );
+                    continue;
+                }
+                let lo = self.cell_of(r.st);
+                let hi = self.cell_of(r.end);
+                if !(lo..=hi).contains(&c) {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!("id {}: copy outside its overlap range [{lo}, {hi}]", r.id),
+                    );
+                }
+                *copies.entry((r.id, r.st, r.end)).or_insert(0) += 1;
+            }
+        }
+        let mut live = 0usize;
+        for (&(id, st, end), &count) in &copies {
+            let span = (self.cell_of(end) - self.cell_of(st)) as usize + 1;
+            if count % span != 0 {
+                fail(
+                    &mut out,
+                    "grid/replication",
+                    format!("id {id}: {count} copies for an interval spanning {span} cells"),
+                );
+            } else {
+                live += count / span;
+            }
+        }
+        if live != self.len() {
+            fail(
+                &mut out,
+                "grid/conservation",
+                format!(
+                    "{live} intervals reconstructed from cells, grid reports {}",
+                    self.len()
+                ),
+            );
+        }
+        out
+    }
+}
+
+impl Validate for IntervalTree {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        let mut node = 0usize;
+        self.visit_nodes(|center, by_st, by_end, lo, hi| {
+            let path = format!("interval_tree/node{node}");
+            node += 1;
+            total += by_st.len();
+            if by_st.len() != by_end.len() {
+                fail(
+                    &mut out,
+                    &path,
+                    format!(
+                        "{} start-sorted vs {} end-sorted records",
+                        by_st.len(),
+                        by_end.len()
+                    ),
+                );
+            } else {
+                let a: BTreeSet<u32> = by_st.iter().map(|r| r.id).collect();
+                let b: BTreeSet<u32> = by_end.iter().map(|r| r.id).collect();
+                if a != b {
+                    fail(
+                        &mut out,
+                        &path,
+                        "start- and end-sorted lists hold different ids".into(),
+                    );
+                }
+            }
+            if !by_st.windows(2).all(|w| w[0].st <= w[1].st) {
+                fail(&mut out, &path, "by_st not ascending by start".into());
+            }
+            if !by_end.windows(2).all(|w| w[0].end >= w[1].end) {
+                fail(&mut out, &path, "by_end not descending by end".into());
+            }
+            for r in by_st {
+                if !(r.st <= center && center <= r.end) {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!(
+                            "id {}: interval [{}, {}] does not stab center {center}",
+                            r.id, r.st, r.end
+                        ),
+                    );
+                }
+                if let Some(lo) = lo {
+                    if r.st <= lo {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("id {}: start {} violates subtree bound > {lo}", r.id, r.st),
+                        );
+                    }
+                }
+                if let Some(hi) = hi {
+                    if r.end >= hi {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("id {}: end {} violates subtree bound < {hi}", r.id, r.end),
+                        );
+                    }
+                }
+            }
+        });
+        if total != self.len() {
+            fail(
+                &mut out,
+                "interval_tree/conservation",
+                format!("{total} records across nodes, tree reports {}", self.len()),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir_hint::{HintConfig, IntervalRecord};
+
+    fn records() -> Vec<IntervalRecord> {
+        vec![
+            IntervalRecord::new(1, 3, 19),
+            IntervalRecord::new(2, 0, 4),
+            IntervalRecord::new(3, 12, 12),
+            IntervalRecord::new(4, 7, 30),
+            IntervalRecord::new(5, 22, 29),
+            IntervalRecord::new(6, 1, 31),
+        ]
+    }
+
+    #[test]
+    fn clean_hint_validates_under_every_config() {
+        let recs = records();
+        for storage_opt in [false, true] {
+            for order in [
+                DivisionOrder::Beneficial,
+                DivisionOrder::ById,
+                DivisionOrder::Insertion,
+            ] {
+                let cfg = HintConfig {
+                    m: Some(4),
+                    storage_opt,
+                    order,
+                };
+                let h = Hint::build(&recs, cfg);
+                let v = h.validate();
+                assert!(v.is_empty(), "{storage_opt} {order:?}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hint_validates_after_deletes() {
+        let recs = records();
+        let cfg = HintConfig {
+            m: Some(4),
+            ..Default::default()
+        };
+        let mut h = Hint::build(&recs, cfg);
+        assert!(h.delete(&recs[0]));
+        assert!(h.delete(&recs[3]));
+        let v = h.validate();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn clean_grid_and_tree_validate() {
+        let recs = records();
+        let g = Grid1D::build(&recs, 7);
+        assert!(g.validate().is_empty());
+        let t = IntervalTree::build(&recs);
+        assert!(t.validate().is_empty());
+    }
+
+    #[test]
+    fn empty_structures_validate() {
+        let h = Hint::build(
+            &[],
+            HintConfig {
+                m: Some(3),
+                ..Default::default()
+            },
+        );
+        assert!(h.validate().is_empty());
+        assert!(Grid1D::build(&[], 4).validate().is_empty());
+        assert!(IntervalTree::build(&[]).validate().is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Validators for the inverted-index substrate (`tir-invidx`).
+
+use crate::{fail, Validate, Violation};
+use tir_invidx::{
+    live, raw, CompactInverted, CompactTemporalInverted, CompressedPostings, Dictionary,
+    InvertedIndex,
+};
+
+impl Validate for Dictionary {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if self.num_mapped() != n {
+            fail(
+                &mut out,
+                "dict/map",
+                format!(
+                    "term map has {} entries, term table has {n}",
+                    self.num_mapped()
+                ),
+            );
+        }
+        if self.num_freq_slots() != n {
+            fail(
+                &mut out,
+                "dict/freq",
+                format!(
+                    "freq table has {} slots, term table has {n}",
+                    self.num_freq_slots()
+                ),
+            );
+        }
+        for id in 0..n as u32 {
+            let path = format!("dict/term{id}");
+            match self.term(id) {
+                None => fail(&mut out, &path, "term table slot missing".into()),
+                Some(t) => {
+                    if self.lookup(t) != Some(id) {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("lookup({t:?}) = {:?}, want {id}", self.lookup(t)),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Validate for InvertedIndex {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.for_each_list(|e, list| {
+            let path = format!("invidx/elem{e}");
+            if !list.windows(2).all(|w| raw(w[0]) < raw(w[1])) {
+                fail(
+                    &mut out,
+                    &path,
+                    "postings not strictly ascending by raw id".into(),
+                );
+            }
+            let live_count = list.iter().filter(|&&id| live(id)).count();
+            if live_count > self.len() {
+                fail(
+                    &mut out,
+                    &path,
+                    format!(
+                        "{live_count} live postings but only {} live objects",
+                        self.len()
+                    ),
+                );
+            }
+        });
+        out
+    }
+}
+
+/// Validates a flat element → postings directory: exact, monotone offsets
+/// bracketing strictly ascending postings under a strictly ascending
+/// element directory. Returns per-element live counts via `on_list`.
+fn check_flat_directory(
+    prefix: &str,
+    elems: &[u32],
+    offsets: &[u32],
+    ids: &[u32],
+    out: &mut Vec<Violation>,
+    mut on_list: impl FnMut(u32, &[u32]),
+) {
+    if offsets.len() != elems.len() + 1 {
+        fail(
+            out,
+            &format!("{prefix}/offsets"),
+            format!(
+                "{} offsets for {} elements (want elements + 1)",
+                offsets.len(),
+                elems.len()
+            ),
+        );
+        return;
+    }
+    if offsets.first() != Some(&0) {
+        fail(
+            out,
+            &format!("{prefix}/offsets"),
+            "first offset is not 0".into(),
+        );
+        return;
+    }
+    if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+        fail(
+            out,
+            &format!("{prefix}/offsets"),
+            "offsets not monotone".into(),
+        );
+        return;
+    }
+    if offsets.last().copied().unwrap_or(0) as usize != ids.len() {
+        fail(
+            out,
+            &format!("{prefix}/offsets"),
+            format!(
+                "last offset {} does not match {} stored postings",
+                offsets.last().copied().unwrap_or(0),
+                ids.len()
+            ),
+        );
+        return;
+    }
+    if !elems.windows(2).all(|w| w[0] < w[1]) {
+        fail(
+            out,
+            &format!("{prefix}/elements"),
+            "element directory not strictly ascending".into(),
+        );
+    }
+    for (i, &e) in elems.iter().enumerate() {
+        let list = &ids[offsets[i] as usize..offsets[i + 1] as usize];
+        if !list.windows(2).all(|w| raw(w[0]) < raw(w[1])) {
+            fail(
+                out,
+                &format!("{prefix}/elem{e}"),
+                "postings not strictly ascending by raw id".into(),
+            );
+        }
+        on_list(e, list);
+    }
+}
+
+impl Validate for CompactInverted {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        check_flat_directory(
+            "compact",
+            self.elements(),
+            self.offsets(),
+            self.all_ids(),
+            &mut out,
+            |_, _| {},
+        );
+        out
+    }
+}
+
+impl Validate for CompactTemporalInverted {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let n = self.all_ids().len();
+        if self.all_sts().len() != n || self.all_ends().len() != n {
+            fail(
+                &mut out,
+                "compact_temporal/columns",
+                format!(
+                    "parallel columns disagree: {n} ids, {} starts, {} ends",
+                    self.all_sts().len(),
+                    self.all_ends().len()
+                ),
+            );
+            return out;
+        }
+        for i in 0..n {
+            if self.all_sts()[i] > self.all_ends()[i] {
+                fail(
+                    &mut out,
+                    "compact_temporal/intervals",
+                    format!(
+                        "entry {i}: inverted interval [{}, {}]",
+                        self.all_sts()[i],
+                        self.all_ends()[i]
+                    ),
+                );
+            }
+        }
+        check_flat_directory(
+            "compact_temporal",
+            self.elements(),
+            self.offsets(),
+            self.all_ids(),
+            &mut out,
+            |_, _| {},
+        );
+        out
+    }
+}
+
+impl Validate for CompressedPostings {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let data = self.raw_bytes();
+        let mut pos = 0usize;
+        let mut prev: Option<u64> = None;
+        for i in 0..self.len() {
+            // Bounds-checked varint walk: the production decoder indexes
+            // unchecked, so a validator must never reuse it on possibly
+            // corrupt bytes.
+            let mut v = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let Some(&byte) = data.get(pos) else {
+                    fail(
+                        &mut out,
+                        "compressed/stream",
+                        format!("stream truncated inside posting {i} of {}", self.len()),
+                    );
+                    return out;
+                };
+                pos += 1;
+                if shift >= 64 {
+                    fail(
+                        &mut out,
+                        "compressed/stream",
+                        format!("varint of posting {i} exceeds 64 bits"),
+                    );
+                    return out;
+                }
+                v |= ((byte & 0x7f) as u64) << shift;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                shift += 7;
+            }
+            let acc = match prev {
+                None => v,
+                Some(p) => {
+                    if v == 0 {
+                        fail(
+                            &mut out,
+                            "compressed/deltas",
+                            format!("zero delta at posting {i}: ids not strictly ascending"),
+                        );
+                    }
+                    p.saturating_add(v)
+                }
+            };
+            if acc > u32::MAX as u64 {
+                fail(
+                    &mut out,
+                    "compressed/deltas",
+                    format!("posting {i} decodes to {acc}, beyond the u32 id space"),
+                );
+            }
+            prev = Some(acc);
+        }
+        if pos != data.len() {
+            fail(
+                &mut out,
+                "compressed/stream",
+                format!("{} trailing bytes after the last posting", data.len() - pos),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_structures_validate() {
+        let mut d = Dictionary::new();
+        d.intern_description(["a", "b", "c"]);
+        assert!(d.validate().is_empty());
+
+        let mut inv = InvertedIndex::new();
+        inv.insert(1, &[0, 1]);
+        inv.insert(2, &[1]);
+        assert!(inv.validate().is_empty());
+
+        let ci = CompactInverted::build(&mut [(0, 1), (0, 2), (1, 2)]);
+        assert!(ci.validate().is_empty());
+
+        let ct = CompactTemporalInverted::build(&mut [(0, 1, 5, 9), (1, 2, 0, 3)]);
+        assert!(ct.validate().is_empty());
+
+        let cp = CompressedPostings::encode(&[1, 5, 1000]);
+        assert!(cp.validate().is_empty());
+    }
+
+    #[test]
+    fn empty_structures_validate() {
+        assert!(Dictionary::new().validate().is_empty());
+        assert!(InvertedIndex::new().validate().is_empty());
+        assert!(CompactInverted::new().validate().is_empty());
+        assert!(CompactTemporalInverted::new().validate().is_empty());
+        assert!(CompressedPostings::encode(&[]).validate().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the validators: a structure that went through any
+//! random build + insert + delete sequence must validate clean, and a
+//! deliberately corrupted structure must report at least one violation.
+
+use proptest::prelude::*;
+use tir_check::Validate;
+use tir_core::prelude::*;
+use tir_hint::{Hint, HintConfig, IntervalRecord};
+
+const DOMAIN: u64 = 2000;
+const DICT: u32 = 10;
+
+fn arb_records(max: usize) -> impl Strategy<Value = Vec<IntervalRecord>> {
+    prop::collection::vec((0..DOMAIN, 0..DOMAIN), 1..max).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| IntervalRecord::new(i as u32, a.min(b), a.max(b)))
+            .collect()
+    })
+}
+
+fn arb_collection(max_objects: usize) -> impl Strategy<Value = Collection> {
+    prop::collection::vec(
+        (
+            0..DOMAIN,
+            0..DOMAIN,
+            prop::collection::btree_set(0..DICT, 1..5),
+        ),
+        1..max_objects,
+    )
+    .prop_map(|raw| {
+        let objects = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, (a, b, desc))| {
+                Object::new(i as u32, a.min(b), a.max(b), desc.into_iter().collect())
+            })
+            .collect();
+        Collection::new(objects)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hint_validates_after_random_updates(
+        base in arb_records(40),
+        extra in arb_records(10),
+        del_mask in prop::collection::vec(any::<bool>(), 40),
+        m in 1u32..7,
+    ) {
+        let mut h = Hint::build(&base, HintConfig::with_m(m));
+        for r in &extra {
+            let r = IntervalRecord::new(r.id + 1000, r.st, r.end);
+            h.insert(&r);
+        }
+        for (r, &kill) in base.iter().zip(del_mask.iter()) {
+            if kill {
+                h.delete(r);
+            }
+        }
+        let v = h.validate();
+        prop_assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn corrupted_hint_reports_a_violation(base in arb_records(30), m in 1u32..6) {
+        let mut h = Hint::build(&base, HintConfig::with_m(m));
+        h.testing_corrupt_dead_counter();
+        let v = h.validate();
+        prop_assert!(!v.is_empty(), "corrupted dead counter went unnoticed");
+    }
+
+    #[test]
+    fn irhint_perf_validates_after_random_updates(
+        coll in arb_collection(30),
+        extra in arb_collection(8),
+        del_mask in prop::collection::vec(any::<bool>(), 30),
+        m in 1u32..7,
+    ) {
+        let mut idx = IrHintPerf::build_with_m(&coll, m);
+        for o in extra.objects() {
+            let o = Object::new(o.id + 1000, o.interval.st, o.interval.end, o.desc.clone());
+            idx.insert(&o);
+        }
+        for (o, &kill) in coll.objects().iter().zip(del_mask.iter()) {
+            if kill {
+                idx.delete(o);
+            }
+        }
+        let v = idx.validate();
+        prop_assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn corrupted_irhint_perf_reports_a_violation(coll in arb_collection(20), m in 1u32..6) {
+        let mut idx = IrHintPerf::build_with_m(&coll, m);
+        idx.testing_corrupt();
+        let v = idx.validate();
+        prop_assert!(!v.is_empty(), "corrupted parallel arrays went unnoticed");
+    }
+
+    #[test]
+    fn irhint_size_validates_after_random_updates(
+        coll in arb_collection(30),
+        del_mask in prop::collection::vec(any::<bool>(), 30),
+        m in 1u32..7,
+    ) {
+        let mut idx = IrHintSize::build_with_m(&coll, m);
+        for (o, &kill) in coll.objects().iter().zip(del_mask.iter()) {
+            if kill {
+                idx.delete(o);
+            }
+        }
+        let v = idx.validate();
+        prop_assert!(v.is_empty(), "violations: {v:?}");
+    }
+}

@@ -46,14 +46,21 @@ pub fn read_tsv(reader: impl BufRead) -> Result<Corpus, String> {
             return Err(err("start > end"));
         }
         let elems_field = parts.next().ok_or_else(|| err("missing elements"))?;
-        let desc = dictionary
-            .intern_description(elems_field.split(',').map(str::trim).filter(|s| !s.is_empty()));
+        let desc = dictionary.intern_description(
+            elems_field
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty()),
+        );
         if desc.is_empty() {
             return Err(err("empty description"));
         }
         objects.push(Object::new(objects.len() as u32, st, end, desc));
     }
-    Ok(Corpus { collection: Collection::new(objects), dictionary })
+    Ok(Corpus {
+        collection: Collection::new(objects),
+        dictionary,
+    })
 }
 
 /// Writes a collection (with numeric element names `e<id>`) as TSV.
@@ -61,7 +68,13 @@ pub fn write_tsv(coll: &Collection, mut w: impl Write) -> std::io::Result<()> {
     writeln!(w, "# start\tend\telements")?;
     for o in coll.objects() {
         let elems: Vec<String> = o.desc.iter().map(|e| format!("e{e}")).collect();
-        writeln!(w, "{}\t{}\t{}", o.interval.st, o.interval.end, elems.join(","))?;
+        writeln!(
+            w,
+            "{}\t{}\t{}",
+            o.interval.st,
+            o.interval.end,
+            elems.join(",")
+        )?;
     }
     Ok(())
 }
@@ -84,9 +97,15 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         assert!(read_tsv("oops".as_bytes()).is_err());
-        assert!(read_tsv("10\t5\tfoo".as_bytes()).is_err(), "inverted interval");
+        assert!(
+            read_tsv("10\t5\tfoo".as_bytes()).is_err(),
+            "inverted interval"
+        );
         assert!(read_tsv("10\tx\tfoo".as_bytes()).is_err());
-        assert!(read_tsv("10\t20\t".as_bytes()).is_err(), "empty description");
+        assert!(
+            read_tsv("10\t20\t".as_bytes()).is_err(),
+            "empty description"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! tir query --input data.tsv --method irhint-perf \
 //!           --from 100 --to 900 --elems foo,bar [--topk 10]
 //! tir bench --input data.tsv [--queries N]
+//! tir check --input data.tsv
 //! ```
 //!
 //! TSV format: `start<TAB>end<TAB>elem1,elem2,...` per object; `#` lines
@@ -87,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&opts),
         "query" => cmd_query(&opts),
         "bench" => cmd_bench(&opts),
+        "check" => cmd_check(&opts),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -96,11 +98,12 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: tir <gen|stats|query|bench> [--flags]\n\
+    "usage: tir <gen|stats|query|bench|check> [--flags]\n\
      gen   --out FILE [--cardinality N] [--seed K] [--scale S]\n\
      stats --input FILE\n\
      query --input FILE --from T --to T --elems a,b [--method M] [--topk K]\n\
      bench --input FILE [--queries N]\n\
+     check --input FILE   (build every index, verify structural invariants)\n\
      methods: tif, slicing, sharding, tif-hint-bs, tif-hint-ms, hybrid,\n\
               irhint-perf (default), irhint-size, ctif"
         .to_string()
@@ -145,11 +148,20 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     let s = corpus.collection.stats();
     println!("cardinality        {}", s.cardinality);
     println!("domain span        {}", s.domain_span);
-    println!("duration min/avg/max  {} / {:.1} / {}", s.min_duration, s.avg_duration, s.max_duration);
+    println!(
+        "duration min/avg/max  {} / {:.1} / {}",
+        s.min_duration, s.avg_duration, s.max_duration
+    );
     println!("avg duration       {:.2}% of domain", s.avg_duration_pct);
     println!("dictionary         {}", s.dictionary_size);
-    println!("description min/avg/max  {} / {:.1} / {}", s.min_desc, s.avg_desc, s.max_desc);
-    println!("avg element freq   {:.1} ({:.3}%)", s.avg_elem_freq, s.avg_elem_freq_pct);
+    println!(
+        "description min/avg/max  {} / {:.1} / {}",
+        s.min_desc, s.avg_desc, s.max_desc
+    );
+    println!(
+        "avg element freq   {:.1} ({:.3}%)",
+        s.avg_elem_freq, s.avg_elem_freq_pct
+    );
     Ok(())
 }
 
@@ -176,7 +188,10 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         let ranked = RankedTif::build(&corpus.collection);
         for hit in ranked.query_topk(&RankedQuery::new(from, to, elems, k)) {
             let o = corpus.collection.get(hit.id);
-            println!("{}\t{:.4}\t[{}, {}]", hit.id, hit.score, o.interval.st, o.interval.end);
+            println!(
+                "{}\t{:.4}\t[{}, {}]",
+                hit.id, hit.score, o.interval.st, o.interval.end
+            );
         }
         return Ok(());
     }
@@ -211,10 +226,20 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     if queries.is_empty() {
         return Err("could not generate a workload for this corpus".into());
     }
-    println!("{:<14} {:>10} {:>12} {:>12}", "method", "build [s]", "size [KiB]", "queries/s");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "method", "build [s]", "size [KiB]", "queries/s"
+    );
     for method in [
-        "tif", "slicing", "sharding", "tif-hint-bs", "tif-hint-ms", "hybrid", "irhint-perf",
-        "irhint-size", "ctif",
+        "tif",
+        "slicing",
+        "sharding",
+        "tif-hint-bs",
+        "tif-hint-ms",
+        "hybrid",
+        "irhint-perf",
+        "irhint-size",
+        "ctif",
     ] {
         let t0 = Instant::now();
         let index = build_index(method, &corpus.collection)?;
@@ -237,13 +262,70 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds every validatable index over the collection and collects the
+/// structural violations each one reports, tagged by method name.
+fn validate_all(coll: &Collection) -> Vec<(&'static str, Vec<tir_check::Violation>)> {
+    use tir_check::Validate;
+    vec![
+        ("tif", Tif::build(coll).validate()),
+        ("slicing", TifSlicing::build(coll).validate()),
+        ("sharding", TifSharding::build(coll).validate()),
+        (
+            "tif-hint-bs",
+            TifHint::build(coll, TifHintConfig::binary_search()).validate(),
+        ),
+        (
+            "tif-hint-ms",
+            TifHint::build(coll, TifHintConfig::merge_sort()).validate(),
+        ),
+        ("irhint-perf", IrHintPerf::build(coll).validate()),
+        ("irhint-size", IrHintSize::build(coll).validate()),
+    ]
+}
+
+fn cmd_check(opts: &Opts) -> Result<(), String> {
+    use tir_check::Validate;
+    let corpus = load(opts)?;
+    let mut total = 0usize;
+    let mut reports = validate_all(&corpus.collection);
+    reports.push(("dictionary", corpus.dictionary.validate()));
+    for (name, violations) in &reports {
+        if violations.is_empty() {
+            println!("{name:<12} ok");
+        } else {
+            println!("{name:<12} {} violation(s)", violations.len());
+            for v in violations {
+                println!("  {v}");
+            }
+            total += violations.len();
+        }
+    }
+    if total == 0 {
+        eprintln!("all structural invariants hold");
+        Ok(())
+    } else {
+        Err(format!("{total} structural violation(s)"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn check_is_clean_on_running_example() {
+        let coll = Collection::running_example();
+        for (name, violations) in validate_all(&coll) {
+            assert!(violations.is_empty(), "{name}: {violations:?}");
+        }
+    }
+
+    #[test]
     fn opts_parsing() {
-        let args: Vec<String> = ["--from", "5", "--to", "9"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--from", "5", "--to", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let o = Opts::parse(&args).unwrap();
         assert_eq!(o.require("from").unwrap(), "5");
         assert!(o.require("missing").is_err());
@@ -261,8 +343,15 @@ mod tests {
     fn build_index_knows_all_methods() {
         let coll = Collection::running_example();
         for m in [
-            "tif", "slicing", "sharding", "tif-hint-bs", "tif-hint-ms", "hybrid",
-            "irhint-perf", "irhint-size", "ctif",
+            "tif",
+            "slicing",
+            "sharding",
+            "tif-hint-bs",
+            "tif-hint-ms",
+            "hybrid",
+            "irhint-perf",
+            "irhint-size",
+            "ctif",
         ] {
             let idx = build_index(m, &coll).unwrap();
             let mut hits = idx.query(&TimeTravelQuery::new(5, 9, vec![0, 2]));

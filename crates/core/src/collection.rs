@@ -26,7 +26,11 @@ impl Collection {
     /// As [`Collection::new`] but guaranteeing that the domain covers at
     /// least `[min_hint, max_hint]` (useful when later inserts may extend
     /// past the initially indexed span).
-    pub fn with_domain_hint(objects: Vec<Object>, min_hint: Timestamp, max_hint: Timestamp) -> Self {
+    pub fn with_domain_hint(
+        objects: Vec<Object>,
+        min_hint: Timestamp,
+        max_hint: Timestamp,
+    ) -> Self {
         let mut domain_min = min_hint;
         let mut domain_max = max_hint;
         let mut max_elem = 0u32;

@@ -60,8 +60,15 @@ impl CompressedTif {
     /// Compressed-base bytes (the number the compression future-work
     /// question cares about).
     pub fn base_size_bytes(&self) -> usize {
-        self.base_ids.values().map(|c| c.size_bytes() + 16).sum::<usize>()
-            + self.base_temporal.values().map(|c| c.size_bytes() + 16).sum::<usize>()
+        self.base_ids
+            .values()
+            .map(|c| c.size_bytes() + 16)
+            .sum::<usize>()
+            + self
+                .base_temporal
+                .values()
+                .map(|c| c.size_bytes() + 16)
+                .sum::<usize>()
     }
 }
 
@@ -202,7 +209,14 @@ mod tests {
     fn compressed_base_is_smaller_than_plain_tif() {
         // Dense sequential ids compress well: this is the point.
         let objects: Vec<Object> = (0..5000u32)
-            .map(|i| Object::new(i, (i as u64) * 3, (i as u64) * 3 + 50, vec![i % 5, 5 + i % 7]))
+            .map(|i| {
+                Object::new(
+                    i,
+                    (i as u64) * 3,
+                    (i as u64) * 3 + 50,
+                    vec![i % 5, 5 + i % 7],
+                )
+            })
             .collect();
         let coll = Collection::new(objects);
         let plain = Tif::build(&coll);

@@ -15,7 +15,9 @@ pub struct FreqTable {
 impl FreqTable {
     /// Copies the frequencies of a collection.
     pub fn from_counts(counts: &[u32]) -> Self {
-        FreqTable { counts: counts.to_vec() }
+        FreqTable {
+            counts: counts.to_vec(),
+        }
     }
 
     /// Document frequency of `e` (0 when unknown).

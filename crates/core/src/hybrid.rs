@@ -77,12 +77,20 @@ impl TifHintSlicing {
         let d = coll.domain();
         let mut per_elem: HashMap<u32, Vec<IntervalRecord>> = HashMap::new();
         for o in coll.objects() {
-            let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+            let rec = IntervalRecord {
+                id: o.id,
+                st: o.interval.st,
+                end: o.interval.end,
+            };
             for &e in &o.desc {
                 per_elem.entry(e).or_default().push(rec);
             }
         }
-        let cfg = HintConfig { m: Some(m), order: DivisionOrder::ById, storage_opt: true };
+        let cfg = HintConfig {
+            m: Some(m),
+            order: DivisionOrder::ById,
+            storage_opt: true,
+        };
         let hints = per_elem
             .iter()
             .map(|(&e, recs)| (e, Hint::build_with_domain(recs, d.st, d.end, cfg)))
@@ -118,7 +126,8 @@ impl TifHintSlicing {
         let sc = self.slices.entry(e).or_default();
         if sc.subs.is_empty() {
             sc.first = lo;
-            sc.subs.resize_with((hi - lo + 1) as usize, IdStList::default);
+            sc.subs
+                .resize_with((hi - lo + 1) as usize, IdStList::default);
         } else {
             if lo < sc.first {
                 let grow = (sc.first - lo) as usize;
@@ -205,8 +214,16 @@ impl TemporalIrIndex for TifHintSlicing {
     }
 
     fn insert(&mut self, o: &Object) {
-        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
-        let cfg = HintConfig { m: Some(self.m), order: DivisionOrder::ById, storage_opt: true };
+        let rec = IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        };
+        let cfg = HintConfig {
+            m: Some(self.m),
+            order: DivisionOrder::ById,
+            storage_opt: true,
+        };
         let (dmin, dmax) = (self.domain_min, self.domain_max);
         for &e in &o.desc {
             self.hints
@@ -221,7 +238,11 @@ impl TemporalIrIndex for TifHintSlicing {
     }
 
     fn delete(&mut self, o: &Object) -> bool {
-        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+        let rec = IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        };
         let lo = self.slice_of(o.interval.st);
         let hi = self.slice_of(o.interval.end);
         let mut any = false;

@@ -40,7 +40,10 @@ struct PartTifs {
 
 impl PartTifs {
     fn size_bytes(&self) -> usize {
-        self.divs.iter().map(CompactTemporalInverted::size_bytes).sum()
+        self.divs
+            .iter()
+            .map(CompactTemporalInverted::size_bytes)
+            .sum()
     }
 }
 
@@ -115,11 +118,10 @@ impl IrHintPerf {
             });
         }
         let mut levels: Vec<Level> = (0..=m).map(|_| Level::default()).collect();
-        let mut keys: Vec<(u32, u32, usize)> = buffers.keys().copied().collect();
-        keys.sort_unstable();
-        for key in keys {
-            let mut buf = buffers.remove(&key).unwrap();
-            let (level, j, k) = key;
+        let mut entries: Vec<((u32, u32, usize), Vec<(u32, u32, u64, u64)>)> =
+            buffers.into_iter().collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        for ((level, j, k), mut buf) in entries {
             let part = levels[level as usize].get_or_insert(j);
             part.divs[k] = CompactTemporalInverted::build(&mut buf);
         }
@@ -144,6 +146,49 @@ impl IrHintPerf {
             .flat_map(|p| p.divs.iter())
             .map(CompactTemporalInverted::num_postings)
             .sum()
+    }
+
+    /// Document frequency of an element as tracked by the planner.
+    pub fn freq(&self, e: u32) -> u32 {
+        self.freqs.get(e)
+    }
+
+    /// The discretized domain of the hierarchy.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Calls `f(level, j, kind, division tIF)` for every materialized
+    /// division, in `(level, j, kind)` order (introspection for
+    /// validators).
+    pub fn for_each_division(
+        &self,
+        mut f: impl FnMut(u32, u32, DivisionKind, &CompactTemporalInverted),
+    ) {
+        for (li, lvl) in self.levels.iter().enumerate() {
+            for (pi, &j) in lvl.keys.iter().enumerate() {
+                for kind in KINDS {
+                    f(li as u32, j, kind, &lvl.parts[pi].divs[kidx(kind)]);
+                }
+            }
+        }
+    }
+
+    /// Deliberately breaks the parallel-array invariant of the first
+    /// non-empty division — used by `tir-check`'s property tests to prove
+    /// the validator notices.
+    #[cfg(feature = "testing")]
+    pub fn testing_corrupt(&mut self) {
+        for lvl in &mut self.levels {
+            for part in &mut lvl.parts {
+                for div in &mut part.divs {
+                    if !div.is_empty() {
+                        div.testing_corrupt_parallel();
+                        return;
+                    }
+                }
+            }
+        }
     }
 
     /// `QueryTemporalIF` (Algorithm 5): Algorithm 1 on one division's tIF
@@ -217,39 +262,48 @@ impl TemporalIrIndex for IrHintPerf {
         let qb = self.domain.cell(q_end);
         let mut out = Vec::new();
         let mut scratch = Scratch::default();
-        self.layout.for_each_relevant_level(qa, qb, |level, f, l, fc, lc, mc| {
-            let lvl = &self.levels[level as usize];
-            let lo = lvl.keys.partition_point(|&k| k < f);
-            for i in lo..lvl.keys.len() {
-                let j = lvl.keys[i];
-                if j > l {
-                    break;
-                }
-                let checks = if j == f {
-                    fc
-                } else if j == l {
-                    lc
-                } else {
-                    mc
-                };
-                let part = &lvl.parts[i];
-                for kind in KINDS {
-                    let is_repl = matches!(kind, DivisionKind::ReplIn | DivisionKind::ReplAft);
-                    let mode = if is_repl {
-                        match checks.replicas {
-                            Some(rm) => refine_mode(rm, kind),
-                            None => continue,
-                        }
+        self.layout
+            .for_each_relevant_level(qa, qb, |level, f, l, fc, lc, mc| {
+                let lvl = &self.levels[level as usize];
+                let lo = lvl.keys.partition_point(|&k| k < f);
+                for i in lo..lvl.keys.len() {
+                    let j = lvl.keys[i];
+                    if j > l {
+                        break;
+                    }
+                    let checks = if j == f {
+                        fc
+                    } else if j == l {
+                        lc
                     } else {
-                        refine_mode(checks.originals, kind)
+                        mc
                     };
-                    let div = &part.divs[kidx(kind)];
-                    if !div.is_empty() {
-                        self.query_temporal_if(div, &plan, mode, q_st, q_end, &mut scratch, &mut out);
+                    let part = &lvl.parts[i];
+                    for kind in KINDS {
+                        let is_repl = matches!(kind, DivisionKind::ReplIn | DivisionKind::ReplAft);
+                        let mode = if is_repl {
+                            match checks.replicas {
+                                Some(rm) => refine_mode(rm, kind),
+                                None => continue,
+                            }
+                        } else {
+                            refine_mode(checks.originals, kind)
+                        };
+                        let div = &part.divs[kidx(kind)];
+                        if !div.is_empty() {
+                            self.query_temporal_if(
+                                div,
+                                &plan,
+                                mode,
+                                q_st,
+                                q_end,
+                                &mut scratch,
+                                &mut out,
+                            );
+                        }
                     }
                 }
-            }
-        });
+            });
         out
     }
 

@@ -69,15 +69,26 @@ impl IrHintSize {
         let records: Vec<IntervalRecord> = coll
             .objects()
             .iter()
-            .map(|o| IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end })
+            .map(|o| IntervalRecord {
+                id: o.id,
+                st: o.interval.st,
+                end: o.interval.end,
+            })
             .collect();
         let d = coll.domain();
-        let cfg = HintConfig { m, ..HintConfig::default() };
+        let cfg = HintConfig {
+            m,
+            ..HintConfig::default()
+        };
         let hint = Hint::build_with_domain(&records, d.st, d.end, cfg);
 
         let mut buffers: HashMap<DivKey, Vec<(u32, u32)>> = HashMap::new();
         for o in coll.objects() {
-            let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+            let rec = IntervalRecord {
+                id: o.id,
+                st: o.interval.st,
+                end: o.interval.end,
+            };
             hint.divisions_of(&rec, |level, j, kind| {
                 let buf = buffers.entry((level, j, kind_u8(kind))).or_default();
                 for &e in &o.desc {
@@ -103,8 +114,31 @@ impl IrHintSize {
 
     /// Total inverted postings (ids only) plus interval entries.
     pub fn num_postings(&self) -> usize {
-        self.inv.values().map(CompactInverted::num_postings).sum::<usize>()
+        self.inv
+            .values()
+            .map(CompactInverted::num_postings)
+            .sum::<usize>()
             + self.hint.num_entries()
+    }
+
+    /// Document frequency of an element as tracked by the planner.
+    pub fn freq(&self, e: u32) -> u32 {
+        self.freqs.get(e)
+    }
+
+    /// The interval store (introspection for validators).
+    pub fn hint(&self) -> &Hint {
+        &self.hint
+    }
+
+    /// Calls `f(level, j, kind code, inverted index)` for every
+    /// materialized division inverted index, in unspecified order
+    /// (introspection for validators). Kind codes follow
+    /// `OrigIn=0, OrigAft=1, ReplIn=2, ReplAft=3`.
+    pub fn for_each_division_index(&self, mut f: impl FnMut(u32, u32, u8, &CompactInverted)) {
+        for (&(level, j, k), inv) in &self.inv {
+            f(level, j, k, inv);
+        }
     }
 
     /// `QueryIF` (Algorithm 6): intersect the division's temporal
@@ -181,7 +215,11 @@ impl TemporalIrIndex for IrHintSize {
     }
 
     fn insert(&mut self, o: &Object) {
-        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+        let rec = IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        };
         self.hint.insert(&rec);
         let inv = &mut self.inv;
         let desc = &o.desc;
@@ -197,7 +235,11 @@ impl TemporalIrIndex for IrHintSize {
     }
 
     fn delete(&mut self, o: &Object) -> bool {
-        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+        let rec = IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        };
         let found = self.hint.delete(&rec);
         let inv = &mut self.inv;
         let desc = &o.desc;
@@ -231,7 +273,11 @@ impl TemporalIrIndex for IrHintSize {
         // inverted part: one merge-rebuild per touched division.
         let mut buffers: HashMap<DivKey, Vec<(u32, u32)>> = HashMap::new();
         for o in batch {
-            let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+            let rec = IntervalRecord {
+                id: o.id,
+                st: o.interval.st,
+                end: o.interval.end,
+            };
             self.hint.insert(&rec);
             self.hint.divisions_of(&rec, |level, j, kind| {
                 let buf = buffers.entry((level, j, kind_u8(kind))).or_default();

@@ -48,7 +48,11 @@ fn common_count(a: &[ElemId], b: &[ElemId]) -> u32 {
 fn records_of(coll: &Collection) -> Vec<IntervalRecord> {
     coll.objects()
         .iter()
-        .map(|o| IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end })
+        .map(|o| IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        })
         .collect()
 }
 
@@ -70,7 +74,11 @@ pub fn temporal_common_elements_join(
     forward_scan_join(&ra, &rb, |la, rb_id| {
         let common = common_count(&a.get(la).desc, &b.get(rb_id).desc);
         if common >= min_common {
-            out.push(JoinPair { left: la, right: rb_id, common });
+            out.push(JoinPair {
+                left: la,
+                right: rb_id,
+                common,
+            });
         }
     });
     out.sort_unstable();
@@ -99,7 +107,10 @@ pub fn temporal_join_with_elements(
         req.sort_unstable();
         req.dedup();
         let mut iter = req.iter();
-        let first = iter.next().unwrap();
+        // `required` is non-empty (checked above), so dedup keeps >= 1.
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
         let mut ids: Vec<u32> = match lists.get(first) {
             Some(l) => l.ids.clone(),
             None => return Vec::new(),
@@ -117,7 +128,11 @@ pub fn temporal_join_with_elements(
         ids.iter()
             .map(|&id| {
                 let o = coll.get(id);
-                IntervalRecord { id, st: o.interval.st, end: o.interval.end }
+                IntervalRecord {
+                    id,
+                    st: o.interval.st,
+                    end: o.interval.end,
+                }
             })
             .collect()
     };
@@ -126,7 +141,11 @@ pub fn temporal_join_with_elements(
     let mut out = Vec::new();
     forward_scan_join(&ra, &rb, |la, rb_id| {
         let common = common_count(&a.get(la).desc, &b.get(rb_id).desc);
-        out.push(JoinPair { left: la, right: rb_id, common });
+        out.push(JoinPair {
+            left: la,
+            right: rb_id,
+            common,
+        });
     });
     out.sort_unstable();
     out
@@ -162,7 +181,11 @@ mod tests {
                 if oa.interval.overlaps(&ob.interval) {
                     let common = common_count(&oa.desc, &ob.desc);
                     if common >= min_common {
-                        out.push(JoinPair { left: oa.id, right: ob.id, common });
+                        out.push(JoinPair {
+                            left: oa.id,
+                            right: ob.id,
+                            common,
+                        });
                     }
                 }
             }
@@ -194,7 +217,9 @@ mod tests {
                     .map(|i| {
                         let st = rng.gen_range(0..500u64);
                         let len = rng.gen_range(0..60u64);
-                        let desc: Vec<u32> = (0..rng.gen_range(1..5)).map(|_| rng.gen_range(0..8)).collect();
+                        let desc: Vec<u32> = (0..rng.gen_range(1..5))
+                            .map(|_| rng.gen_range(0..8))
+                            .collect();
                         Object::new(i, st, st + len, desc)
                     })
                     .collect(),
@@ -217,14 +242,19 @@ mod tests {
         let got = temporal_join_with_elements(&a, &b, &[2]);
         let want: Vec<JoinPair> = oracle(&a, &b, 1)
             .into_iter()
-            .filter(|p| {
-                a.get(p.left).desc.contains(&2) && b.get(p.right).desc.contains(&2)
-            })
+            .filter(|p| a.get(p.left).desc.contains(&2) && b.get(p.right).desc.contains(&2))
             .collect();
         assert_eq!(got, want);
         // Element 9: only a3 × b3 overlap-wise.
         let got = temporal_join_with_elements(&a, &b, &[9]);
-        assert_eq!(got, vec![JoinPair { left: 3, right: 3, common: 1 }]);
+        assert_eq!(
+            got,
+            vec![JoinPair {
+                left: 3,
+                right: 3,
+                common: 1
+            }]
+        );
         // Unknown element: empty.
         assert!(temporal_join_with_elements(&a, &b, &[42]).is_empty());
         assert!(temporal_join_with_elements(&a, &b, &[]).is_empty());

@@ -36,6 +36,7 @@
 //! assert_eq!(hits, vec![1, 3, 6]); // objects o2, o4, o7 of Figure 1
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collection;
@@ -44,8 +45,8 @@ pub mod freq;
 pub mod hybrid;
 pub mod index_trait;
 pub mod irhint_perf;
-pub mod joins;
 pub mod irhint_size;
+pub mod joins;
 pub mod oracle;
 pub mod postings;
 pub mod ranked;
@@ -64,7 +65,7 @@ pub use irhint_size::IrHintSize;
 pub use joins::{temporal_common_elements_join, temporal_join_with_elements, JoinPair};
 pub use oracle::BruteForce;
 pub use ranked::{RankedQuery, RankedTif, ScoredHit};
-pub use sharding::{ShardingConfig, TifSharding};
+pub use sharding::{ShardView, ShardingConfig, TifSharding, IMPACT_STRIDE};
 pub use slicing::{tune_num_slices, TifSlicing};
 pub use tif::Tif;
 pub use tif_hint::{IntersectStrategy, TifHint, TifHintConfig};

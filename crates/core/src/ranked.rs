@@ -39,7 +39,11 @@ impl RankedQuery {
     pub fn new(st: Timestamp, end: Timestamp, mut elems: Vec<ElemId>, k: usize) -> Self {
         elems.sort_unstable();
         elems.dedup();
-        RankedQuery { interval: Interval::new(st, end), elems, k }
+        RankedQuery {
+            interval: Interval::new(st, end),
+            elems,
+            k,
+        }
     }
 }
 
@@ -91,7 +95,9 @@ impl RankedTif {
         // Accumulate IDF mass and remember the overlap factor per object.
         let mut acc: HashMap<ObjectId, (f64, f64)> = HashMap::new();
         for &e in &q.elems {
-            let Some(list) = self.lists.get(&e) else { continue };
+            let Some(list) = self.lists.get(&e) else {
+                continue;
+            };
             let w = self.idf(e);
             for i in 0..list.ids.len() {
                 if !live(list.ids[i]) {
@@ -110,7 +116,10 @@ impl RankedTif {
 
         let mut hits: Vec<ScoredHit> = acc
             .into_iter()
-            .map(|(id, (mass, tfrac))| ScoredHit { id, score: (mass / total_idf) * tfrac })
+            .map(|(id, (mass, tfrac))| ScoredHit {
+                id,
+                score: (mass / total_idf) * tfrac,
+            })
             .collect();
         hits.sort_by(|a, b| {
             b.score
@@ -137,7 +146,10 @@ mod tests {
         // q.d = {a, c}: o2/o4/o7 contain both, o6/o8 only c.
         let hits = r.query_topk(&RankedQuery::new(5, 9, vec![0, 2], 10));
         let ids: Vec<ObjectId> = hits.iter().map(|h| h.id).collect();
-        assert!(ids.contains(&5) || ids.contains(&7), "partial matches included");
+        assert!(
+            ids.contains(&5) || ids.contains(&7),
+            "partial matches included"
+        );
         let pos = |id: ObjectId| ids.iter().position(|&x| x == id);
         for full in [1u32, 3, 6] {
             for partial in [5u32, 7] {
@@ -171,9 +183,8 @@ mod tests {
         // o8 = [8, 9], c only. A query window covering it fully vs barely.
         let full = r.query_topk(&RankedQuery::new(8, 9, vec![2], 10));
         let barely = r.query_topk(&RankedQuery::new(0, 9, vec![2], 10));
-        let score_of = |hits: &[ScoredHit], id: ObjectId| {
-            hits.iter().find(|h| h.id == id).map(|h| h.score)
-        };
+        let score_of =
+            |hits: &[ScoredHit], id: ObjectId| hits.iter().find(|h| h.id == id).map(|h| h.score);
         let s_full = score_of(&full, 7).unwrap();
         let s_barely = score_of(&barely, 7).unwrap();
         assert!(s_full > s_barely, "{s_full} vs {s_barely}");
@@ -195,8 +206,12 @@ mod tests {
     fn empty_cases() {
         let r = RankedTif::build(&coll());
         assert!(r.query_topk(&RankedQuery::new(0, 15, vec![], 5)).is_empty());
-        assert!(r.query_topk(&RankedQuery::new(0, 15, vec![2], 0)).is_empty());
-        assert!(r.query_topk(&RankedQuery::new(0, 15, vec![99], 5)).is_empty());
+        assert!(r
+            .query_topk(&RankedQuery::new(0, 15, vec![2], 0))
+            .is_empty());
+        assert!(r
+            .query_topk(&RankedQuery::new(0, 15, vec![99], 5))
+            .is_empty());
     }
 
     #[test]
@@ -206,8 +221,8 @@ mod tests {
         // a c-only match with identical temporal overlap. o3={b} excluded;
         // compare o5={b,c} vs... all a-objects also have c. Synthetic:
         let coll = Collection::new(vec![
-            Object::new(0, 0, 9, vec![0]),       // rare element only
-            Object::new(1, 0, 9, vec![1]),       // common element only
+            Object::new(0, 0, 9, vec![0]), // rare element only
+            Object::new(1, 0, 9, vec![1]), // common element only
             Object::new(2, 0, 9, vec![1]),
             Object::new(3, 0, 9, vec![1]),
         ]);

@@ -13,7 +13,7 @@ use crate::types::{Object, ObjectId, TimeTravelQuery, Timestamp};
 use tir_invidx::{contains_sorted, live, TOMBSTONE};
 
 /// Entries per impact-list block.
-const IMPACT_STRIDE: usize = 64;
+pub const IMPACT_STRIDE: usize = 64;
 
 /// One shard: entries sorted by start; `staircase` records whether ends
 /// are also non-decreasing (ideal shards are, cost-merged ones may not
@@ -143,6 +143,45 @@ impl TifSharding {
             .map(Shard::len)
             .sum()
     }
+
+    /// Document frequency of an element as tracked by the planner.
+    pub fn freq(&self, e: u32) -> u32 {
+        self.freqs.get(e)
+    }
+
+    /// Calls `f(element, shard)` for every shard, in unspecified element
+    /// order (introspection for validators).
+    pub fn for_each_shard(&self, mut f: impl FnMut(u32, ShardView<'_>)) {
+        for (&e, shards) in &self.lists {
+            for s in shards {
+                f(
+                    e,
+                    ShardView {
+                        ids: &s.ids,
+                        sts: &s.sts,
+                        ends: &s.ends,
+                        staircase: s.staircase,
+                        impact: &s.impact,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// A read-only view of one shard (introspection for validators).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    /// Object ids (tombstone high bit marks logical deletes).
+    pub ids: &'a [u32],
+    /// Interval starts, non-decreasing.
+    pub sts: &'a [Timestamp],
+    /// Interval ends; non-decreasing iff `staircase`.
+    pub ends: &'a [Timestamp],
+    /// Whether the shard satisfies the staircase property.
+    pub staircase: bool,
+    /// Per-[`IMPACT_STRIDE`]-block maximum end (relaxed shards only).
+    pub impact: &'a [Timestamp],
 }
 
 /// Greedy first-fit decomposition into ideal (staircase) shards — with the
@@ -154,15 +193,19 @@ fn build_shards(entries: &[(Timestamp, Timestamp, u32)], config: ShardingConfig)
     let mut shards: Vec<Shard> = Vec::new();
     for &(st, end, id) in entries {
         let slot = shards
-            .iter_mut()
-            .find(|s| s.ends.last().is_none_or(|&tail| tail <= end));
-        let shard = match slot {
-            Some(s) => s,
+            .iter()
+            .position(|s| s.ends.last().is_none_or(|&tail| tail <= end));
+        let slot = match slot {
+            Some(i) => i,
             None => {
-                shards.push(Shard { staircase: true, ..Default::default() });
-                shards.last_mut().unwrap()
+                shards.push(Shard {
+                    staircase: true,
+                    ..Default::default()
+                });
+                shards.len() - 1
             }
         };
+        let shard = &mut shards[slot];
         shard.staircase = true;
         shard.ids.push(id);
         shard.sts.push(st);
@@ -295,11 +338,7 @@ impl TemporalIrIndex for TifSharding {
                 });
                 // Respect the configured cap loosely: merging on every
                 // insert would be wasteful, so only merge when doubled.
-                let cap = self
-                    .config
-                    .max_shards_per_list
-                    .unwrap_or(512)
-                    .max(1);
+                let cap = self.config.max_shards_per_list.unwrap_or(512).max(1);
                 if shards.len() > cap * 2 {
                     let mut entries: Vec<(Timestamp, Timestamp, u32)> = shards
                         .iter()
@@ -374,7 +413,12 @@ mod tests {
     fn ideal_shards_satisfy_staircase() {
         let entries: Vec<(Timestamp, Timestamp, u32)> =
             vec![(0, 10, 1), (1, 5, 2), (2, 12, 3), (3, 4, 4), (4, 20, 5)];
-        let shards = build_shards(&entries, ShardingConfig { max_shards_per_list: Some(100) });
+        let shards = build_shards(
+            &entries,
+            ShardingConfig {
+                max_shards_per_list: Some(100),
+            },
+        );
         for s in &shards {
             assert!(s.staircase);
             assert!(s.sts.windows(2).all(|w| w[0] <= w[1]));
@@ -389,9 +433,19 @@ mod tests {
         let entries: Vec<(Timestamp, Timestamp, u32)> = (0..100u32)
             .map(|i| (i as u64, 200 - i as u64, i)) // anti-staircase: 100 ideal shards
             .collect();
-        let ideal = build_shards(&entries, ShardingConfig { max_shards_per_list: Some(1000) });
+        let ideal = build_shards(
+            &entries,
+            ShardingConfig {
+                max_shards_per_list: Some(1000),
+            },
+        );
         assert_eq!(ideal.len(), 100);
-        let capped = build_shards(&entries, ShardingConfig { max_shards_per_list: Some(4) });
+        let capped = build_shards(
+            &entries,
+            ShardingConfig {
+                max_shards_per_list: Some(4),
+            },
+        );
         assert!(capped.len() <= 4);
         let total: usize = capped.iter().map(Shard::len).sum();
         assert_eq!(total, 100);
@@ -404,7 +458,9 @@ mod tests {
         for cap in [1usize, 2, 100] {
             let idx = TifSharding::build_with_config(
                 &coll,
-                ShardingConfig { max_shards_per_list: Some(cap) },
+                ShardingConfig {
+                    max_shards_per_list: Some(cap),
+                },
             );
             for st in 0..16u64 {
                 for end in st..16 {

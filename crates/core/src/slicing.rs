@@ -28,7 +28,8 @@ impl SlicedList {
     fn ensure_covers(&mut self, lo: u32, hi: u32) {
         if self.subs.is_empty() {
             self.first = lo;
-            self.subs.resize_with((hi - lo + 1) as usize, TemporalList::default);
+            self.subs
+                .resize_with((hi - lo + 1) as usize, TemporalList::default);
             return;
         }
         if lo < self.first {
@@ -41,8 +42,10 @@ impl SlicedList {
         }
         let last = self.first + self.subs.len() as u32 - 1;
         if hi > last {
-            self.subs
-                .resize_with(self.subs.len() + (hi - last) as usize, TemporalList::default);
+            self.subs.resize_with(
+                self.subs.len() + (hi - last) as usize,
+                TemporalList::default,
+            );
         }
     }
 
@@ -114,6 +117,22 @@ impl TifSlicing {
             .flat_map(|sl| sl.subs.iter())
             .map(TemporalList::len)
             .sum()
+    }
+
+    /// Document frequency of an element as tracked by the planner.
+    pub fn freq(&self, e: u32) -> u32 {
+        self.freqs.get(e)
+    }
+
+    /// Calls `f(element, slice, sub-list)` for every materialized
+    /// sub-list, slices ascending per element (introspection for
+    /// validators).
+    pub fn for_each_sublist(&self, mut f: impl FnMut(u32, u32, &TemporalList)) {
+        for (&e, sl) in &self.lists {
+            for (i, sub) in sl.subs.iter().enumerate() {
+                f(e, sl.first + i as u32, sub);
+            }
+        }
     }
 
     fn place(&mut self, o: &Object) {
@@ -243,9 +262,7 @@ pub fn tune_num_slices(coll: &Collection, candidates: &[u32], max_blowup: f64, e
     let mut best = (f64::INFINITY, 1u32);
     for &k in candidates {
         assert!(k >= 1);
-        let slice_of = |t: Timestamp| -> u32 {
-            (((t - d.st) as u128 * k as u128) / span) as u32
-        };
+        let slice_of = |t: Timestamp| -> u32 { (((t - d.st) as u128 * k as u128) / span) as u32 };
         let mut postings: u64 = 0;
         for o in coll.objects() {
             let copies = (slice_of(o.interval.end) - slice_of(o.interval.st) + 1) as u64;

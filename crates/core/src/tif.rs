@@ -40,6 +40,19 @@ impl Tif {
     pub fn num_postings(&self) -> usize {
         self.lists.values().map(TemporalList::len).sum()
     }
+
+    /// Document frequency of an element as tracked by the planner.
+    pub fn freq(&self, e: u32) -> u32 {
+        self.freqs.get(e)
+    }
+
+    /// Calls `f(element, list)` for every postings list, in unspecified
+    /// element order (introspection for validators).
+    pub fn for_each_list(&self, mut f: impl FnMut(u32, &TemporalList)) {
+        for (&e, list) in &self.lists {
+            f(e, list);
+        }
+    }
 }
 
 impl TemporalIrIndex for Tif {
@@ -124,7 +137,14 @@ mod tests {
         let bf = BruteForce::build(coll.objects());
         for st in 0..16u64 {
             for end in st..16 {
-                for elems in [vec![0], vec![1], vec![2], vec![0, 2], vec![0, 1, 2], vec![5]] {
+                for elems in [
+                    vec![0],
+                    vec![1],
+                    vec![2],
+                    vec![0, 2],
+                    vec![0, 1, 2],
+                    vec![5],
+                ] {
                     let q = TimeTravelQuery::new(st, end, elems);
                     let mut got = tif.query(&q);
                     got.sort_unstable();
@@ -158,6 +178,8 @@ mod tests {
         let tif = Tif::build(&coll);
         assert!(tif.query(&TimeTravelQuery::new(0, 15, vec![])).is_empty());
         assert!(tif.query(&TimeTravelQuery::new(0, 15, vec![42])).is_empty());
-        assert!(tif.query(&TimeTravelQuery::new(0, 15, vec![0, 42])).is_empty());
+        assert!(tif
+            .query(&TimeTravelQuery::new(0, 15, vec![0, 42]))
+            .is_empty());
     }
 }

@@ -40,12 +40,18 @@ pub struct TifHintConfig {
 impl TifHintConfig {
     /// The paper's tuned binary-search configuration (`m = 10`).
     pub fn binary_search() -> Self {
-        TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 10 }
+        TifHintConfig {
+            strategy: IntersectStrategy::BinarySearch,
+            m: 10,
+        }
     }
 
     /// The paper's tuned merge-sort configuration (`m = 5`).
     pub fn merge_sort() -> Self {
-        TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 5 }
+        TifHintConfig {
+            strategy: IntersectStrategy::MergeSort,
+            m: 5,
+        }
     }
 }
 
@@ -65,7 +71,11 @@ impl TifHint {
         // Group interval records per element.
         let mut per_elem: HashMap<u32, Vec<IntervalRecord>> = HashMap::new();
         for o in coll.objects() {
-            let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+            let rec = IntervalRecord {
+                id: o.id,
+                st: o.interval.st,
+                end: o.interval.end,
+            };
             for &e in &o.desc {
                 per_elem.entry(e).or_default().push(rec);
             }
@@ -92,7 +102,11 @@ impl TifHint {
     pub fn build_with_per_list_cost_model(coll: &Collection, strategy: IntersectStrategy) -> Self {
         let mut per_elem: HashMap<u32, Vec<IntervalRecord>> = HashMap::new();
         for o in coll.objects() {
-            let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+            let rec = IntervalRecord {
+                id: o.id,
+                st: o.interval.st,
+                end: o.interval.end,
+            };
             for &e in &o.desc {
                 per_elem.entry(e).or_default().push(rec);
             }
@@ -139,6 +153,19 @@ impl TifHint {
     /// Total stored entries over all postings HINTs (with replication).
     pub fn num_entries(&self) -> usize {
         self.hints.values().map(Hint::num_entries).sum()
+    }
+
+    /// Document frequency of an element as tracked by the planner.
+    pub fn freq(&self, e: u32) -> u32 {
+        self.freqs.get(e)
+    }
+
+    /// Calls `f(element, hint)` for every per-element HINT, in
+    /// unspecified element order (introspection for validators).
+    pub fn for_each_hint(&self, mut f: impl FnMut(u32, &Hint)) {
+        for (&e, h) in &self.hints {
+            f(e, h);
+        }
     }
 
     /// Algorithm 3 inner loop: traverse `H[e]` with endpoint checks and
@@ -252,7 +279,11 @@ impl TemporalIrIndex for TifHint {
     }
 
     fn insert(&mut self, o: &Object) {
-        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+        let rec = IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        };
         let cfg = Self::hint_config(self.config);
         for &e in &o.desc {
             self.hints
@@ -266,7 +297,11 @@ impl TemporalIrIndex for TifHint {
     }
 
     fn delete(&mut self, o: &Object) -> bool {
-        let rec = IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end };
+        let rec = IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        };
         let mut any = false;
         for &e in &o.desc {
             if let Some(h) = self.hints.get_mut(&e) {
@@ -295,10 +330,22 @@ mod tests {
 
     fn configs() -> Vec<TifHintConfig> {
         vec![
-            TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 3 },
-            TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 10 },
-            TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 3 },
-            TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 5 },
+            TifHintConfig {
+                strategy: IntersectStrategy::BinarySearch,
+                m: 3,
+            },
+            TifHintConfig {
+                strategy: IntersectStrategy::BinarySearch,
+                m: 10,
+            },
+            TifHintConfig {
+                strategy: IntersectStrategy::MergeSort,
+                m: 3,
+            },
+            TifHintConfig {
+                strategy: IntersectStrategy::MergeSort,
+                m: 5,
+            },
         ]
     }
 
@@ -360,7 +407,13 @@ mod tests {
     #[test]
     fn replication_visible_in_entry_count() {
         let coll = Collection::running_example();
-        let idx = TifHint::build(&coll, TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 3 });
+        let idx = TifHint::build(
+            &coll,
+            TifHintConfig {
+                strategy: IntersectStrategy::MergeSort,
+                m: 3,
+            },
+        );
         let raw_postings: usize = coll.objects().iter().map(|o| o.desc.len()).sum();
         assert!(idx.num_entries() >= raw_postings);
     }

@@ -47,11 +47,17 @@ fn all_indexes(coll: &Collection) -> Vec<Box<dyn TemporalIrIndex>> {
         Box::new(TifSharding::build(coll)),
         Box::new(TifHint::build(
             coll,
-            TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 6 },
+            TifHintConfig {
+                strategy: IntersectStrategy::BinarySearch,
+                m: 6,
+            },
         )),
         Box::new(TifHint::build(
             coll,
-            TifHintConfig { strategy: IntersectStrategy::MergeSort, m: 4 },
+            TifHintConfig {
+                strategy: IntersectStrategy::MergeSort,
+                m: 4,
+            },
         )),
         Box::new(TifHintSlicing::build_with_params(coll, 4, 5)),
         Box::new(IrHintPerf::build_with_m(coll, 6)),
@@ -59,12 +65,22 @@ fn all_indexes(coll: &Collection) -> Vec<Box<dyn TemporalIrIndex>> {
     ]
 }
 
-fn check(index: &dyn TemporalIrIndex, oracle: &BruteForce, q: &TimeTravelQuery) -> Result<(), TestCaseError> {
+fn check(
+    index: &dyn TemporalIrIndex,
+    oracle: &BruteForce,
+    q: &TimeTravelQuery,
+) -> Result<(), TestCaseError> {
     let mut got = index.query(q);
     let n = got.len();
     got.sort_unstable();
     got.dedup();
-    prop_assert_eq!(n, got.len(), "{} returned duplicates for {:?}", index.name(), q);
+    prop_assert_eq!(
+        n,
+        got.len(),
+        "{} returned duplicates for {:?}",
+        index.name(),
+        q
+    );
     prop_assert_eq!(
         got,
         oracle.answer(q),

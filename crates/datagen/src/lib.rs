@@ -11,6 +11,7 @@
 //!   guaranteed non-empty results;
 //! * [`dist`] — the in-house zipf and normal samplers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;

@@ -64,7 +64,12 @@ impl Default for WorkloadSpec {
 /// result (the seed object). Returns fewer than `n` only if the
 /// collection cannot support the spec at all (e.g. no object has enough
 /// in-bin elements).
-pub fn workload(coll: &Collection, spec: &WorkloadSpec, n: usize, seed: u64) -> Vec<TimeTravelQuery> {
+pub fn workload(
+    coll: &Collection,
+    spec: &WorkloadSpec,
+    n: usize,
+    seed: u64,
+) -> Vec<TimeTravelQuery> {
     assert!(spec.num_elems >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let domain = coll.domain();
@@ -105,7 +110,11 @@ pub fn workload(coll: &Collection, spec: &WorkloadSpec, n: usize, seed: u64) -> 
         let o = coll.get(oid);
         // Anchor inside the object's lifespan, window around it.
         let anchor = rng.gen_range(o.interval.st..=o.interval.end);
-        let lo_off = if extent_len == 0 { 0 } else { rng.gen_range(0..=extent_len) };
+        let lo_off = if extent_len == 0 {
+            0
+        } else {
+            rng.gen_range(0..=extent_len)
+        };
         let q_st = anchor.saturating_sub(lo_off).max(domain.st);
         let q_end = (q_st + extent_len).min(domain.end);
         let q_st = q_st.min(q_end);
@@ -130,8 +139,14 @@ pub const SELECTIVITY_BINS: [(f64, f64); 6] = [
 ];
 
 /// Human-readable labels for [`SELECTIVITY_BINS`].
-pub const SELECTIVITY_LABELS: [&str; 6] =
-    ["0", "(0,1e-3]", "(1e-3,1e-2]", "(1e-2,1e-1]", "(1e-1,1]", "(1,10]"];
+pub const SELECTIVITY_LABELS: [&str; 6] = [
+    "0",
+    "(0,1e-3]",
+    "(1e-3,1e-2]",
+    "(1e-2,1e-1]",
+    "(1e-1,1]",
+    "(1,10]",
+];
 
 /// Generates a mixed pool of queries (varying extent, |q.d| and element
 /// rarity) and buckets them by measured selectivity using `index` as the
@@ -204,8 +219,16 @@ mod tests {
         let c = coll();
         let bf = BruteForce::build(c.objects());
         for num_elems in 1..=3 {
-            for extent in [Extent::Stabbing, Extent::Fraction(0.001), Extent::Fraction(0.1)] {
-                let spec = WorkloadSpec { extent, num_elems, source: ElemSource::SeedObject };
+            for extent in [
+                Extent::Stabbing,
+                Extent::Fraction(0.001),
+                Extent::Fraction(0.1),
+            ] {
+                let spec = WorkloadSpec {
+                    extent,
+                    num_elems,
+                    source: ElemSource::SeedObject,
+                };
                 let qs = workload(&c, &spec, 40, 11);
                 assert_eq!(qs.len(), 40);
                 for q in &qs {
@@ -219,12 +242,18 @@ mod tests {
     #[test]
     fn extent_controls_window_length() {
         let c = coll();
-        let spec = WorkloadSpec { extent: Extent::Fraction(0.5), ..Default::default() };
+        let spec = WorkloadSpec {
+            extent: Extent::Fraction(0.5),
+            ..Default::default()
+        };
         let span = c.domain().end - c.domain().st;
         for q in workload(&c, &spec, 20, 3) {
             assert!(q.interval.duration() <= span / 2 + 2);
         }
-        let stab = WorkloadSpec { extent: Extent::Stabbing, ..Default::default() };
+        let stab = WorkloadSpec {
+            extent: Extent::Stabbing,
+            ..Default::default()
+        };
         for q in workload(&c, &stab, 20, 3) {
             assert_eq!(q.interval.st, q.interval.end);
         }
@@ -239,7 +268,10 @@ mod tests {
         let spec = WorkloadSpec {
             extent: Extent::Fraction(0.1),
             num_elems: 1,
-            source: ElemSource::FreqBin { lo_pct: 10.0, hi_pct: 100.0 },
+            source: ElemSource::FreqBin {
+                lo_pct: 10.0,
+                hi_pct: 100.0,
+            },
         };
         for q in workload(&c, &spec, 30, 5) {
             for &e in &q.elems {
@@ -255,7 +287,10 @@ mod tests {
         let spec = WorkloadSpec {
             extent: Extent::Fraction(0.1),
             num_elems: 2,
-            source: ElemSource::FreqBin { lo_pct: 99.0, hi_pct: 100.0 },
+            source: ElemSource::FreqBin {
+                lo_pct: 99.0,
+                hi_pct: 100.0,
+            },
         };
         assert!(workload(&c, &spec, 10, 1).is_empty());
     }

@@ -67,7 +67,8 @@ pub fn generate_shape(shape: &RealShape, scale: f64, seed: u64) -> Collection {
     let n = ((shape.cardinality as f64 * scale).round() as usize).max(10);
     let domain = ((shape.domain as f64 * scale).round() as u64).max(1000);
     let dict = ((shape.dict_size as f64 * scale).round() as u32).max(16);
-    let desc_size = ((shape.avg_desc as f64 * scale.sqrt()).round() as usize).clamp(4, shape.avg_desc);
+    let desc_size =
+        ((shape.avg_desc as f64 * scale.sqrt()).round() as usize).clamp(4, shape.avg_desc);
 
     let mut rng = StdRng::seed_from_u64(seed ^ shape.cardinality as u64);
     let element = Zipf::new(dict as u64, shape.zeta);

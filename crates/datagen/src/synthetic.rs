@@ -157,15 +157,27 @@ mod tests {
 
     #[test]
     fn alpha_controls_duration() {
-        let long = generate(&SyntheticConfig { alpha: 1.01, ..small() });
-        let short = generate(&SyntheticConfig { alpha: 1.8, ..small() });
+        let long = generate(&SyntheticConfig {
+            alpha: 1.01,
+            ..small()
+        });
+        let short = generate(&SyntheticConfig {
+            alpha: 1.8,
+            ..small()
+        });
         assert!(long.stats().avg_duration > short.stats().avg_duration);
     }
 
     #[test]
     fn zeta_controls_skew() {
-        let flat = generate(&SyntheticConfig { zeta: 1.0, ..small() });
-        let skewed = generate(&SyntheticConfig { zeta: 2.0, ..small() });
+        let flat = generate(&SyntheticConfig {
+            zeta: 1.0,
+            ..small()
+        });
+        let skewed = generate(&SyntheticConfig {
+            zeta: 2.0,
+            ..small()
+        });
         // Max frequency rises with skew.
         let max_flat = flat.freqs().iter().max().copied().unwrap();
         let max_skew = skewed.freqs().iter().max().copied().unwrap();
@@ -174,8 +186,14 @@ mod tests {
 
     #[test]
     fn sigma_controls_spread() {
-        let narrow = generate(&SyntheticConfig { sigma: 100, ..small() });
-        let wide = generate(&SyntheticConfig { sigma: 30_000, ..small() });
+        let narrow = generate(&SyntheticConfig {
+            sigma: 100,
+            ..small()
+        });
+        let wide = generate(&SyntheticConfig {
+            sigma: 30_000,
+            ..small()
+        });
         let spread = |c: &Collection| {
             let mids: Vec<f64> = c
                 .objects()

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use tir_core::BruteForce;
-use tir_datagen::{
-    generate, workload, ElemSource, Extent, SyntheticConfig, WorkloadSpec,
-};
+use tir_datagen::{generate, workload, ElemSource, Extent, SyntheticConfig, WorkloadSpec};
 
 fn arb_config() -> impl Strategy<Value = SyntheticConfig> {
     (

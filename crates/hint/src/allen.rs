@@ -142,7 +142,9 @@ impl Hint {
                 self.scan_column(self.domain.cell(q_end), false, rel, q_st, q_end, &mut out)
             }
             // Order relations: scan originals over a half-open cell range.
-            Before => self.scan_originals_range(0, self.domain.cell(q_st), rel, q_st, q_end, &mut out),
+            Before => {
+                self.scan_originals_range(0, self.domain.cell(q_st), rel, q_st, q_end, &mut out)
+            }
             After => self.scan_originals_range(
                 self.domain.cell(q_end),
                 self.domain.num_cells() - 1,
@@ -238,7 +240,11 @@ mod tests {
     use crate::{HintConfig, IntervalRecord};
 
     fn allen_config(m: u32) -> HintConfig {
-        HintConfig { m: Some(m), order: DivisionOrder::Beneficial, storage_opt: false }
+        HintConfig {
+            m: Some(m),
+            order: DivisionOrder::Beneficial,
+            storage_opt: false,
+        }
     }
 
     fn sample() -> Vec<IntervalRecord> {
@@ -246,7 +252,11 @@ mod tests {
         let mut id = 0;
         for st in 0..20u64 {
             for len in [0u64, 1, 3, 7, 15] {
-                recs.push(IntervalRecord { id, st, end: st + len });
+                recs.push(IntervalRecord {
+                    id,
+                    st,
+                    end: st + len,
+                });
                 id += 1;
             }
         }
@@ -301,7 +311,11 @@ mod tests {
                 .iter()
                 .filter(|r| r.matches(i_st, i_end, q_st, q_end))
                 .collect();
-            assert_eq!(holds.len(), 1, "i=[{i_st},{i_end}] q=[{q_st},{q_end}]: {holds:?}");
+            assert_eq!(
+                holds.len(),
+                1,
+                "i=[{i_st},{i_end}] q=[{q_st},{q_end}]: {holds:?}"
+            );
         }
     }
 

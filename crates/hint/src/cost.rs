@@ -106,7 +106,11 @@ mod tests {
         (0..n)
             .map(|i| {
                 let st = (i * 2654435761) % (span - len);
-                IntervalRecord { id: i as u32, st, end: st + len }
+                IntervalRecord {
+                    id: i as u32,
+                    st,
+                    end: st + len,
+                }
             })
             .collect()
     }

@@ -26,7 +26,11 @@ impl Grid1D {
         let (min, max) = records.iter().fold((u64::MAX, 0u64), |(lo, hi), r| {
             (lo.min(r.st), hi.max(r.end))
         });
-        let (min, max) = if records.is_empty() { (0, 0) } else { (min, max) };
+        let (min, max) = if records.is_empty() {
+            (0, 0)
+        } else {
+            (min, max)
+        };
         Self::build_with_domain(records, min, max, k)
     }
 
@@ -112,6 +116,11 @@ impl Grid1D {
         self.cells.get(c as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Number of grid cells.
+    pub fn num_cells(&self) -> u32 {
+        self.k
+    }
+
     /// All ids overlapping `[q_st, q_end]`, duplicate-free via the
     /// reference value method.
     pub fn range_query(&self, q_st: u64, q_end: u64) -> Vec<u32> {
@@ -142,11 +151,31 @@ mod tests {
 
     fn sample() -> Vec<IntervalRecord> {
         vec![
-            IntervalRecord { id: 0, st: 0, end: 30 },
-            IntervalRecord { id: 1, st: 5, end: 6 },
-            IntervalRecord { id: 2, st: 10, end: 20 },
-            IntervalRecord { id: 3, st: 29, end: 30 },
-            IntervalRecord { id: 4, st: 15, end: 15 },
+            IntervalRecord {
+                id: 0,
+                st: 0,
+                end: 30,
+            },
+            IntervalRecord {
+                id: 1,
+                st: 5,
+                end: 6,
+            },
+            IntervalRecord {
+                id: 2,
+                st: 10,
+                end: 20,
+            },
+            IntervalRecord {
+                id: 3,
+                st: 29,
+                end: 30,
+            },
+            IntervalRecord {
+                id: 4,
+                st: 15,
+                end: 15,
+            },
         ]
     }
 

@@ -109,7 +109,11 @@ impl Hint {
         let (min, max) = records.iter().fold((u64::MAX, 0u64), |(lo, hi), r| {
             (lo.min(r.st), hi.max(r.end))
         });
-        let (min, max) = if records.is_empty() { (0, 0) } else { (min, max) };
+        let (min, max) = if records.is_empty() {
+            (0, 0)
+        } else {
+            (min, max)
+        };
         Self::build_with_domain(records, min, max, config)
     }
 
@@ -167,15 +171,18 @@ impl Hint {
                 }
                 let kind = kind_from_code(k);
                 let (keep_st, keep_end) = kept_endpoints(kind, storage_opt);
-                level.parts.last_mut().unwrap().division_mut(kind).insert(
-                    r.id,
-                    r.st,
-                    r.end,
-                    DivisionOrder::Insertion,
-                    kind,
-                    keep_st,
-                    keep_end,
-                );
+                // The branch above guarantees a partition for `j` exists.
+                if let Some(part) = level.parts.last_mut() {
+                    part.division_mut(kind).insert(
+                        r.id,
+                        r.st,
+                        r.end,
+                        DivisionOrder::Insertion,
+                        kind,
+                        keep_st,
+                        keep_end,
+                    );
+                }
             }
         }
         self.live += records.len();
@@ -184,6 +191,83 @@ impl Hint {
     /// The discretized domain this index covers.
     pub fn domain(&self) -> Domain {
         self.domain
+    }
+
+    /// Number of hierarchy levels (`m + 1`).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The ordering configured for subdivision entries.
+    pub fn division_order(&self) -> DivisionOrder {
+        self.order
+    }
+
+    /// Whether the storage optimization (endpoint-array elision) is on.
+    pub fn storage_opt(&self) -> bool {
+        self.storage_opt
+    }
+
+    /// The partition indexes materialized at `level`, ascending (empty
+    /// for out-of-range levels). Introspection for validators.
+    pub fn level_keys(&self, level: u32) -> &[u32] {
+        self.levels
+            .get(level as usize)
+            .map(|l| l.keys.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Visits every materialized division (empty ones included) with its
+    /// view and tombstone count, in `(level, j, kind)` order.
+    /// Introspection for validators and serializers.
+    pub fn for_each_division(&self, mut f: impl FnMut(DivisionView<'_>, usize)) {
+        for (li, level) in self.levels.iter().enumerate() {
+            for (pi, &j) in level.keys.iter().enumerate() {
+                let part = &level.parts[pi];
+                for kind in [
+                    DivisionKind::OrigIn,
+                    DivisionKind::OrigAft,
+                    DivisionKind::ReplIn,
+                    DivisionKind::ReplAft,
+                ] {
+                    let d = part.division(kind);
+                    f(
+                        DivisionView {
+                            ids: &d.ids,
+                            sts: &d.sts,
+                            ends: &d.ends,
+                            kind,
+                            level: li as u32,
+                            j,
+                        },
+                        d.dead as usize,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Deliberately desynchronizes a division's `dead` counter from its
+    /// tombstone bits — used by `tir-check`'s property tests to prove the
+    /// validator notices. Picks the first non-empty division.
+    #[cfg(feature = "testing")]
+    pub fn testing_corrupt_dead_counter(&mut self) {
+        for level in &mut self.levels {
+            for part in &mut level.parts {
+                for kind in [
+                    DivisionKind::OrigIn,
+                    DivisionKind::OrigAft,
+                    DivisionKind::ReplIn,
+                    DivisionKind::ReplAft,
+                ] {
+                    let d = part.division_mut(kind);
+                    if !d.is_empty() {
+                        d.dead += 1;
+                        return;
+                    }
+                }
+            }
+        }
     }
 
     /// Number of live (non-deleted) indexed intervals.
@@ -320,25 +404,30 @@ impl Hint {
         let qa = self.domain.cell(q_st);
         let qb = self.domain.cell(q_end);
         let order = self.order;
-        self.layout.for_each_relevant_level(qa, qb, |level, f, l, fc, lc, mc| {
-            let lvl = &self.levels[level as usize];
-            let lo = lvl.keys.partition_point(|&k| k < f);
-            for i in lo..lvl.keys.len() {
-                let j = lvl.keys[i];
-                if j > l {
-                    break;
-                }
-                let checks = pick_checks(j, f, l, fc, lc, mc);
-                lvl.parts[i].query_into(
-                    checks.originals,
-                    checks.replicas,
-                    order,
-                    q_st,
-                    q_end,
-                    out,
+        self.layout
+            .for_each_relevant_level(qa, qb, |level, f, l, fc, lc, mc| {
+                let lvl = &self.levels[level as usize];
+                debug_assert!(
+                    lvl.keys.windows(2).take(32).all(|w| w[0] < w[1]),
+                    "level {level} keys must be strictly ascending for binary search"
                 );
-            }
-        });
+                let lo = lvl.keys.partition_point(|&k| k < f);
+                for i in lo..lvl.keys.len() {
+                    let j = lvl.keys[i];
+                    if j > l {
+                        break;
+                    }
+                    let checks = pick_checks(j, f, l, fc, lc, mc);
+                    lvl.parts[i].query_into(
+                        checks.originals,
+                        checks.replicas,
+                        order,
+                        q_st,
+                        q_end,
+                        out,
+                    );
+                }
+            });
     }
 
     /// Counts live intervals overlapping the query without materializing
@@ -365,50 +454,51 @@ impl Hint {
         assert!(q_st <= q_end, "invalid query range");
         let qa = self.domain.cell(q_st);
         let qb = self.domain.cell(q_end);
-        self.layout.for_each_relevant_level(qa, qb, |level, fst, lst, fc, lc, mc| {
-            let lvl = &self.levels[level as usize];
-            let lo = lvl.keys.partition_point(|&k| k < fst);
-            for i in lo..lvl.keys.len() {
-                let j = lvl.keys[i];
-                if j > lst {
-                    break;
-                }
-                let checks = pick_checks(j, fst, lst, fc, lc, mc);
-                let part = &lvl.parts[i];
-                for kind in [
-                    DivisionKind::OrigIn,
-                    DivisionKind::OrigAft,
-                    DivisionKind::ReplIn,
-                    DivisionKind::ReplAft,
-                ] {
-                    let is_replica =
-                        matches!(kind, DivisionKind::ReplIn | DivisionKind::ReplAft);
-                    let mode = if is_replica {
-                        match checks.replicas {
-                            Some(rm) => crate::layout::refine_mode(rm, kind),
-                            None => continue,
-                        }
-                    } else {
-                        crate::layout::refine_mode(checks.originals, kind)
-                    };
-                    let d = part.division(kind);
-                    if d.is_empty() {
-                        continue;
+        self.layout
+            .for_each_relevant_level(qa, qb, |level, fst, lst, fc, lc, mc| {
+                let lvl = &self.levels[level as usize];
+                let lo = lvl.keys.partition_point(|&k| k < fst);
+                for i in lo..lvl.keys.len() {
+                    let j = lvl.keys[i];
+                    if j > lst {
+                        break;
                     }
-                    f(
-                        DivisionView {
-                            ids: &d.ids,
-                            sts: &d.sts,
-                            ends: &d.ends,
-                            kind,
-                            level,
-                            j,
-                        },
-                        mode,
-                    );
+                    let checks = pick_checks(j, fst, lst, fc, lc, mc);
+                    let part = &lvl.parts[i];
+                    for kind in [
+                        DivisionKind::OrigIn,
+                        DivisionKind::OrigAft,
+                        DivisionKind::ReplIn,
+                        DivisionKind::ReplAft,
+                    ] {
+                        let is_replica =
+                            matches!(kind, DivisionKind::ReplIn | DivisionKind::ReplAft);
+                        let mode = if is_replica {
+                            match checks.replicas {
+                                Some(rm) => crate::layout::refine_mode(rm, kind),
+                                None => continue,
+                            }
+                        } else {
+                            crate::layout::refine_mode(checks.originals, kind)
+                        };
+                        let d = part.division(kind);
+                        if d.is_empty() {
+                            continue;
+                        }
+                        f(
+                            DivisionView {
+                                ids: &d.ids,
+                                sts: &d.sts,
+                                ends: &d.ends,
+                                kind,
+                                level,
+                                j,
+                            },
+                            mode,
+                        );
+                    }
                 }
-            }
-        });
+            });
     }
 
     /// Enumerates the divisions `(level, j, kind)` that (would) store `r`
@@ -488,11 +578,7 @@ fn pick_checks(
     }
 }
 
-fn sort_division(
-    d: &mut crate::partition::Division,
-    order: DivisionOrder,
-    kind: DivisionKind,
-) {
+fn sort_division(d: &mut crate::partition::Division, order: DivisionOrder, kind: DivisionKind) {
     use crate::partition::{sort_key, SortKey};
     let n = d.ids.len();
     if n <= 1 {
@@ -528,13 +614,41 @@ mod tests {
 
     fn sample() -> Vec<IntervalRecord> {
         vec![
-            IntervalRecord { id: 0, st: 0, end: 3 },
-            IntervalRecord { id: 1, st: 2, end: 9 },
-            IntervalRecord { id: 2, st: 5, end: 5 },
-            IntervalRecord { id: 3, st: 7, end: 15 },
-            IntervalRecord { id: 4, st: 0, end: 15 },
-            IntervalRecord { id: 5, st: 12, end: 13 },
-            IntervalRecord { id: 6, st: 9, end: 10 },
+            IntervalRecord {
+                id: 0,
+                st: 0,
+                end: 3,
+            },
+            IntervalRecord {
+                id: 1,
+                st: 2,
+                end: 9,
+            },
+            IntervalRecord {
+                id: 2,
+                st: 5,
+                end: 5,
+            },
+            IntervalRecord {
+                id: 3,
+                st: 7,
+                end: 15,
+            },
+            IntervalRecord {
+                id: 4,
+                st: 0,
+                end: 15,
+            },
+            IntervalRecord {
+                id: 5,
+                st: 12,
+                end: 13,
+            },
+            IntervalRecord {
+                id: 6,
+                st: 9,
+                end: 10,
+            },
         ]
     }
 

@@ -46,12 +46,38 @@ impl IntervalTree {
     pub fn size_bytes(&self) -> usize {
         fn node_size(n: &Node) -> usize {
             std::mem::size_of::<Node>()
-                + (n.by_st.capacity() + n.by_end.capacity())
-                    * std::mem::size_of::<IntervalRecord>()
+                + (n.by_st.capacity() + n.by_end.capacity()) * std::mem::size_of::<IntervalRecord>()
                 + n.left.as_deref().map_or(0, node_size)
                 + n.right.as_deref().map_or(0, node_size)
         }
         self.root.as_deref().map_or(0, node_size)
+    }
+
+    /// Visits every node with its center, both sorted copies, and the
+    /// open ancestor bounds `(lo, hi)` the node's intervals must respect
+    /// (`lo < i.st` for right subtrees, `i.end < hi` for left ones).
+    /// Introspection for validators.
+    pub fn visit_nodes(
+        &self,
+        mut f: impl FnMut(u64, &[IntervalRecord], &[IntervalRecord], Option<u64>, Option<u64>),
+    ) {
+        fn walk(
+            n: &Node,
+            lo: Option<u64>,
+            hi: Option<u64>,
+            f: &mut impl FnMut(u64, &[IntervalRecord], &[IntervalRecord], Option<u64>, Option<u64>),
+        ) {
+            f(n.center, &n.by_st, &n.by_end, lo, hi);
+            if let Some(l) = &n.left {
+                walk(l, lo, Some(n.center), f);
+            }
+            if let Some(r) = &n.right {
+                walk(r, Some(n.center), hi, f);
+            }
+        }
+        if let Some(root) = &self.root {
+            walk(root, None, None, &mut f);
+        }
     }
 
     /// All ids of intervals overlapping `[q_st, q_end]`.
@@ -144,7 +170,11 @@ mod tests {
         let recs: Vec<IntervalRecord> = (0..200u32)
             .map(|i| {
                 let st = ((i as u64) * 37) % 500;
-                IntervalRecord { id: i, st, end: st + (i as u64 % 40) }
+                IntervalRecord {
+                    id: i,
+                    st,
+                    end: st + (i as u64 % 40),
+                }
             })
             .collect();
         let tree = IntervalTree::build(&recs);
@@ -169,7 +199,11 @@ mod tests {
     #[test]
     fn no_duplicates() {
         let recs: Vec<IntervalRecord> = (0..100u32)
-            .map(|i| IntervalRecord { id: i, st: 10, end: 20 })
+            .map(|i| IntervalRecord {
+                id: i,
+                st: 10,
+                end: 20,
+            })
             .collect();
         let tree = IntervalTree::build(&recs);
         let mut got = tree.range_query(15, 15);

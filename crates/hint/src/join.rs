@@ -62,9 +62,12 @@ pub fn grid_join(
     if a.is_empty() || b.is_empty() {
         return;
     }
-    let (min, max) = a.iter().chain(b.iter()).fold((u64::MAX, 0u64), |(lo, hi), r| {
-        (lo.min(r.st), hi.max(r.end))
-    });
+    let (min, max) = a
+        .iter()
+        .chain(b.iter())
+        .fold((u64::MAX, 0u64), |(lo, hi), r| {
+            (lo.min(r.st), hi.max(r.end))
+        });
     let ga = Grid1D::build_with_domain(a, min, max, k);
     let gb = Grid1D::build_with_domain(b, min, max, k);
     for c in 0..k {
@@ -87,11 +90,7 @@ pub fn grid_join(
 }
 
 /// Index-nested-loop join: probes `indexed_b` with every interval of `a`.
-pub fn hint_inl_join(
-    a: &[IntervalRecord],
-    indexed_b: &Hint,
-    mut emit: impl FnMut(u32, u32),
-) {
+pub fn hint_inl_join(a: &[IntervalRecord], indexed_b: &Hint, mut emit: impl FnMut(u32, u32)) {
     let mut buf = Vec::new();
     for ra in a {
         buf.clear();
@@ -126,7 +125,11 @@ mod tests {
             .map(|i| {
                 let st = (i as u64 * 2654435761 + seed * 97) % domain;
                 let len = (i as u64 * 48271 + seed) % max_len;
-                IntervalRecord { id: i, st, end: (st + len).min(domain + max_len) }
+                IntervalRecord {
+                    id: i,
+                    st,
+                    end: (st + len).min(domain + max_len),
+                }
             })
             .collect()
     }
@@ -168,14 +171,38 @@ mod tests {
     #[test]
     fn joins_with_ties_and_points() {
         let a = vec![
-            IntervalRecord { id: 0, st: 5, end: 5 },
-            IntervalRecord { id: 1, st: 5, end: 10 },
-            IntervalRecord { id: 2, st: 0, end: 4 },
+            IntervalRecord {
+                id: 0,
+                st: 5,
+                end: 5,
+            },
+            IntervalRecord {
+                id: 1,
+                st: 5,
+                end: 10,
+            },
+            IntervalRecord {
+                id: 2,
+                st: 0,
+                end: 4,
+            },
         ];
         let b = vec![
-            IntervalRecord { id: 0, st: 5, end: 7 },
-            IntervalRecord { id: 1, st: 10, end: 12 },
-            IntervalRecord { id: 2, st: 4, end: 5 },
+            IntervalRecord {
+                id: 0,
+                st: 5,
+                end: 7,
+            },
+            IntervalRecord {
+                id: 1,
+                st: 10,
+                end: 12,
+            },
+            IntervalRecord {
+                id: 2,
+                st: 4,
+                end: 5,
+            },
         ];
         run_all(&a, &b);
     }

@@ -20,6 +20,7 @@
 //! given `[q_st, q_end]`, return every stored interval `i` with
 //! `i.st <= q_end && q_st <= i.end`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allen;
@@ -42,10 +43,10 @@ pub use index::{Hint, HintConfig};
 pub use interval_tree::IntervalTree;
 pub use join::{brute_force_join, forward_scan_join, grid_join, hint_inl_join};
 pub use layout::{CheckMode, DivisionKind, Layout};
+pub use partition::{DivisionOrder, DivisionView, TOMBSTONE};
 pub use period_index::PeriodIndex;
 pub use segment_tree::SegmentTree;
 pub use timeline::TimelineIndex;
-pub use partition::{DivisionOrder, DivisionView, TOMBSTONE};
 
 /// An interval with an attached object id — the unit every index in this
 /// crate stores.

@@ -142,11 +142,22 @@ impl Division {
             CheckMode::Start => {
                 debug_assert_eq!(self.sts.len(), self.ids.len());
                 if order == DivisionOrder::Beneficial && sort_key(kind) == SortKey::StAsc {
+                    // Spot check (O(1)): full sortedness is tir-check's
+                    // job; an unsorted array still trips here early.
+                    debug_assert!(
+                        self.sts.windows(2).take(32).all(|w| w[0] <= w[1]),
+                        "StAsc prefix scan requires starts sorted ascending"
+                    );
                     let hi = self.sts.partition_point(|&st| st <= q_end);
                     if clean {
                         out.extend_from_slice(&self.ids[..hi]);
                     } else {
-                        out.extend(self.ids[..hi].iter().copied().filter(|id| id & TOMBSTONE == 0));
+                        out.extend(
+                            self.ids[..hi]
+                                .iter()
+                                .copied()
+                                .filter(|id| id & TOMBSTONE == 0),
+                        );
                     }
                 } else {
                     for (i, &st) in self.sts.iter().enumerate() {
@@ -159,11 +170,20 @@ impl Division {
             CheckMode::End => {
                 debug_assert_eq!(self.ends.len(), self.ids.len());
                 if order == DivisionOrder::Beneficial && sort_key(kind) == SortKey::EndDesc {
+                    debug_assert!(
+                        self.ends.windows(2).take(32).all(|w| w[0] >= w[1]),
+                        "EndDesc prefix scan requires ends sorted descending"
+                    );
                     let hi = self.ends.partition_point(|&end| end >= q_st);
                     if clean {
                         out.extend_from_slice(&self.ids[..hi]);
                     } else {
-                        out.extend(self.ids[..hi].iter().copied().filter(|id| id & TOMBSTONE == 0));
+                        out.extend(
+                            self.ids[..hi]
+                                .iter()
+                                .copied()
+                                .filter(|id| id & TOMBSTONE == 0),
+                        );
                     }
                 } else {
                     for (i, &end) in self.ends.iter().enumerate() {
@@ -177,6 +197,12 @@ impl Division {
                 debug_assert_eq!(self.sts.len(), self.ids.len());
                 debug_assert_eq!(self.ends.len(), self.ids.len());
                 if order == DivisionOrder::Beneficial && sort_key(kind) == SortKey::StAsc {
+                    // Spot check (O(1)): full sortedness is tir-check's
+                    // job; an unsorted array still trips here early.
+                    debug_assert!(
+                        self.sts.windows(2).take(32).all(|w| w[0] <= w[1]),
+                        "StAsc prefix scan requires starts sorted ascending"
+                    );
                     let hi = self.sts.partition_point(|&st| st <= q_end);
                     for i in 0..hi {
                         if self.ends[i] >= q_st && self.ids[i] & TOMBSTONE == 0 {
@@ -277,10 +303,22 @@ impl Partition {
         out: &mut Vec<u32>,
     ) {
         use DivisionKind::*;
-        self.orig_in
-            .query_into(refine_mode(orig_mode, OrigIn), OrigIn, order, q_st, q_end, out);
-        self.orig_aft
-            .query_into(refine_mode(orig_mode, OrigAft), OrigAft, order, q_st, q_end, out);
+        self.orig_in.query_into(
+            refine_mode(orig_mode, OrigIn),
+            OrigIn,
+            order,
+            q_st,
+            q_end,
+            out,
+        );
+        self.orig_aft.query_into(
+            refine_mode(orig_mode, OrigAft),
+            OrigAft,
+            order,
+            q_st,
+            q_end,
+            out,
+        );
         if let Some(rm) = repl_mode {
             self.repl_in
                 .query_into(refine_mode(rm, ReplIn), ReplIn, order, q_st, q_end, out);
@@ -309,7 +347,15 @@ mod tests {
     fn beneficial_insert_keeps_st_sorted() {
         let mut d = Division::default();
         for (id, st) in [(1u32, 50u64), (2, 10), (3, 30), (4, 70), (5, 30)] {
-            d.insert(id, st, st + 5, DivisionOrder::Beneficial, DivisionKind::OrigIn, true, true);
+            d.insert(
+                id,
+                st,
+                st + 5,
+                DivisionOrder::Beneficial,
+                DivisionKind::OrigIn,
+                true,
+                true,
+            );
         }
         assert!(d.sts.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -318,7 +364,15 @@ mod tests {
     fn beneficial_insert_keeps_end_desc_sorted() {
         let mut d = Division::default();
         for (id, end) in [(1u32, 50u64), (2, 90), (3, 30), (4, 70)] {
-            d.insert(id, 0, end, DivisionOrder::Beneficial, DivisionKind::ReplIn, false, true);
+            d.insert(
+                id,
+                0,
+                end,
+                DivisionOrder::Beneficial,
+                DivisionKind::ReplIn,
+                false,
+                true,
+            );
         }
         assert!(d.ends.windows(2).all(|w| w[0] >= w[1]));
         assert!(d.sts.is_empty(), "storage optimization elided starts");
@@ -328,7 +382,15 @@ mod tests {
     fn by_id_insert_keeps_ids_sorted() {
         let mut d = Division::default();
         for id in [5u32, 1, 3, 2, 4] {
-            d.insert(id, 0, 0, DivisionOrder::ById, DivisionKind::OrigIn, true, true);
+            d.insert(
+                id,
+                0,
+                0,
+                DivisionOrder::ById,
+                DivisionKind::OrigIn,
+                true,
+                true,
+            );
         }
         assert_eq!(d.ids, vec![1, 2, 3, 4, 5]);
     }
@@ -336,12 +398,35 @@ mod tests {
     #[test]
     fn tombstone_hides_from_queries() {
         let mut d = Division::default();
-        d.insert(7, 1, 9, DivisionOrder::Insertion, DivisionKind::OrigIn, true, true);
-        d.insert(8, 2, 9, DivisionOrder::Insertion, DivisionKind::OrigIn, true, true);
+        d.insert(
+            7,
+            1,
+            9,
+            DivisionOrder::Insertion,
+            DivisionKind::OrigIn,
+            true,
+            true,
+        );
+        d.insert(
+            8,
+            2,
+            9,
+            DivisionOrder::Insertion,
+            DivisionKind::OrigIn,
+            true,
+            true,
+        );
         assert!(d.tombstone(7));
         assert!(!d.tombstone(7), "already dead");
         let mut out = Vec::new();
-        d.query_into(CheckMode::None, DivisionKind::OrigIn, DivisionOrder::Insertion, 0, 10, &mut out);
+        d.query_into(
+            CheckMode::None,
+            DivisionKind::OrigIn,
+            DivisionOrder::Insertion,
+            0,
+            10,
+            &mut out,
+        );
         assert_eq!(out, vec![8]);
     }
 
@@ -351,13 +436,43 @@ mod tests {
         let mut unsorted = Division::default();
         let entries = [(1u32, 5u64), (2, 15), (3, 25), (4, 35), (5, 45)];
         for &(id, st) in &entries {
-            sorted.insert(id, st, 100, DivisionOrder::Beneficial, DivisionKind::OrigAft, true, false);
-            unsorted.insert(id, st, 100, DivisionOrder::Insertion, DivisionKind::OrigAft, true, false);
+            sorted.insert(
+                id,
+                st,
+                100,
+                DivisionOrder::Beneficial,
+                DivisionKind::OrigAft,
+                true,
+                false,
+            );
+            unsorted.insert(
+                id,
+                st,
+                100,
+                DivisionOrder::Insertion,
+                DivisionKind::OrigAft,
+                true,
+                false,
+            );
         }
         for q_end in [0u64, 5, 20, 44, 45, 99] {
             let (mut a, mut b) = (Vec::new(), Vec::new());
-            sorted.query_into(CheckMode::Start, DivisionKind::OrigAft, DivisionOrder::Beneficial, 0, q_end, &mut a);
-            unsorted.query_into(CheckMode::Start, DivisionKind::OrigAft, DivisionOrder::Insertion, 0, q_end, &mut b);
+            sorted.query_into(
+                CheckMode::Start,
+                DivisionKind::OrigAft,
+                DivisionOrder::Beneficial,
+                0,
+                q_end,
+                &mut a,
+            );
+            unsorted.query_into(
+                CheckMode::Start,
+                DivisionKind::OrigAft,
+                DivisionOrder::Insertion,
+                0,
+                q_end,
+                &mut b,
+            );
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "q_end={q_end}");

@@ -36,7 +36,11 @@ impl PeriodIndex {
         let (min, max) = records.iter().fold((u64::MAX, 0u64), |(lo, hi), r| {
             (lo.min(r.st), hi.max(r.end))
         });
-        let (min, max) = if records.is_empty() { (0, 0) } else { (min, max) };
+        let (min, max) = if records.is_empty() {
+            (0, 0)
+        } else {
+            (min, max)
+        };
         let mut idx = PeriodIndex {
             min,
             max,
@@ -82,15 +86,19 @@ impl PeriodIndex {
         assert!(q_st <= q_end);
         assert!(d_min >= 1 && d_min <= d_max);
         let c_lo = class_of(d_min);
-        let c_hi = if d_max == u64::MAX { NUM_CLASSES - 1 } else { class_of(d_max) };
+        let c_hi = if d_max == u64::MAX {
+            NUM_CLASSES - 1
+        } else {
+            class_of(d_max)
+        };
         let mut out = Vec::new();
         for b in self.bucket_of(q_st)..=self.bucket_of(q_end) {
             let bucket = &self.buckets[b as usize];
             if bucket.len() <= c_lo {
                 continue;
             }
-            for class in c_lo..=c_hi.min(bucket.len() - 1) {
-                for r in &bucket[class] {
+            for class in &bucket[c_lo..=c_hi.min(bucket.len() - 1)] {
+                for r in class {
                     let dur = r.end - r.st + 1;
                     if r.st <= q_end && r.end >= q_st && dur >= d_min && dur <= d_max {
                         // Reference value de-duplication.
@@ -134,7 +142,11 @@ mod tests {
             .map(|i| {
                 let st = (i as u64 * 48271) % 8_000;
                 let len = 1 + (i as u64 * 31) % 512;
-                IntervalRecord { id: i, st, end: st + len - 1 }
+                IntervalRecord {
+                    id: i,
+                    st,
+                    end: st + len - 1,
+                }
             })
             .collect()
     }
@@ -182,8 +194,13 @@ mod tests {
     #[test]
     fn duration_classes_prune() {
         // All intervals short: a long-duration band must touch nothing.
-        let recs: Vec<IntervalRecord> =
-            (0..50u32).map(|i| IntervalRecord { id: i, st: i as u64, end: i as u64 + 1 }).collect();
+        let recs: Vec<IntervalRecord> = (0..50u32)
+            .map(|i| IntervalRecord {
+                id: i,
+                st: i as u64,
+                end: i as u64 + 1,
+            })
+            .collect();
         let idx = PeriodIndex::build(&recs, 4);
         assert!(idx.range_duration_query(0, 100, 1000, u64::MAX).is_empty());
         assert_eq!(idx.range_duration_query(0, 100, 1, 2).len(), 50);

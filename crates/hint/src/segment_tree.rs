@@ -122,12 +122,36 @@ mod tests {
 
     fn sample() -> Vec<IntervalRecord> {
         vec![
-            IntervalRecord { id: 0, st: 0, end: 30 },
-            IntervalRecord { id: 1, st: 5, end: 6 },
-            IntervalRecord { id: 2, st: 10, end: 20 },
-            IntervalRecord { id: 3, st: 29, end: 30 },
-            IntervalRecord { id: 4, st: 15, end: 15 },
-            IntervalRecord { id: 5, st: 6, end: 10 },
+            IntervalRecord {
+                id: 0,
+                st: 0,
+                end: 30,
+            },
+            IntervalRecord {
+                id: 1,
+                st: 5,
+                end: 6,
+            },
+            IntervalRecord {
+                id: 2,
+                st: 10,
+                end: 20,
+            },
+            IntervalRecord {
+                id: 3,
+                st: 29,
+                end: 30,
+            },
+            IntervalRecord {
+                id: 4,
+                st: 15,
+                end: 15,
+            },
+            IntervalRecord {
+                id: 5,
+                st: 6,
+                end: 10,
+            },
         ]
     }
 
@@ -150,7 +174,11 @@ mod tests {
         let recs: Vec<IntervalRecord> = (0..500u32)
             .map(|i| {
                 let st = (i as u64 * 48271) % 10_000;
-                IntervalRecord { id: i, st, end: st + (i as u64 * 7) % 300 }
+                IntervalRecord {
+                    id: i,
+                    st,
+                    end: st + (i as u64 * 7) % 300,
+                }
             })
             .collect();
         let tree = SegmentTree::build(&recs);
@@ -171,8 +199,16 @@ mod tests {
     #[test]
     fn point_intervals() {
         let recs = vec![
-            IntervalRecord { id: 0, st: 7, end: 7 },
-            IntervalRecord { id: 1, st: 7, end: 7 },
+            IntervalRecord {
+                id: 0,
+                st: 7,
+                end: 7,
+            },
+            IntervalRecord {
+                id: 1,
+                st: 7,
+                end: 7,
+            },
         ];
         let tree = SegmentTree::build(&recs);
         let mut got = tree.stab_query(7);

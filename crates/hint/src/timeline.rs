@@ -50,8 +50,16 @@ impl TimelineIndex {
         assert!(checkpoint_every >= 1);
         let mut events = Vec::with_capacity(records.len() * 2);
         for r in records {
-            events.push(Event { time: r.st, id: r.id, is_start: true });
-            events.push(Event { time: r.end.saturating_add(1), id: r.id, is_start: false });
+            events.push(Event {
+                time: r.st,
+                id: r.id,
+                is_start: true,
+            });
+            events.push(Event {
+                time: r.end.saturating_add(1),
+                id: r.id,
+                is_start: false,
+            });
         }
         // Expiries before starts at equal times so that a closed interval
         // ending at t-1 is inactive at t even if another starts at t.
@@ -63,7 +71,10 @@ impl TimelineIndex {
             if i % checkpoint_every == 0 {
                 let mut snapshot: Vec<u32> = active.iter().copied().collect();
                 snapshot.sort_unstable();
-                checkpoints.push(Checkpoint { pos: i, active: snapshot });
+                checkpoints.push(Checkpoint {
+                    pos: i,
+                    active: snapshot,
+                });
             }
             if e.is_start {
                 active.insert(e.id);
@@ -71,7 +82,11 @@ impl TimelineIndex {
                 active.remove(&e.id);
             }
         }
-        TimelineIndex { events, checkpoints, len: records.len() }
+        TimelineIndex {
+            events,
+            checkpoints,
+            len: records.len(),
+        }
     }
 
     /// All ids of intervals overlapping `[q_st, q_end]` (inclusive).
@@ -145,7 +160,11 @@ mod tests {
         (0..300u32)
             .map(|i| {
                 let st = (i as u64 * 2654435761) % 5_000;
-                IntervalRecord { id: i, st, end: st + (i as u64 * 13) % 400 }
+                IntervalRecord {
+                    id: i,
+                    st,
+                    end: st + (i as u64 * 13) % 400,
+                }
             })
             .collect()
     }
@@ -177,8 +196,16 @@ mod tests {
     fn adjacent_intervals_at_boundaries() {
         // [0,4] and [5,9]: at t=5 only the second is active.
         let recs = vec![
-            IntervalRecord { id: 0, st: 0, end: 4 },
-            IntervalRecord { id: 1, st: 5, end: 9 },
+            IntervalRecord {
+                id: 0,
+                st: 0,
+                end: 4,
+            },
+            IntervalRecord {
+                id: 1,
+                st: 5,
+                end: 9,
+            },
         ];
         let idx = TimelineIndex::build(&recs);
         assert_eq!(idx.range_query(5, 5), vec![1]);

@@ -15,7 +15,11 @@ fn arb_records(max_len: usize, domain: u64) -> impl Strategy<Value = Vec<Interva
         pairs
             .into_iter()
             .enumerate()
-            .map(|(i, (a, b))| IntervalRecord { id: i as u32, st: a.min(b), end: a.max(b) })
+            .map(|(i, (a, b))| IntervalRecord {
+                id: i as u32,
+                st: a.min(b),
+                end: a.max(b),
+            })
             .collect()
     })
 }

@@ -6,6 +6,77 @@
 
 use crate::kernels::{raw, TOMBSTONE};
 
+/// Streaming constructor for the flat element/offset/postings layout.
+///
+/// Entries must arrive grouped by element (ascending); `finish` appends
+/// the final sentinel offset, so the `offsets.len() == elems.len() + 1`
+/// invariant holds by construction and no in-place offset patching is
+/// needed.
+struct FlatBuilder {
+    elems: Vec<u32>,
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+}
+
+impl FlatBuilder {
+    fn with_capacity(n: usize) -> Self {
+        FlatBuilder {
+            elems: Vec::new(),
+            offsets: Vec::new(),
+            ids: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, e: u32, id: u32) {
+        if self.elems.last() != Some(&e) {
+            self.elems.push(e);
+            self.offsets.push(self.ids.len() as u32);
+        }
+        self.ids.push(id);
+    }
+
+    fn finish(mut self) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        self.offsets.push(self.ids.len() as u32);
+        (self.elems, self.offsets, self.ids)
+    }
+}
+
+/// [`FlatBuilder`] twin that also carries the interval columns.
+struct TemporalFlatBuilder {
+    flat: FlatBuilder,
+    sts: Vec<u64>,
+    ends: Vec<u64>,
+}
+
+impl TemporalFlatBuilder {
+    fn with_capacity(n: usize) -> Self {
+        TemporalFlatBuilder {
+            flat: FlatBuilder::with_capacity(n),
+            sts: Vec::with_capacity(n),
+            ends: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, e: u32, id: u32, st: u64, end: u64) {
+        self.flat.push(e, id);
+        self.sts.push(st);
+        self.ends.push(end);
+    }
+
+    fn finish(self) -> CompactTemporalInverted {
+        let (elems, offsets, ids) = self.flat.finish();
+        CompactTemporalInverted {
+            elems,
+            offsets,
+            ids,
+            sts: self.sts,
+            ends: self.ends,
+        }
+    }
+}
+
 /// A compact inverted index mapping element ids to id-sorted postings.
 ///
 /// Used by the *size* variant of irHINT (Section 4.2), where postings hold
@@ -27,25 +98,27 @@ impl Default for CompactInverted {
 impl CompactInverted {
     /// Creates an empty index.
     pub fn new() -> Self {
-        CompactInverted { elems: Vec::new(), offsets: vec![0], ids: Vec::new() }
+        CompactInverted {
+            elems: Vec::new(),
+            offsets: vec![0],
+            ids: Vec::new(),
+        }
     }
 
     /// Builds from `(element, object id)` pairs; consumes and sorts the
     /// buffer.
-    pub fn build(pairs: &mut Vec<(u32, u32)>) -> Self {
+    pub fn build(pairs: &mut [(u32, u32)]) -> Self {
         pairs.sort_unstable();
-        let mut idx = CompactInverted::new();
-        idx.ids.reserve(pairs.len());
+        let mut b = FlatBuilder::with_capacity(pairs.len());
         for &(e, id) in pairs.iter() {
-            if idx.elems.last() != Some(&e) {
-                idx.elems.push(e);
-                idx.offsets.push(idx.ids.len() as u32);
-                *idx.offsets.last_mut().unwrap() = idx.ids.len() as u32;
-            }
-            idx.ids.push(id);
-            *idx.offsets.last_mut().unwrap() += 1;
+            b.push(e, id);
         }
-        idx
+        let (elems, offsets, ids) = b.finish();
+        CompactInverted {
+            elems,
+            offsets,
+            ids,
+        }
     }
 
     /// The id-sorted postings of `elem` (may contain tombstoned entries).
@@ -102,26 +175,17 @@ impl CompactInverted {
 
     /// Merges a batch of `(elem, id)` pairs in one rebuild pass —
     /// `O(existing + batch log batch)` instead of one memmove per pair.
-    pub fn merge_in(&mut self, new: &mut Vec<(u32, u32)>) {
+    pub fn merge_in(&mut self, new: &mut [(u32, u32)]) {
         if new.is_empty() {
             return;
         }
         new.sort_unstable_by_key(|&(e, id)| (e, id));
-        let mut out = CompactInverted::new();
-        out.ids.reserve(self.ids.len() + new.len());
-        let push = |out: &mut CompactInverted, e: u32, id: u32| {
-            if out.elems.last() != Some(&e) {
-                out.elems.push(e);
-                out.offsets.push(out.ids.len() as u32);
-            }
-            out.ids.push(id);
-            *out.offsets.last_mut().unwrap() = out.ids.len() as u32;
-        };
+        let mut out = FlatBuilder::with_capacity(self.ids.len() + new.len());
         let mut ni = 0usize;
         for (i, &e) in self.elems.iter().enumerate() {
             // New pairs for elements strictly before `e`.
             while ni < new.len() && new[ni].0 < e {
-                push(&mut out, new[ni].0, new[ni].1);
+                out.push(new[ni].0, new[ni].1);
                 ni += 1;
             }
             let lo = self.offsets[i] as usize;
@@ -130,26 +194,31 @@ impl CompactInverted {
             // Merge same-element runs by raw id.
             while oi < hi && ni < new.len() && new[ni].0 == e {
                 if raw(self.ids[oi]) <= new[ni].1 {
-                    push(&mut out, e, self.ids[oi]);
+                    out.push(e, self.ids[oi]);
                     oi += 1;
                 } else {
-                    push(&mut out, e, new[ni].1);
+                    out.push(e, new[ni].1);
                     ni += 1;
                 }
             }
             for &id in &self.ids[oi..hi] {
-                push(&mut out, e, id);
+                out.push(e, id);
             }
             while ni < new.len() && new[ni].0 == e {
-                push(&mut out, e, new[ni].1);
+                out.push(e, new[ni].1);
                 ni += 1;
             }
         }
         while ni < new.len() {
-            push(&mut out, new[ni].0, new[ni].1);
+            out.push(new[ni].0, new[ni].1);
             ni += 1;
         }
-        *self = out;
+        let (elems, offsets, ids) = out.finish();
+        *self = CompactInverted {
+            elems,
+            offsets,
+            ids,
+        };
     }
 
     /// Number of stored postings (including tombstoned).
@@ -165,6 +234,32 @@ impl CompactInverted {
     /// Approximate heap footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         (self.elems.capacity() + self.offsets.capacity() + self.ids.capacity()) * 4
+    }
+
+    /// The sorted element directory (introspection for validators).
+    pub fn elements(&self) -> &[u32] {
+        &self.elems
+    }
+
+    /// The offset array: `offsets()[i]..offsets()[i+1]` brackets the
+    /// postings of `elements()[i]` (introspection for validators).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat postings array across all elements, tombstone bits
+    /// included (introspection for validators).
+    pub fn all_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Deliberately breaks the offset invariant so validator tests can
+    /// confirm the corruption is reported.
+    #[cfg(feature = "testing")]
+    pub fn testing_corrupt_offsets(&mut self) {
+        if let Some(last) = self.offsets.last_mut() {
+            *last += 1;
+        }
     }
 }
 
@@ -197,7 +292,11 @@ pub struct TemporalPostings<'a> {
 impl<'a> TemporalPostings<'a> {
     /// An empty postings view.
     pub fn empty() -> Self {
-        TemporalPostings { ids: &[], sts: &[], ends: &[] }
+        TemporalPostings {
+            ids: &[],
+            sts: &[],
+            ends: &[],
+        }
     }
 
     /// Number of postings in the view.
@@ -231,22 +330,13 @@ impl CompactTemporalInverted {
 
     /// Builds from `(element, id, st, end)` tuples; consumes and sorts the
     /// buffer.
-    pub fn build(entries: &mut Vec<(u32, u32, u64, u64)>) -> Self {
+    pub fn build(entries: &mut [(u32, u32, u64, u64)]) -> Self {
         entries.sort_unstable_by_key(|&(e, id, _, _)| (e, id));
-        let mut idx = CompactTemporalInverted::new();
-        idx.ids.reserve(entries.len());
+        let mut b = TemporalFlatBuilder::with_capacity(entries.len());
         for &(e, id, st, end) in entries.iter() {
-            if idx.elems.last() != Some(&e) {
-                idx.elems.push(e);
-                idx.offsets.push(idx.ids.len() as u32);
-                *idx.offsets.last_mut().unwrap() = idx.ids.len() as u32;
-            }
-            idx.ids.push(id);
-            idx.sts.push(st);
-            idx.ends.push(end);
-            *idx.offsets.last_mut().unwrap() += 1;
+            b.push(e, id, st, end);
         }
-        idx
+        b.finish()
     }
 
     /// The temporal postings of `elem`.
@@ -306,28 +396,17 @@ impl CompactTemporalInverted {
 
     /// Merges a batch of `(elem, id, st, end)` tuples in one rebuild pass —
     /// `O(existing + batch log batch)` instead of one memmove per tuple.
-    pub fn merge_in(&mut self, new: &mut Vec<(u32, u32, u64, u64)>) {
+    pub fn merge_in(&mut self, new: &mut [(u32, u32, u64, u64)]) {
         if new.is_empty() {
             return;
         }
         new.sort_unstable_by_key(|&(e, id, _, _)| (e, id));
-        let mut out = CompactTemporalInverted::new();
-        out.ids.reserve(self.ids.len() + new.len());
-        let push = |out: &mut CompactTemporalInverted, e: u32, id: u32, st: u64, end: u64| {
-            if out.elems.last() != Some(&e) {
-                out.elems.push(e);
-                out.offsets.push(out.ids.len() as u32);
-            }
-            out.ids.push(id);
-            out.sts.push(st);
-            out.ends.push(end);
-            *out.offsets.last_mut().unwrap() = out.ids.len() as u32;
-        };
+        let mut out = TemporalFlatBuilder::with_capacity(self.ids.len() + new.len());
         let mut ni = 0usize;
         for (i, &e) in self.elems.iter().enumerate() {
             while ni < new.len() && new[ni].0 < e {
                 let (ne, nid, nst, nend) = new[ni];
-                push(&mut out, ne, nid, nst, nend);
+                out.push(ne, nid, nst, nend);
                 ni += 1;
             }
             let lo = self.offsets[i] as usize;
@@ -335,30 +414,30 @@ impl CompactTemporalInverted {
             let mut oi = lo;
             while oi < hi && ni < new.len() && new[ni].0 == e {
                 if raw(self.ids[oi]) <= new[ni].1 {
-                    push(&mut out, e, self.ids[oi], self.sts[oi], self.ends[oi]);
+                    out.push(e, self.ids[oi], self.sts[oi], self.ends[oi]);
                     oi += 1;
                 } else {
                     let (_, nid, nst, nend) = new[ni];
-                    push(&mut out, e, nid, nst, nend);
+                    out.push(e, nid, nst, nend);
                     ni += 1;
                 }
             }
             while oi < hi {
-                push(&mut out, e, self.ids[oi], self.sts[oi], self.ends[oi]);
+                out.push(e, self.ids[oi], self.sts[oi], self.ends[oi]);
                 oi += 1;
             }
             while ni < new.len() && new[ni].0 == e {
                 let (_, nid, nst, nend) = new[ni];
-                push(&mut out, e, nid, nst, nend);
+                out.push(e, nid, nst, nend);
                 ni += 1;
             }
         }
         while ni < new.len() {
             let (ne, nid, nst, nend) = new[ni];
-            push(&mut out, ne, nid, nst, nend);
+            out.push(ne, nid, nst, nend);
             ni += 1;
         }
-        *self = out;
+        *self = out.finish();
     }
 
     /// Number of stored postings (including tombstoned).
@@ -375,6 +454,40 @@ impl CompactTemporalInverted {
     pub fn size_bytes(&self) -> usize {
         (self.elems.capacity() + self.offsets.capacity() + self.ids.capacity()) * 4
             + (self.sts.capacity() + self.ends.capacity()) * 8
+    }
+
+    /// The sorted element directory (introspection for validators).
+    pub fn elements(&self) -> &[u32] {
+        &self.elems
+    }
+
+    /// The offset array: `offsets()[i]..offsets()[i+1]` brackets the
+    /// postings of `elements()[i]` (introspection for validators).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat postings array across all elements, tombstone bits
+    /// included (introspection for validators).
+    pub fn all_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The flat interval-start column (introspection for validators).
+    pub fn all_sts(&self) -> &[u64] {
+        &self.sts
+    }
+
+    /// The flat interval-end column (introspection for validators).
+    pub fn all_ends(&self) -> &[u64] {
+        &self.ends
+    }
+
+    /// Deliberately truncates one parallel column so validator tests can
+    /// confirm the corruption is reported.
+    #[cfg(feature = "testing")]
+    pub fn testing_corrupt_parallel(&mut self) {
+        self.ends.pop();
     }
 }
 
@@ -418,11 +531,7 @@ mod tests {
 
     #[test]
     fn temporal_build_and_lookup() {
-        let mut entries = vec![
-            (1u32, 4u32, 10u64, 20u64),
-            (1, 2, 5, 8),
-            (3, 2, 5, 8),
-        ];
+        let mut entries = vec![(1u32, 4u32, 10u64, 20u64), (1, 2, 5, 8), (3, 2, 5, 8)];
         let idx = CompactTemporalInverted::build(&mut entries);
         let p = idx.postings(1);
         assert_eq!(p.ids, &[2, 4]);
@@ -456,7 +565,17 @@ mod merge_tests {
         let mut idx = CompactInverted::build(&mut base_pairs);
         let mut batch = vec![(0u32, 4u32), (1, 5), (3, 0), (6, 2), (1, 9)];
         idx.merge_in(&mut batch);
-        let mut all = vec![(1u32, 2u32), (1, 8), (3, 1), (5, 9), (0, 4), (1, 5), (3, 0), (6, 2), (1, 9)];
+        let mut all = vec![
+            (1u32, 2u32),
+            (1, 8),
+            (3, 1),
+            (5, 9),
+            (0, 4),
+            (1, 5),
+            (3, 0),
+            (6, 2),
+            (1, 9),
+        ];
         let want = CompactInverted::build(&mut all);
         for e in 0..8u32 {
             assert_eq!(idx.postings(e), want.postings(e), "elem {e}");
@@ -474,7 +593,7 @@ mod merge_tests {
     #[test]
     fn merge_into_empty_index() {
         let mut idx = CompactInverted::new();
-        idx.merge_in(&mut vec![(2u32, 7u32), (1, 3)]);
+        idx.merge_in(&mut [(2u32, 7u32), (1, 3)]);
         assert_eq!(idx.postings(1), &[3]);
         assert_eq!(idx.postings(2), &[7]);
     }

@@ -46,7 +46,10 @@ pub struct CompressedPostings {
 impl CompressedPostings {
     /// Encodes a sorted, duplicate-free id list.
     pub fn encode(ids: &[u32]) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly ascending");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly ascending"
+        );
         let mut data = Vec::with_capacity(ids.len() * 2);
         let mut prev = 0u32;
         for (i, &id) in ids.iter().enumerate() {
@@ -55,7 +58,10 @@ impl CompressedPostings {
             prev = id;
         }
         data.shrink_to_fit();
-        CompressedPostings { data, len: ids.len() as u32 }
+        CompressedPostings {
+            data,
+            len: ids.len() as u32,
+        }
     }
 
     /// Number of encoded postings.
@@ -83,7 +89,13 @@ impl CompressedPostings {
 
     /// Iterates the decoded ids without materializing them.
     pub fn iter(&self) -> CompressedIter<'_> {
-        CompressedIter { data: &self.data, pos: 0, remaining: self.len, acc: 0, first: true }
+        CompressedIter {
+            data: &self.data,
+            pos: 0,
+            remaining: self.len,
+            acc: 0,
+            first: true,
+        }
     }
 
     /// Streaming intersection with a sorted candidate set; appends every
@@ -107,6 +119,12 @@ impl CompressedPostings {
     /// Encoded size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.data.capacity() + std::mem::size_of::<Self>()
+    }
+
+    /// The raw encoded bytes (introspection for validators, which
+    /// re-walk the varint stream with bounds checking).
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -163,7 +181,10 @@ impl CompressedTemporalPostings {
             prev = ids[i];
         }
         data.shrink_to_fit();
-        CompressedTemporalPostings { data, len: ids.len() as u32 }
+        CompressedTemporalPostings {
+            data,
+            len: ids.len() as u32,
+        }
     }
 
     /// Number of encoded postings.
@@ -192,6 +213,12 @@ impl CompressedTemporalPostings {
     /// Encoded size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.data.capacity() + std::mem::size_of::<Self>()
+    }
+
+    /// The raw encoded bytes (introspection for validators, which
+    /// re-walk the varint stream with bounds checking).
+    pub fn raw_bytes(&self) -> &[u8] {
+        &self.data
     }
 }
 
@@ -246,7 +273,10 @@ mod tests {
         let c = CompressedTemporalPostings::encode(&ids, &sts, &ends);
         let mut got = Vec::new();
         c.for_each(|id, st, end| got.push((id, st, end)));
-        assert_eq!(got, vec![(5, 100, 200), (9, 0, 7), (1000, 1 << 40, (1 << 40) + 3)]);
+        assert_eq!(
+            got,
+            vec![(5, 100, 200), (9, 0, 7), (1000, 1 << 40, (1 << 40) + 3)]
+        );
     }
 
     #[test]

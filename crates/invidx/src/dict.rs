@@ -73,6 +73,20 @@ impl Dictionary {
         self.terms.is_empty()
     }
 
+    /// Number of entries in the term → id map (introspection for
+    /// validators; equals [`len`](Self::len) iff the map and the term
+    /// table agree).
+    pub fn num_mapped(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of slots in the document-frequency table (introspection
+    /// for validators; equals [`len`](Self::len) iff the tables are
+    /// parallel).
+    pub fn num_freq_slots(&self) -> usize {
+        self.freq.len()
+    }
+
     /// Interns every term of an object description, bumping frequencies,
     /// and returns the deduplicated element-id set.
     pub fn intern_description<'a>(&mut self, terms: impl IntoIterator<Item = &'a str>) -> Vec<u32> {

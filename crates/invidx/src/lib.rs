@@ -13,6 +13,7 @@
 //! * [`compress`] — delta/varint compressed postings (the paper's
 //!   compression future-work direction).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compact;

@@ -119,6 +119,14 @@ impl InvertedIndex {
             .map(|l| l.capacity() * 4 + std::mem::size_of::<Vec<u32>>() + 16)
             .sum()
     }
+
+    /// Calls `f(element, postings)` for every stored list, in
+    /// unspecified element order (introspection for validators).
+    pub fn for_each_list(&self, mut f: impl FnMut(u32, &[u32])) {
+        for (&e, list) in &self.lists {
+            f(e, list);
+        }
+    }
 }
 
 /// Returns the query elements ordered by ascending document frequency —

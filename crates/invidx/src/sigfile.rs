@@ -57,10 +57,7 @@ impl Signature {
     /// filter (necessary, not sufficient, for containment).
     #[inline]
     pub fn covers(&self, query: &Signature) -> bool {
-        self.0
-            .iter()
-            .zip(&query.0)
-            .all(|(a, b)| a & b == *b)
+        self.0.iter().zip(&query.0).all(|(a, b)| a & b == *b)
     }
 }
 
@@ -181,7 +178,11 @@ mod tests {
         let sf = SignatureFile::build(objs.iter().map(|(id, d)| (*id, d.as_slice())));
         let inv = InvertedIndex::build(objs.iter().map(|(id, d)| (*id, d.as_slice())));
         for q in [vec![0u32], vec![0, 11], vec![3, 12, 20], vec![99], vec![]] {
-            assert_eq!(sf.containment_query(&q), inv.containment_query(&q), "q={q:?}");
+            assert_eq!(
+                sf.containment_query(&q),
+                inv.containment_query(&q),
+                "q={q:?}"
+            );
         }
     }
 

@@ -1,0 +1,303 @@
+//! `cargo xtask` — the repo-wide static-analysis gate.
+//!
+//! ```text
+//! cargo xtask lint     run every check below (the CI gate)
+//! cargo xtask attrs    library crates carry forbid(unsafe_code) + warn(missing_docs)
+//! cargo xtask srclint  no unwrap()/todo!/unimplemented!/dbg! in library code
+//! cargo xtask fmt      cargo fmt --all -- --check
+//! cargo xtask clippy   cargo clippy --workspace --all-targets -- -D warnings
+//! cargo xtask fsck     build indexes from generated data, validate with tir-check
+//! ```
+//!
+//! Every check either passes silently (one summary line) or prints the
+//! offending file/line and exits nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use tir_check::Validate;
+use tir_core::prelude::*;
+use tir_core::TifHintConfig;
+use tir_hint::{Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree};
+
+/// Library crates the attribute and source lints apply to. Binaries
+/// (`cli`, `bench`, this crate) and the dependency shims are exempt.
+const LIB_CRATES: &[&str] = &["hint", "invidx", "core", "datagen", "check"];
+
+const REQUIRED_ATTRS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+const USAGE: &str = "usage: cargo xtask <lint|attrs|srclint|fmt|clippy|fsck>";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("lint");
+    let result = match cmd {
+        "lint" => lint(),
+        "attrs" => attrs(),
+        "srclint" => srclint(),
+        "fmt" => fmt(),
+        "clippy" => clippy(),
+        "fsck" => fsck(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other}\n{USAGE}")),
+    };
+    if let Err(msg) = result {
+        eprintln!("xtask: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn lint() -> Result<(), String> {
+    attrs()?;
+    srclint()?;
+    fmt()?;
+    clippy()?;
+    fsck()
+}
+
+fn repo_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a grandparent")
+        .to_path_buf()
+}
+
+/// Every library crate root must opt into the workspace safety posture.
+fn attrs() -> Result<(), String> {
+    let root = repo_root();
+    let mut missing = Vec::new();
+    for krate in LIB_CRATES {
+        let path = root.join("crates").join(krate).join("src/lib.rs");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        for attr in REQUIRED_ATTRS {
+            if !text.contains(attr) {
+                missing.push(format!("{} lacks {attr}", path.display()));
+            }
+        }
+    }
+    if missing.is_empty() {
+        println!(
+            "attrs: {} library crates carry {:?}",
+            LIB_CRATES.len(),
+            REQUIRED_ATTRS
+        );
+        Ok(())
+    } else {
+        Err(format!("missing attributes:\n  {}", missing.join("\n  ")))
+    }
+}
+
+/// Rules the source lint denies in library (non-test) code. `.expect()`
+/// with a justification message is deliberately permitted.
+const DENIED: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "unwrap() panics without context; use expect(\"why\") or handle the None/Err",
+    ),
+    ("todo!", "todo! must not ship in library code"),
+    (
+        "unimplemented!",
+        "unimplemented! must not ship in library code",
+    ),
+    ("dbg!", "dbg! is debug cruft"),
+];
+
+/// Scans one source file, returning `(line number, needle, why)` hits.
+/// Comment/doc lines are skipped, and everything from a top-level
+/// `#[cfg(test)]` on is test code (the repo convention keeps test modules
+/// at the end of each file).
+fn scan_source(text: &str) -> Vec<(usize, &'static str, &'static str)> {
+    let mut hits = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let t = line.trim_start();
+        if t == "#[cfg(test)]" {
+            break;
+        }
+        if t.starts_with("//") {
+            continue;
+        }
+        for &(needle, why) in DENIED {
+            if line.contains(needle) {
+                hits.push((no + 1, needle, why));
+            }
+        }
+    }
+    hits
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))? {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn srclint() -> Result<(), String> {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for krate in LIB_CRATES {
+        rust_sources(&root.join("crates").join(krate).join("src"), &mut files)?;
+    }
+    files.sort();
+    let mut report = Vec::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        for (line, needle, why) in scan_source(&text) {
+            let rel = path.strip_prefix(&root).unwrap_or(path);
+            report.push(format!("{}:{line}: {needle} — {why}", rel.display()));
+        }
+    }
+    if report.is_empty() {
+        println!(
+            "srclint: {} library sources free of {:?}",
+            files.len(),
+            ["unwrap()", "todo!", "unimplemented!", "dbg!"]
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "denied constructs in library code:\n  {}",
+            report.join("\n  ")
+        ))
+    }
+}
+
+/// Runs a cargo subtool, treating "not installed" as a skip, any other
+/// failure as a lint failure.
+fn cargo_tool(args: &[&str], what: &str) -> Result<(), String> {
+    let status = Command::new(env!("CARGO"))
+        .args(args)
+        .current_dir(repo_root())
+        .status()
+        .map_err(|e| format!("could not spawn cargo: {e}"))?;
+    if status.success() {
+        println!("{what}: clean");
+        Ok(())
+    } else {
+        Err(format!("{what} failed (cargo {})", args.join(" ")))
+    }
+}
+
+fn fmt() -> Result<(), String> {
+    cargo_tool(&["fmt", "--all", "--", "--check"], "fmt")
+}
+
+fn clippy() -> Result<(), String> {
+    cargo_tool(
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+        "clippy",
+    )
+}
+
+/// Builds every index over a generated corpus and the paper's running
+/// example, then runs the deep structural validators of `tir-check`.
+fn fsck() -> Result<(), String> {
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    let mut check = |name: &str, v: Vec<tir_check::Violation>| {
+        checked += 1;
+        for viol in v {
+            violations.push(format!("{name}: {viol}"));
+        }
+    };
+
+    let synthetic = tir_datagen::generate(&tir_datagen::SyntheticConfig::default().scaled(0.002));
+    for (tag, coll) in [
+        ("example", Collection::running_example()),
+        ("synthetic", synthetic),
+    ] {
+        check(tag, Tif::build(&coll).validate());
+        check(tag, TifSlicing::build(&coll).validate());
+        check(tag, TifSharding::build(&coll).validate());
+        check(
+            tag,
+            TifHint::build(&coll, TifHintConfig::binary_search()).validate(),
+        );
+        check(tag, IrHintPerf::build(&coll).validate());
+        check(tag, IrHintSize::build(&coll).validate());
+
+        let records: Vec<IntervalRecord> = coll
+            .objects()
+            .iter()
+            .map(|o| IntervalRecord::new(o.id, o.interval.st, o.interval.end))
+            .collect();
+        check(tag, Hint::build(&records, HintConfig::default()).validate());
+        check(tag, Grid1D::build(&records, 64).validate());
+        check(tag, IntervalTree::build(&records).validate());
+    }
+
+    if violations.is_empty() {
+        println!("fsck: {checked} index builds validate clean");
+        Ok(())
+    } else {
+        Err(format!(
+            "structural violations:\n  {}",
+            violations.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_flags_denied_constructs() {
+        let src = "fn f() {\n    let x = opt.unwrap();\n    dbg!(x);\n}\n";
+        let hits = scan_source(src);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 2);
+        assert_eq!(hits[0].1, ".unwrap()");
+        assert_eq!(hits[1].1, "dbg!");
+    }
+
+    #[test]
+    fn scan_stops_at_test_module() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); todo!() }\n}\n";
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn scan_skips_comments_and_docs() {
+        let src = "/// call .unwrap() at your peril\n//! dbg! example\n// todo! later\nfn f() {}\n";
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn scan_flags_expectless_macros() {
+        let src = "fn f() {\n    unimplemented!()\n}\n";
+        let hits = scan_source(src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, "unimplemented!");
+    }
+
+    #[test]
+    fn attrs_and_srclint_pass_on_this_repo() {
+        attrs().expect("library crates must carry the required attributes");
+        srclint().expect("library sources must be free of denied constructs");
+    }
+
+    #[test]
+    fn fsck_passes_on_generated_data() {
+        fsck().expect("generated indexes must validate clean");
+    }
+}

@@ -27,7 +27,11 @@ struct Archive {
 
 impl Archive {
     fn new() -> Self {
-        Archive { dict: Dictionary::new(), objects: Vec::new(), titles: Vec::new() }
+        Archive {
+            dict: Dictionary::new(),
+            objects: Vec::new(),
+            titles: Vec::new(),
+        }
     }
 
     /// Adds one version of an article: valid `[from, until]`, described by
@@ -116,11 +120,15 @@ fn main() {
     assert_eq!(hits, vec![0, 1, 2]);
 
     // The same query restricted to the 1970s finds only the stale rev.
-    let q70s = archive.query(day(1970, 1), day(1979, 1), "US elections").unwrap();
+    let q70s = archive
+        .query(day(1970, 1), day(1979, 1), "US elections")
+        .unwrap();
     let hits = index.query(&q70s);
     assert_eq!(hits.len(), 2, "rev 1 (from 1975) and the stale rev");
 
     // Unknown keyword: no lookup, no query.
-    assert!(archive.query(day(1980, 1), day(2000, 1), "US blockchain").is_none());
+    assert!(archive
+        .query(day(1980, 1), day(2000, 1), "US blockchain")
+        .is_none());
     println!("archive search OK");
 }

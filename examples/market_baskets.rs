@@ -23,7 +23,9 @@ fn main() {
     let it = dict.intern("it");
     let misery = dict.intern("misery");
     // A long tail of other products.
-    let tail: Vec<u32> = (0..2000).map(|i| dict.intern(&format!("product-{i}"))).collect();
+    let tail: Vec<u32> = (0..2000)
+        .map(|i| dict.intern(&format!("product-{i}")))
+        .collect();
 
     let mut rng = StdRng::seed_from_u64(7);
     let minutes_per_day = 24 * 60;
@@ -75,7 +77,11 @@ fn main() {
     hits_sh.sort_unstable();
     assert_eq!(hits_ir, hits_sh);
 
-    println!("{} baskets, horizon {} days", coll.len(), horizon / minutes_per_day);
+    println!(
+        "{} baskets, horizon {} days",
+        coll.len(),
+        horizon / minutes_per_day
+    );
     println!(
         "visits buying the full trilogy last month: {}",
         hits_ir.len()

@@ -78,11 +78,19 @@ fn main() {
 
     // Narrower window, more tracks: fewer results.
     let fussy = TimeTravelQuery::new(10 * DAY, 11 * DAY, vec![ODE_TO_JOY, FUR_ELISE, 2, 3]);
-    println!("one-day window, four tracks: {} sessions", ir.query(&fussy).len());
+    println!(
+        "one-day window, four tracks: {} sessions",
+        ir.query(&fussy).len()
+    );
 
     // Sessions keep arriving: incremental maintenance.
     let mut live = IrHintPerf::build(&coll);
-    let new_session = Object::new(20_000, 15 * DAY, 15 * DAY + HOUR, vec![ODE_TO_JOY, FUR_ELISE]);
+    let new_session = Object::new(
+        20_000,
+        15 * DAY,
+        15 * DAY + HOUR,
+        vec![ODE_TO_JOY, FUR_ELISE],
+    );
     live.insert(&new_session);
     let after = live.query(&january);
     assert_eq!(after.len(), a.len() + 1);

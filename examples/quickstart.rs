@@ -12,7 +12,11 @@ fn main() {
     // 1. A collection: the paper's running example (Figure 1) — eight
     //    objects over the dictionary {a=0, b=1, c=2}.
     let coll = Collection::running_example();
-    println!("collection: {} objects, domain {:?}", coll.len(), coll.domain());
+    println!(
+        "collection: {} objects, domain {:?}",
+        coll.len(),
+        coll.domain()
+    );
 
     // 2. The canonical query: interval [5, 9] and q.d = {a, c}.
     let q = TimeTravelQuery::new(5, 9, vec![0, 2]);

@@ -9,9 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use temporal_ir::core::prelude::*;
-use temporal_ir::core::{
-    temporal_common_elements_join, CompressedTif, RankedQuery, RankedTif,
-};
+use temporal_ir::core::{temporal_common_elements_join, CompressedTif, RankedQuery, RankedTif};
 use temporal_ir::hint::{AllenRelation, DivisionOrder, Hint, HintConfig, IntervalRecord};
 
 fn main() {
@@ -23,7 +21,9 @@ fn main() {
     for id in 0..15_000u32 {
         let st = rng.gen_range(0..week - 120);
         let len = rng.gen_range(1..120u64);
-        let topics: Vec<u32> = (0..rng.gen_range(1..6)).map(|_| rng.gen_range(0..60)).collect();
+        let topics: Vec<u32> = (0..rng.gen_range(1..6))
+            .map(|_| rng.gen_range(0..60))
+            .collect();
         sessions.push(Object::new(id, st, st + len, topics));
     }
     let coll = Collection::new(sessions);
@@ -34,11 +34,19 @@ fn main() {
     let records: Vec<IntervalRecord> = coll
         .objects()
         .iter()
-        .map(|o| IntervalRecord { id: o.id, st: o.interval.st, end: o.interval.end })
+        .map(|o| IntervalRecord {
+            id: o.id,
+            st: o.interval.st,
+            end: o.interval.end,
+        })
         .collect();
     let hint = Hint::build(
         &records,
-        HintConfig { m: Some(8), order: DivisionOrder::Beneficial, storage_opt: false },
+        HintConfig {
+            m: Some(8),
+            order: DivisionOrder::Beneficial,
+            storage_opt: false,
+        },
     );
     let window = (2 * 24 * 60u64, 2 * 24 * 60 + 180); // Tuesday, 3h
     let during = hint.allen_query(AllenRelation::During, window.0, window.1);
@@ -55,7 +63,11 @@ fn main() {
     // "Concurrent session pairs sharing >= 2 topics" (self-join on a
     // thinned sample to keep the demo quick).
     let sample = Collection::new(
-        coll.objects().iter().take(2_000).cloned().collect::<Vec<_>>(),
+        coll.objects()
+            .iter()
+            .take(2_000)
+            .cloned()
+            .collect::<Vec<_>>(),
     );
     let pairs = temporal_common_elements_join(&sample, &sample, 2);
     let off_diagonal = pairs.iter().filter(|p| p.left != p.right).count();
@@ -66,7 +78,12 @@ fn main() {
     // partial matches allowed, rare topics weighted up.
     let ranked = RankedTif::build(&coll);
     let wednesday = (3 * 24 * 60u64, 4 * 24 * 60u64);
-    let top = ranked.query_topk(&RankedQuery::new(wednesday.0, wednesday.1, vec![3, 17, 42], 5));
+    let top = ranked.query_topk(&RankedQuery::new(
+        wednesday.0,
+        wednesday.1,
+        vec![3, 17, 42],
+        5,
+    ));
     println!("top-5 ranked hits for topics {{3,17,42}} on Wednesday:");
     for hit in &top {
         let o = coll.get(hit.id);

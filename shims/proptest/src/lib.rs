@@ -1,0 +1,100 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment has no package registry, so this workspace
+//! vendors a minimal property-testing harness that is source-compatible
+//! with the `proptest` call sites in the repository: the [`proptest!`]
+//! macro, `prop_assert*` macros, the [`Strategy`] trait with
+//! `prop_map`, `any::<T>()`, integer-range strategies, tuple
+//! strategies, and `prop::collection::{vec, btree_set, btree_map}`.
+//!
+//! Semantics: each test body runs for `ProptestConfig::cases`
+//! deterministic cases (seeded per case index, so failures reproduce
+//! across runs). There is **no shrinking** — on failure the panic
+//! message reports the failing case index instead of a minimal
+//! counterexample. Swapping the real `proptest` back in requires no
+//! source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection and combinator strategies, mirroring `proptest::prop`.
+pub mod prop {
+    /// Strategies producing collections.
+    pub mod collection {
+        pub use crate::strategy::collection::{btree_map, btree_set, vec};
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the standard forms used in this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0..10u32, (a, b) in (0..5u64, 0..5u64)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::rng_for_case(__case);
+                    let mut __reporter = $crate::test_runner::CaseReporter::new(__case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__e) = __outcome {
+                        panic!("proptest case failed: {__e}");
+                    }
+                    __reporter.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` that reports through the property-test harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,107 @@
+//! Case scheduling for the shimmed property-test harness.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runtime configuration for a `proptest!` block (subset of
+/// `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error type helper functions can return to abort a case (subset of
+/// `proptest::test_runner::TestCaseError`).
+///
+/// The shimmed `prop_assert*` macros panic directly, so in practice a
+/// body's `Result` plumbing always carries `Ok`; the type exists so
+/// helper signatures stay source-compatible with real proptest.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An error that fails the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic generator for one case: the same case index always
+/// replays the same inputs, across runs and machines.
+pub fn rng_for_case(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0xa076_1d64_78bd_642f ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Prints the failing case index when a test body panics (the shim has
+/// no shrinking, so the index is the reproduction handle).
+#[derive(Debug)]
+pub struct CaseReporter {
+    case: u32,
+    armed: bool,
+}
+
+impl CaseReporter {
+    /// Arms a reporter for `case`.
+    pub fn new(case: u32) -> Self {
+        CaseReporter { case, armed: true }
+    }
+
+    /// Marks the case as passed; the reporter stays silent on drop.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseReporter {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: assertion failed at case index {} (deterministic; rerun reproduces it)",
+                self.case
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn cases_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..4).map(|c| rng_for_case(c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| rng_for_case(c).next_u64()).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len());
+    }
+}

@@ -30,7 +30,12 @@ fn assert_all_agree(coll: &Collection, queries: &[TimeTravelQuery], ctx: &str) {
             got.sort_unstable();
             got.dedup();
             assert_eq!(n, got.len(), "[{ctx}] {} emitted duplicates", index.name());
-            assert_eq!(got, oracle.answer(q), "[{ctx}] {} vs oracle, q={q:?}", index.name());
+            assert_eq!(
+                got,
+                oracle.answer(q),
+                "[{ctx}] {} vs oracle, q={q:?}",
+                index.name()
+            );
         }
     }
 }
@@ -39,11 +44,20 @@ fn assert_all_agree(coll: &Collection, queries: &[TimeTravelQuery], ctx: &str) {
 fn agree_on_synthetic_default_shape() {
     let coll = generate(&SyntheticConfig::default().scaled(0.002));
     let mut queries = Vec::new();
-    for extent in [Extent::Stabbing, Extent::Fraction(0.001), Extent::Fraction(0.05), Extent::Fraction(1.0)] {
+    for extent in [
+        Extent::Stabbing,
+        Extent::Fraction(0.001),
+        Extent::Fraction(0.05),
+        Extent::Fraction(1.0),
+    ] {
         for num_elems in [1usize, 3, 5] {
             queries.extend(workload(
                 &coll,
-                &WorkloadSpec { extent, num_elems, source: ElemSource::SeedObject },
+                &WorkloadSpec {
+                    extent,
+                    num_elems,
+                    source: ElemSource::SeedObject,
+                },
                 5,
                 77,
             ));
@@ -77,7 +91,10 @@ fn agree_on_frequency_bin_workloads() {
             &WorkloadSpec {
                 extent: Extent::Fraction(0.001),
                 num_elems: 2,
-                source: ElemSource::FreqBin { lo_pct: lo, hi_pct: hi },
+                source: ElemSource::FreqBin {
+                    lo_pct: lo,
+                    hi_pct: hi,
+                },
             },
             10,
             13,

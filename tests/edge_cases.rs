@@ -21,7 +21,11 @@ fn build_all(coll: &Collection) -> Vec<Box<dyn TemporalIrIndex>> {
 fn empty_collection() {
     let coll = Collection::new(vec![]);
     for idx in build_all(&coll) {
-        assert!(idx.query(&TimeTravelQuery::new(0, 100, vec![0])).is_empty(), "{}", idx.name());
+        assert!(
+            idx.query(&TimeTravelQuery::new(0, 100, vec![0])).is_empty(),
+            "{}",
+            idx.name()
+        );
         assert!(idx.query(&TimeTravelQuery::new(0, 100, vec![])).is_empty());
     }
 }
@@ -46,7 +50,10 @@ fn single_object_all_queries() {
         assert_eq!(idx.query(&TimeTravelQuery::new(0, 10, vec![5])), vec![0]);
         assert!(idx.query(&TimeTravelQuery::new(21, 30, vec![5])).is_empty());
         assert!(idx.query(&TimeTravelQuery::new(10, 20, vec![4])).is_empty());
-        assert_eq!(idx.query(&TimeTravelQuery::new(15, 15, vec![5, 5, 5])), vec![0]);
+        assert_eq!(
+            idx.query(&TimeTravelQuery::new(15, 15, vec![5, 5, 5])),
+            vec![0]
+        );
     }
 }
 
@@ -75,7 +82,9 @@ fn identical_intervals_mass() {
 #[test]
 fn point_domain() {
     // All timestamps identical: domain has a single raw value.
-    let objects: Vec<Object> = (0..50u32).map(|i| Object::new(i, 7, 7, vec![i % 4])).collect();
+    let objects: Vec<Object> = (0..50u32)
+        .map(|i| Object::new(i, 7, 7, vec![i % 4]))
+        .collect();
     let coll = Collection::new(objects);
     let oracle = BruteForce::build(coll.objects());
     for idx in build_all(&coll) {

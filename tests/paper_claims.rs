@@ -4,7 +4,9 @@
 
 use temporal_ir::core::prelude::*;
 use temporal_ir::datagen::{eclog_like, generate, workload, SyntheticConfig, WorkloadSpec};
-use temporal_ir::hint::{brute_force_overlap, Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree};
+use temporal_ir::hint::{
+    brute_force_overlap, Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree,
+};
 
 fn test_collection() -> Collection {
     generate(&SyntheticConfig::default().scaled(0.002))
@@ -55,17 +57,23 @@ fn hint_beats_flat_structures_on_small_range_queries() {
     let records: Vec<IntervalRecord> = (0..n)
         .map(|i| {
             let st = (i as u64 * 2654435761) % 1_000_000;
-            IntervalRecord { id: i, st, end: st + 1 + (i as u64 % 500) }
+            IntervalRecord {
+                id: i,
+                st,
+                end: st + 1 + (i as u64 % 500),
+            }
         })
         .collect();
     let hint = Hint::build(&records, HintConfig::default());
     let grid = Grid1D::build(&records, 8);
     let tree = IntervalTree::build(&records);
 
-    let queries: Vec<(u64, u64)> = (0..200).map(|i| {
-        let st = (i * 4999) % 990_000;
-        (st, st + 1000)
-    }).collect();
+    let queries: Vec<(u64, u64)> = (0..200)
+        .map(|i| {
+            let st = (i * 4999) % 990_000;
+            (st, st + 1000)
+        })
+        .collect();
 
     let time = |f: &dyn Fn(u64, u64) -> Vec<u32>| {
         let t0 = std::time::Instant::now();
@@ -91,13 +99,22 @@ fn all_interval_indexes_agree_with_each_other() {
     let records: Vec<IntervalRecord> = (0..5000u32)
         .map(|i| {
             let st = (i as u64 * 48271) % 100_000;
-            IntervalRecord { id: i, st, end: st + (i as u64 % 997) }
+            IntervalRecord {
+                id: i,
+                st,
+                end: st + (i as u64 % 997),
+            }
         })
         .collect();
     let hint = Hint::build(&records, HintConfig::default());
     let grid = Grid1D::build(&records, 33);
     let tree = IntervalTree::build(&records);
-    for q in [(0u64, 10u64), (500, 50_000), (99_000, 120_000), (12_345, 12_345)] {
+    for q in [
+        (0u64, 10u64),
+        (500, 50_000),
+        (99_000, 120_000),
+        (12_345, 12_345),
+    ] {
         let want = brute_force_overlap(&records, q.0, q.1);
         for (name, mut got) in [
             ("hint", hint.range_query(q.0, q.1)),
@@ -117,13 +134,19 @@ fn less_selective_queries_are_slower_for_every_method() {
     let coll = eclog_like(0.02, 11);
     let narrow = workload(
         &coll,
-        &WorkloadSpec { extent: temporal_ir::datagen::Extent::Fraction(0.001), ..Default::default() },
+        &WorkloadSpec {
+            extent: temporal_ir::datagen::Extent::Fraction(0.001),
+            ..Default::default()
+        },
         150,
         1,
     );
     let wide = workload(
         &coll,
-        &WorkloadSpec { extent: temporal_ir::datagen::Extent::Fraction(0.5), ..Default::default() },
+        &WorkloadSpec {
+            extent: temporal_ir::datagen::Extent::Fraction(0.5),
+            ..Default::default()
+        },
         150,
         1,
     );
@@ -166,11 +189,42 @@ fn running_example_reproduces_figure_structures() {
     let coll = Collection::running_example();
     let q = TimeTravelQuery::new(5, 9, vec![0, 2]);
     let answers: Vec<Vec<ObjectId>> = vec![
-        { let i = TifSlicing::build_with_slices(&coll, 4); let mut a = i.query(&q); a.sort_unstable(); a },
-        { let i = TifSharding::build(&coll); let mut a = i.query(&q); a.sort_unstable(); a },
-        { let i = TifHint::build(&coll, TifHintConfig { strategy: IntersectStrategy::BinarySearch, m: 3 }); let mut a = i.query(&q); a.sort_unstable(); a },
-        { let i = IrHintPerf::build_with_m(&coll, 3); let mut a = i.query(&q); a.sort_unstable(); a },
-        { let i = IrHintSize::build_with_m(&coll, 3); let mut a = i.query(&q); a.sort_unstable(); a },
+        {
+            let i = TifSlicing::build_with_slices(&coll, 4);
+            let mut a = i.query(&q);
+            a.sort_unstable();
+            a
+        },
+        {
+            let i = TifSharding::build(&coll);
+            let mut a = i.query(&q);
+            a.sort_unstable();
+            a
+        },
+        {
+            let i = TifHint::build(
+                &coll,
+                TifHintConfig {
+                    strategy: IntersectStrategy::BinarySearch,
+                    m: 3,
+                },
+            );
+            let mut a = i.query(&q);
+            a.sort_unstable();
+            a
+        },
+        {
+            let i = IrHintPerf::build_with_m(&coll, 3);
+            let mut a = i.query(&q);
+            a.sort_unstable();
+            a
+        },
+        {
+            let i = IrHintSize::build_with_m(&coll, 3);
+            let mut a = i.query(&q);
+            a.sort_unstable();
+            a
+        },
     ];
     for a in answers {
         assert_eq!(a, vec![1, 3, 6]);
