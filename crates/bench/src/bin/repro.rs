@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--scale S] [--queries N] [--seed K]
 //!
-//! experiments: table3 fig8 fig9 fig10 table5 fig11 fig12 table6 table7 all
+//! experiments: table3 fig8 fig9 fig10 table5 fig11 fig12 table6 table7 serve all
 //! ```
 
 use tir_bench::experiments::{self, Opts};
@@ -64,6 +64,7 @@ fn main() {
         "table6" => experiments::table6(&opts),
         "table7" => experiments::table7(&opts),
         "irhint-mtune" => experiments::irhint_mtune(&opts),
+        "serve" => experiments::serve(&opts),
         "all" => experiments::all(&opts),
         other => {
             eprintln!("unknown experiment: {other}");
@@ -75,7 +76,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: repro <table3|fig8|fig9|fig10|table5|fig11|fig12|table6|table7|all> \
+        "usage: repro <table3|fig8|fig9|fig10|table5|fig11|fig12|table6|table7|serve|all> \
          [--scale S] [--queries N] [--seed K]"
     );
 }

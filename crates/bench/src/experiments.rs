@@ -557,6 +557,182 @@ pub fn irhint_mtune(o: &Opts) {
     }
 }
 
+/// Serving-throughput experiment (beyond the paper): query throughput
+/// and tail latency of the epoch-snapshot serving stack while a live
+/// writer applies a mixed insert/delete stream, swept over reader-thread
+/// counts. Every epoch swap runs the tir-check structural validator;
+/// the run aborts on any violation. Results also land in
+/// `BENCH_serve.json` for machine consumption.
+pub fn serve(o: &Opts) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use tir_check::Validate;
+    use tir_datagen::{mixed_stream, MixedSpec, Op};
+    use tir_serve::epoch::{EpochConfig, EpochStore, WriteOp};
+    use tir_serve::{Json, LatencyHistogram, PoolConfig, QueryPool, Rejected};
+
+    banner("Serving: epoch snapshots under concurrent readers + live writer");
+    let mut records = Vec::new();
+    for d in datasets(o.scale) {
+        println!("\n-- {} --", d.name);
+        let queries = default_queries(&d.coll, o.queries.max(200), o.seed);
+        assert!(!queries.is_empty(), "no workload for {}", d.name);
+        let writes = mixed_stream(
+            &d.coll,
+            &MixedSpec {
+                write_fraction: 1.0,
+                insert_fraction: 0.7,
+                query: WorkloadSpec::default(),
+            },
+            2_000,
+            o.seed ^ 0x5eed,
+        );
+        println!(
+            "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "readers", "queries/s", "p50 [µs]", "p95 [µs]", "p99 [µs]", "rejected", "writes"
+        );
+        for readers in [1usize, 2, 4, 8] {
+            let store = Arc::new(EpochStore::new(
+                IrHintPerf::build(&d.coll),
+                d.coll.len() as u64,
+                EpochConfig {
+                    validator: Some(Box::new(|i: &IrHintPerf| i.validate().len())),
+                    ..Default::default()
+                },
+            ));
+            let pool = Arc::new(QueryPool::new(Arc::clone(&store), PoolConfig::default()));
+
+            // The live writer replays its script once, then keeps the
+            // store flushed until the readers are done.
+            let readers_done = Arc::new(AtomicBool::new(false));
+            let applied = Arc::new(AtomicU64::new(0));
+            let writer = {
+                let store = Arc::clone(&store);
+                let done = Arc::clone(&readers_done);
+                let applied = Arc::clone(&applied);
+                let writes = writes.clone();
+                // Deletes in the stream carry only ids; the writer keeps
+                // the live-object catalog to resolve them, like a real
+                // ingester would.
+                let mut catalog: std::collections::HashMap<u32, Object> = d
+                    .coll
+                    .objects()
+                    .iter()
+                    .map(|obj| (obj.id, obj.clone()))
+                    .collect();
+                std::thread::spawn(move || {
+                    for op in &writes {
+                        if done.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let write = match op {
+                            Op::Insert(obj) => {
+                                catalog.insert(obj.id, obj.clone());
+                                WriteOp::Insert(obj.clone())
+                            }
+                            Op::Delete(id) => {
+                                let obj = catalog.remove(id).expect("stream deletes live ids");
+                                WriteOp::Delete(obj)
+                            }
+                            Op::Query(_) => unreachable!("write-only stream"),
+                        };
+                        loop {
+                            match store.enqueue(write.clone()) {
+                                Ok(()) => break,
+                                Err(Rejected::Overloaded) => std::thread::yield_now(),
+                                Err(Rejected::Closed) => return,
+                            }
+                        }
+                        applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = store.flush();
+                })
+            };
+
+            let t0 = Instant::now();
+            let (histogram, answered, rejected) = std::thread::scope(|s| {
+                let mut joins = Vec::new();
+                for r in 0..readers {
+                    let pool = Arc::clone(&pool);
+                    let queries = &queries;
+                    joins.push(s.spawn(move || {
+                        let mut hist = LatencyHistogram::new();
+                        let mut rejected = 0u64;
+                        // Stagger each reader's start offset so they
+                        // don't march through the workload in lockstep.
+                        for i in r..r + queries.len() {
+                            let q = queries[i % queries.len()].clone();
+                            let tq = Instant::now();
+                            match pool.execute(q) {
+                                Ok(reply) => {
+                                    std::hint::black_box(reply.ids.len());
+                                    hist.record(
+                                        tq.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+                                    );
+                                }
+                                Err(Rejected::Overloaded) => rejected += 1,
+                                Err(Rejected::Closed) => break,
+                            }
+                        }
+                        (hist, rejected)
+                    }));
+                }
+                let mut histogram = LatencyHistogram::new();
+                let mut rejected = 0u64;
+                for j in joins {
+                    let (h, rej) = j.join().expect("reader thread");
+                    histogram.merge(&h);
+                    rejected += rej;
+                }
+                (histogram.clone(), histogram.count(), rejected)
+            });
+            let elapsed = t0.elapsed().as_secs_f64();
+            readers_done.store(true, Ordering::Relaxed);
+            writer.join().expect("writer thread");
+
+            let violations = store.stats().violations.load(Ordering::Relaxed);
+            assert_eq!(violations, 0, "post-swap validation failed");
+            let qps = answered as f64 / elapsed.max(1e-9);
+            let (p50, p95, p99) = (
+                histogram.quantile(0.50) as f64 / 1_000.0,
+                histogram.quantile(0.95) as f64 / 1_000.0,
+                histogram.quantile(0.99) as f64 / 1_000.0,
+            );
+            let writes_applied = applied.load(Ordering::Relaxed);
+            println!(
+                "{readers:>8} {qps:>12.0} {p50:>10.1} {p95:>10.1} {p99:>10.1} {rejected:>10} {writes_applied:>10}"
+            );
+            records.push(Json::obj(vec![
+                ("dataset", Json::str(d.name)),
+                ("method", Json::str("irhint-perf")),
+                ("readers", Json::Int(readers as u64)),
+                ("queries", Json::Int(answered)),
+                ("qps", Json::Num(qps)),
+                ("p50_us", Json::Num(p50)),
+                ("p95_us", Json::Num(p95)),
+                ("p99_us", Json::Num(p99)),
+                ("rejected", Json::Int(rejected)),
+                ("writes_applied", Json::Int(writes_applied)),
+                ("epoch", Json::Int(store.snapshot().epoch)),
+                (
+                    "size_bytes",
+                    Json::Int(store.snapshot().index.size_bytes() as u64),
+                ),
+            ]));
+        }
+    }
+    let doc = Json::obj(vec![
+        ("tool", Json::str("repro serve")),
+        ("runs", Json::Arr(records)),
+    ]);
+    if let Err(e) = std::fs::write("BENCH_serve.json", format!("{doc}\n")) {
+        eprintln!("could not write BENCH_serve.json: {e}");
+    } else {
+        eprintln!("wrote BENCH_serve.json");
+    }
+}
+
 /// Runs every experiment in paper order.
 pub fn all(o: &Opts) {
     table3(o);

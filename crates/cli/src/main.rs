@@ -1,12 +1,14 @@
 //! `tir` — command-line front end for the temporal-IR indexes.
 //!
 //! ```text
-//! tir gen   --out data.tsv [--cardinality N] [--seed K] [--scale S]
-//! tir stats --input data.tsv
-//! tir query --input data.tsv --method irhint-perf \
-//!           --from 100 --to 900 --elems foo,bar [--topk 10]
-//! tir bench --input data.tsv [--queries N]
-//! tir check --input data.tsv
+//! tir gen     --out data.tsv [--cardinality N] [--seed K] [--scale S]
+//! tir stats   --input data.tsv
+//! tir query   --input data.tsv --method irhint-perf \
+//!             --from 100 --to 900 --elems foo,bar [--topk 10]
+//! tir bench   --input data.tsv [--queries N] [--json BENCH_query.json]
+//! tir check   --input data.tsv
+//! tir serve   [--input data.tsv | --scale S] [--method M] [--port P]
+//! tir loadgen --addr host:port [--requests N] [--threads T]
 //! ```
 //!
 //! TSV format: `start<TAB>end<TAB>elem1,elem2,...` per object; `#` lines
@@ -21,6 +23,10 @@ use std::time::Instant;
 use tir_core::prelude::*;
 use tir_core::{RankedQuery, RankedTif};
 use tir_datagen::{workload, SyntheticConfig, WorkloadSpec};
+use tir_serve::epoch::Validator;
+use tir_serve::{
+    loadgen, spawn_server, Json, LatencyHistogram, LoadgenConfig, PoolConfig, ServerConfig,
+};
 
 use crate::io::{read_tsv, write_tsv, Corpus};
 
@@ -89,6 +95,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "query" => cmd_query(&opts),
         "bench" => cmd_bench(&opts),
         "check" => cmd_check(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -98,12 +106,17 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: tir <gen|stats|query|bench|check> [--flags]\n\
-     gen   --out FILE [--cardinality N] [--seed K] [--scale S]\n\
-     stats --input FILE\n\
-     query --input FILE --from T --to T --elems a,b [--method M] [--topk K]\n\
-     bench --input FILE [--queries N]\n\
-     check --input FILE   (build every index, verify structural invariants)\n\
+    "usage: tir <gen|stats|query|bench|check|serve|loadgen> [--flags]\n\
+     gen     --out FILE [--cardinality N] [--seed K] [--scale S]\n\
+     stats   --input FILE\n\
+     query   --input FILE --from T --to T --elems a,b [--method M] [--topk K]\n\
+     bench   --input FILE [--queries N] [--json BENCH_query.json]\n\
+     check   --input FILE   (build every index, verify structural invariants)\n\
+     serve   [--input FILE | --scale S [--seed K]] [--method M] [--port P]\n\
+             [--port-file PATH] [--workers N] [--queue-depth N] [--batch N]\n\
+     loadgen --addr HOST:PORT [--requests N] [--threads T] [--seed K]\n\
+             [--write-fraction F] [--insert-fraction F] [--elems N]\n\
+             [--json BENCH_serve.json]\n\
      methods: tif, slicing, sharding, tif-hint-bs, tif-hint-ms, hybrid,\n\
               irhint-perf (default), irhint-size, ctif"
         .to_string()
@@ -165,6 +178,30 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--elems a,b,c` value against the corpus dictionary.
+///
+/// Every malformed shape is a hard error — empty value, stray commas,
+/// blank tokens, unknown elements — so a typo can never silently shrink
+/// the query (and, with `--topk`, silently re-rank against the wrong
+/// element set).
+fn parse_elems_flag(raw: &str, dict: &tir_invidx::Dictionary) -> Result<Vec<u32>, String> {
+    if raw.trim().is_empty() {
+        return Err("--elems is empty; expected a comma-separated element list".into());
+    }
+    raw.split(',')
+        .map(|t| {
+            let t = t.trim();
+            if t.is_empty() {
+                return Err(format!(
+                    "--elems '{raw}' has an empty element (stray comma?)"
+                ));
+            }
+            dict.lookup(t)
+                .ok_or_else(|| format!("unknown element '{t}' in --elems '{raw}'"))
+        })
+        .collect()
+}
+
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     let corpus = load(opts)?;
     let from: u64 = opts.require("from")?.parse().map_err(|_| "bad --from")?;
@@ -172,19 +209,13 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     if from > to {
         return Err("--from must be <= --to".into());
     }
-    let elems: Vec<u32> = opts
-        .require("elems")?
-        .split(',')
-        .map(|t| {
-            corpus
-                .dictionary
-                .lookup(t.trim())
-                .ok_or_else(|| format!("unknown element '{}'", t.trim()))
-        })
-        .collect::<Result<_, _>>()?;
+    let elems = parse_elems_flag(opts.require("elems")?, &corpus.dictionary)?;
 
     if let Some(k) = opts.get("topk") {
         let k: usize = k.parse().map_err(|_| "bad --topk")?;
+        if k == 0 {
+            return Err("--topk must be at least 1".into());
+        }
         let ranked = RankedTif::build(&corpus.collection);
         for hit in ranked.query_topk(&RankedQuery::new(from, to, elems, k)) {
             let o = corpus.collection.get(hit.id);
@@ -222,14 +253,16 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 fn cmd_bench(opts: &Opts) -> Result<(), String> {
     let corpus = load(opts)?;
     let n: usize = opts.parse_or("queries", 200)?;
+    let json_path = opts.get("json").unwrap_or("BENCH_query.json");
     let queries = workload(&corpus.collection, &WorkloadSpec::default(), n, 7);
     if queries.is_empty() {
         return Err("could not generate a workload for this corpus".into());
     }
     println!(
-        "{:<14} {:>10} {:>12} {:>12}",
-        "method", "build [s]", "size [KiB]", "queries/s"
+        "{:<14} {:>10} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "method", "build [s]", "size [KiB]", "queries/s", "p50 [µs]", "p95 [µs]", "p99 [µs]"
     );
+    let mut records = Vec::new();
     for method in [
         "tif",
         "slicing",
@@ -244,21 +277,49 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
         let t0 = Instant::now();
         let index = build_index(method, &corpus.collection)?;
         let build = t0.elapsed().as_secs_f64();
+        let mut hist = LatencyHistogram::new();
         let t0 = Instant::now();
         let mut total = 0usize;
         for q in &queries {
+            let tq = Instant::now();
             total += index.query(q).len();
+            hist.record(tq.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
         }
         let qps = queries.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
         std::hint::black_box(total);
+        let (p50, p95, p99) = (
+            hist.quantile(0.50) as f64 / 1_000.0,
+            hist.quantile(0.95) as f64 / 1_000.0,
+            hist.quantile(0.99) as f64 / 1_000.0,
+        );
         println!(
-            "{:<14} {:>10.3} {:>12} {:>12.0}",
+            "{:<14} {:>10.3} {:>12} {:>12.0} {:>9.1} {:>9.1} {:>9.1}",
             method,
             build,
             index.size_bytes() / 1024,
-            qps
+            qps,
+            p50,
+            p95,
+            p99
         );
+        records.push(Json::obj(vec![
+            ("method", Json::str(method)),
+            ("build_s", Json::Num(build)),
+            ("size_bytes", Json::Int(index.size_bytes() as u64)),
+            ("qps", Json::Num(qps)),
+            ("p50_us", Json::Num(p50)),
+            ("p95_us", Json::Num(p95)),
+            ("p99_us", Json::Num(p99)),
+        ]));
     }
+    let doc = Json::obj(vec![
+        ("tool", Json::str("tir bench")),
+        ("queries", Json::Int(queries.len() as u64)),
+        ("cardinality", Json::Int(corpus.collection.len() as u64)),
+        ("methods", Json::Arr(records)),
+    ]);
+    std::fs::write(json_path, format!("{doc}\n")).map_err(|e| format!("{json_path}: {e}"))?;
+    eprintln!("wrote {json_path}");
     Ok(())
 }
 
@@ -306,6 +367,171 @@ fn cmd_check(opts: &Opts) -> Result<(), String> {
     } else {
         Err(format!("{total} structural violation(s)"))
     }
+}
+
+/// Loads the serving corpus: a TSV file when `--input` is given, else a
+/// synthetic collection (`--scale`, `--seed`) whose dictionary uses the
+/// same `e<id>` terms `tir gen` writes to disk.
+fn serve_corpus(opts: &Opts) -> Result<Corpus, String> {
+    if opts.get("input").is_some() {
+        return load(opts);
+    }
+    let scale: f64 = opts.parse_or("scale", 0.01)?;
+    let mut cfg = SyntheticConfig::default().scaled(scale);
+    cfg.seed = opts.parse_or("seed", cfg.seed)?;
+    let collection = tir_datagen::generate(&cfg);
+    let mut dictionary = tir_invidx::Dictionary::new();
+    for e in 0..collection.dict_size() as u32 {
+        let id = dictionary.intern(&format!("e{e}"));
+        debug_assert_eq!(id, e);
+    }
+    Ok(Corpus {
+        collection,
+        dictionary,
+    })
+}
+
+/// A post-swap validator for any index tir-check knows how to audit:
+/// the applier runs it on every freshly rebuilt snapshot and counts the
+/// violations into `STATS`.
+fn checking_validator<I>() -> Option<Validator<I>>
+where
+    I: tir_check::Validate + Send + Sync + 'static,
+{
+    Some(Box::new(|index: &I| index.validate().len()))
+}
+
+/// Boots the serving stack over a concrete index type and blocks until
+/// the accept loop exits (client `SHUTDOWN` or process signal).
+fn serve_index<I>(
+    index: I,
+    corpus: Corpus,
+    config: ServerConfig,
+    port_file: Option<&str>,
+    validator: Option<Validator<I>>,
+) -> Result<(), String>
+where
+    I: TemporalIrIndex + Clone + Send + Sync + 'static,
+{
+    let catalog = corpus.collection.objects().to_vec();
+    let handle = spawn_server(index, catalog, corpus.dictionary, config, validator)
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = handle.addr();
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!("serving on {addr} (send SHUTDOWN to stop)");
+    handle.join();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let corpus = serve_corpus(opts)?;
+    let method = opts.get("method").unwrap_or("irhint-perf");
+    let port: u16 = opts.parse_or("port", 0)?;
+    let host = opts.get("host").unwrap_or("127.0.0.1");
+    let config = ServerConfig {
+        addr: format!("{host}:{port}"),
+        pool: PoolConfig {
+            workers: opts.parse_or("workers", PoolConfig::default().workers)?,
+            queue_depth: opts.parse_or("queue-depth", PoolConfig::default().queue_depth)?,
+            max_batch: opts.parse_or("batch", PoolConfig::default().max_batch)?,
+        },
+        write_queue_depth: opts.parse_or("write-queue", 1024)?,
+        max_write_batch: opts.parse_or("write-batch", 256)?,
+        method: method.to_string(),
+    };
+    let port_file = opts.get("port-file");
+    eprintln!(
+        "building {method} over {} objects...",
+        corpus.collection.len()
+    );
+    let coll = &corpus.collection;
+    // Static dispatch per method so each serving stack is monomorphic,
+    // with a tir-check post-swap validator wherever one exists (hybrid
+    // and ctif have no `Validate` impl and serve unchecked).
+    match method {
+        "tif" => serve_index(
+            Tif::build(coll),
+            corpus,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "slicing" => serve_index(
+            TifSlicing::build(coll),
+            corpus,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "sharding" => serve_index(
+            TifSharding::build(coll),
+            corpus,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "tif-hint-bs" => serve_index(
+            TifHint::build(coll, TifHintConfig::binary_search()),
+            corpus,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "tif-hint-ms" => serve_index(
+            TifHint::build(coll, TifHintConfig::merge_sort()),
+            corpus,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "hybrid" => serve_index(TifHintSlicing::build(coll), corpus, config, port_file, None),
+        "irhint-perf" => serve_index(
+            IrHintPerf::build(coll),
+            corpus,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "irhint-size" => serve_index(
+            IrHintSize::build(coll),
+            corpus,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "ctif" => serve_index(CompressedTif::build(coll), corpus, config, port_file, None),
+        other => Err(format!("unknown method {other}")),
+    }
+}
+
+fn cmd_loadgen(opts: &Opts) -> Result<(), String> {
+    let mut cfg = LoadgenConfig::new(opts.require("addr")?);
+    cfg.requests = opts.parse_or("requests", cfg.requests)?;
+    cfg.threads = opts.parse_or("threads", cfg.threads)?;
+    cfg.write_fraction = opts.parse_or("write-fraction", cfg.write_fraction)?;
+    cfg.insert_fraction = opts.parse_or("insert-fraction", cfg.insert_fraction)?;
+    cfg.max_elems = opts.parse_or("elems", cfg.max_elems)?;
+    cfg.seed = opts.parse_or("seed", cfg.seed)?;
+    if !(0.0..=1.0).contains(&cfg.write_fraction) || !(0.0..=1.0).contains(&cfg.insert_fraction) {
+        return Err("--write-fraction and --insert-fraction must be in [0, 1]".into());
+    }
+    let json_path = opts.get("json").unwrap_or("BENCH_serve.json");
+
+    let report = loadgen::run(&cfg)?;
+    println!("{}", report.render());
+    std::fs::write(json_path, format!("{}\n", report.to_json()))
+        .map_err(|e| format!("{json_path}: {e}"))?;
+    eprintln!("wrote {json_path}");
+    if report.errors > 0 {
+        return Err(format!(
+            "{} protocol error(s) during the run",
+            report.errors
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -359,5 +585,50 @@ mod tests {
             assert_eq!(hits, vec![1, 3, 6], "{m}");
         }
         assert!(build_index("nope", &coll).is_err());
+    }
+
+    fn abc_dictionary() -> tir_invidx::Dictionary {
+        let mut dict = tir_invidx::Dictionary::new();
+        for name in ["a", "b", "c"] {
+            dict.intern(name);
+        }
+        dict
+    }
+
+    #[test]
+    fn elems_flag_parses_known_elements() {
+        let dict = abc_dictionary();
+        assert_eq!(parse_elems_flag("a,c", &dict).unwrap(), vec![0, 2]);
+        assert_eq!(parse_elems_flag(" b ", &dict).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn elems_flag_rejects_every_malformed_shape() {
+        let dict = abc_dictionary();
+        // The old behavior let these slip through as a silently smaller
+        // (or empty) element set; all of them must now be hard errors.
+        for bad in [
+            "", "  ", ",", "a,", ",a", "a,,c", "a, ,c", "zebra", "a,zebra",
+        ] {
+            assert!(
+                parse_elems_flag(bad, &dict).is_err(),
+                "'{bad}' was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_corpus_synthetic_dictionary_matches_collection() {
+        let args: Vec<String> = ["--scale", "0.001", "--seed", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = Opts::parse(&args).unwrap();
+        let corpus = serve_corpus(&opts).unwrap();
+        assert_eq!(corpus.dictionary.len(), corpus.collection.dict_size());
+        // Term ids line up with element ids, so wire-protocol terms
+        // resolve to the elements the objects actually carry.
+        let last = corpus.collection.dict_size() as u32 - 1;
+        assert_eq!(corpus.dictionary.lookup(&format!("e{last}")), Some(last));
     }
 }

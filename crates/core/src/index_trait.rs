@@ -43,6 +43,32 @@ pub trait TemporalIrIndex {
     }
 }
 
+/// A heap-allocated index behind the common trait, shareable across
+/// threads — the snapshot currency of the serving layer (`tir-serve`
+/// wraps one per epoch in an `Arc`).
+pub type SharedIndex = Box<dyn TemporalIrIndex + Send + Sync>;
+
+// Compile-time `Send + Sync` audit: every index implementation must be
+// safely shareable across reader threads (queries take `&self`) and
+// transferable to the single-writer applier thread of the serving layer.
+// A new index type that smuggles in `Rc`/`RefCell`/raw-pointer state
+// breaks this `const` block at compile time, not in a stress test.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<crate::compressed_tif::CompressedTif>();
+    assert_send_sync::<crate::hybrid::TifHintSlicing>();
+    assert_send_sync::<crate::irhint_perf::IrHintPerf>();
+    assert_send_sync::<crate::irhint_size::IrHintSize>();
+    assert_send_sync::<crate::oracle::BruteForce>();
+    assert_send_sync::<crate::ranked::RankedTif>();
+    assert_send_sync::<crate::sharding::TifSharding>();
+    assert_send_sync::<crate::slicing::TifSlicing>();
+    assert_send_sync::<crate::tif::Tif>();
+    assert_send_sync::<crate::tif_hint::TifHint>();
+    assert_send_sync::<SharedIndex>();
+    assert_send_sync::<std::sync::Arc<dyn TemporalIrIndex + Send + Sync>>();
+};
+
 /// Inserts a batch of objects (the paper's insertion experiments use 1%,
 /// 5% and 10% batches).
 pub fn insert_batch<I: TemporalIrIndex + ?Sized>(index: &mut I, batch: &[Object]) {

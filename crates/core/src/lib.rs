@@ -59,7 +59,7 @@ pub mod types;
 pub use collection::{Collection, CollectionStats};
 pub use compressed_tif::CompressedTif;
 pub use hybrid::TifHintSlicing;
-pub use index_trait::{delete_batch, insert_batch, TemporalIrIndex};
+pub use index_trait::{delete_batch, insert_batch, SharedIndex, TemporalIrIndex};
 pub use irhint_perf::IrHintPerf;
 pub use irhint_size::IrHintSize;
 pub use joins::{temporal_common_elements_join, temporal_join_with_elements, JoinPair};
@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::collection::{Collection, CollectionStats};
     pub use crate::compressed_tif::CompressedTif;
     pub use crate::hybrid::TifHintSlicing;
-    pub use crate::index_trait::{delete_batch, insert_batch, TemporalIrIndex};
+    pub use crate::index_trait::{delete_batch, insert_batch, SharedIndex, TemporalIrIndex};
     pub use crate::irhint_perf::IrHintPerf;
     pub use crate::irhint_size::IrHintSize;
     pub use crate::oracle::BruteForce;

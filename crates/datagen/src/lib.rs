@@ -9,16 +9,20 @@
 //! * [`queries`] — time-travel query workloads over the four experimental
 //!   knobs (extent, |q.d|, element frequency bins, selectivity bins) with
 //!   guaranteed non-empty results;
+//! * [`mixed`] — interleaved read/write operation streams for the
+//!   serving layer (`tir-serve`) and its stress tests;
 //! * [`dist`] — the in-house zipf and normal samplers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod mixed;
 pub mod queries;
 pub mod realworld;
 pub mod synthetic;
 
+pub use mixed::{mixed_stream, MixedSpec, Op};
 pub use queries::{
     selectivity_binned, workload, ElemSource, Extent, WorkloadSpec, SELECTIVITY_BINS,
     SELECTIVITY_LABELS,

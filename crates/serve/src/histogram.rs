@@ -1,0 +1,212 @@
+//! Log-linear latency histogram (HDR-style, fixed footprint).
+//!
+//! Values (nanoseconds) below 32 get exact buckets; above that, each
+//! power-of-two octave is split into 32 linear sub-buckets, bounding the
+//! relative quantization error by 1/32 ≈ 3% — plenty for reporting
+//! p50/p95/p99 serving latency. The whole histogram is ~16 KiB, cheap to
+//! keep per worker thread and merge at the end of a run.
+
+/// Sub-buckets per octave (and width of the exact low range).
+const SUB: u64 = 32;
+/// Bucket count: 32 exact + 59 octaves × 32 sub-buckets.
+const BUCKETS: usize = (SUB + (63 - 5) * SUB) as usize + SUB as usize;
+
+/// A mergeable latency histogram over `u64` nanosecond samples.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        if v < SUB {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros() as u64; // >= 5
+        let sub = (v >> (msb - 5)) - SUB; // 0..32 within the octave
+        (SUB + (msb - 5) * SUB + sub) as usize
+    }
+
+    /// Lower bound of a bucket's value range (the reported quantile value).
+    fn bucket_floor(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < SUB {
+            return idx;
+        }
+        let octave = (idx - SUB) / SUB; // msb - 5
+        let sub = (idx - SUB) % SUB;
+        (SUB + sub) << octave
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket(nanos)] += 1;
+        self.total += 1;
+        self.sum += nanos as u128;
+        self.max = self.max.max(nanos);
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample, exact.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples in nanoseconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (e.g. 0.99), within the bucket
+    /// quantization error. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Cap at the observed max so q=1.0 is exact.
+                return Self::bucket_floor(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.quantile(0.50))
+            .field("p95", &self.quantile(0.95))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_linear_range() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 31);
+        // Median of 0..=31 lands on 15 (rank 16).
+        assert_eq!(h.quantile(0.5), 15);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_bucket() {
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            123_456,
+            10_000_000,
+            u64::MAX / 2,
+        ] {
+            let idx = LatencyHistogram::bucket(v);
+            let floor = LatencyHistogram::bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} > value {v}");
+            // Relative error bounded by one sub-bucket width.
+            let err = (v - floor) as f64 / (v.max(1)) as f64;
+            assert!(err <= 1.0 / 16.0, "value {v}: error {err}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 0..10_000u64 {
+            h.record(i * 100); // uniform over [0, 1e6)
+        }
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= h.max());
+        // p50 of a near-uniform [0, 1e6) distribution is near 5e5.
+        assert!((400_000..600_000).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 77_777;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.max(), c.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

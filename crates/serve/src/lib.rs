@@ -1,0 +1,63 @@
+//! # tir-serve
+//!
+//! The concurrent query-serving layer over any [`TemporalIrIndex`]
+//! (`tir-core`): what turns this repo's single-threaded index structures
+//! into something that can take sustained mixed read/write traffic.
+//!
+//! Three pieces, std-only:
+//!
+//! * **[`epoch`]** — the [`EpochStore`](epoch::EpochStore): readers grab
+//!   an `Arc` snapshot and never block; a single applier thread coalesces
+//!   insert/delete batches, applies them to its private master copy,
+//!   optionally validates the result (`tir-check` hook), and atomically
+//!   swaps in the next epoch.
+//! * **[`pool`]** — the [`QueryPool`](pool::QueryPool): a worker pool
+//!   with per-shard dispatch (element-hashed), query batching (one
+//!   snapshot grab per batch), and explicit `Overloaded` backpressure
+//!   from bounded queues.
+//! * **[`server`]/[`loadgen`]** — a TCP front end speaking the
+//!   line-oriented [`protocol`] (`QUERY`/`INSERT`/`DELETE`/`STATS`…) and
+//!   a closed-loop load generator reporting throughput and p50/p95/p99
+//!   latency from the in-crate [`histogram`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tir_core::prelude::*;
+//! use tir_serve::epoch::{EpochConfig, EpochStore, WriteOp};
+//! use tir_serve::pool::{PoolConfig, QueryPool};
+//!
+//! let coll = Collection::running_example();
+//! let store = Arc::new(EpochStore::new(
+//!     IrHintPerf::build(&coll),
+//!     coll.len() as u64,
+//!     EpochConfig::default(),
+//! ));
+//! let pool = QueryPool::new(Arc::clone(&store), PoolConfig::default());
+//!
+//! // Reads never block on this write:
+//! store.enqueue(WriteOp::Insert(Object::new(8, 5, 6, vec![0, 2]))).unwrap();
+//! store.flush().unwrap(); // write barrier
+//! let mut ids = pool.execute(TimeTravelQuery::new(5, 9, vec![0, 2])).unwrap().ids;
+//! ids.sort_unstable();
+//! assert_eq!(ids, vec![1, 3, 6, 8]);
+//! ```
+//!
+//! [`TemporalIrIndex`]: tir_core::TemporalIrIndex
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epoch;
+pub mod histogram;
+pub mod json;
+pub mod loadgen;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use epoch::{EpochConfig, EpochStore, Rejected, Snapshot, WriteOp};
+pub use histogram::LatencyHistogram;
+pub use json::Json;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use pool::{PoolConfig, QueryPool, QueryReply};
+pub use server::{spawn_server, ServerConfig, ServerHandle};

@@ -1,0 +1,440 @@
+//! Closed-loop multi-threaded load generator for `tir serve`.
+//!
+//! Each of `threads` workers opens one TCP connection and issues
+//! requests back-to-back (closed loop: a worker's next request waits for
+//! its previous answer, so concurrency equals the thread count). The mix
+//! is read-heavy with a configurable write fraction; inserts mint globally
+//! unique ids above the server's `next_id`, and deletes only target ids
+//! the issuing thread inserted itself, so `MISSING` should never occur.
+//!
+//! Every request is timed into a per-thread [`LatencyHistogram`]; the
+//! merged report carries throughput and p50/p95/p99 latency. `OVERLOADED`
+//! responses count as *rejected* (backpressure working as designed), not
+//! as protocol errors; `errors` counts only `ERR` responses, unparseable
+//! lines, and transport failures — a clean run reports `errors == 0`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::LatencyHistogram;
+use crate::json::Json;
+use crate::protocol::{parse_response, Response};
+
+/// Deterministic xorshift64* generator — the loadgen is std-only and
+/// needs no statistical finesse, just cheap well-spread draws.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be nonzero.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 > 1.0 - p
+    }
+}
+
+/// Load generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Total requests across all threads.
+    pub requests: u64,
+    /// Concurrent closed-loop connections.
+    pub threads: usize,
+    /// Fraction of requests that are writes (default 0.05).
+    pub write_fraction: f64,
+    /// Fraction of writes that are inserts (default 0.7).
+    pub insert_fraction: f64,
+    /// Maximum elements per query (each query draws 1..=this).
+    pub max_elems: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// Defaults for everything but the address.
+    pub fn new(addr: impl Into<String>) -> LoadgenConfig {
+        LoadgenConfig {
+            addr: addr.into(),
+            requests: 5000,
+            threads: 4,
+            write_fraction: 0.05,
+            insert_fraction: 0.7,
+            max_elems: 3,
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregated results of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Successful answers (`HITS` or `OK`).
+    pub ok: u64,
+    /// Total ids returned across all `HITS`.
+    pub hits: u64,
+    /// `OVERLOADED` rejections (backpressure).
+    pub rejected: u64,
+    /// `MISSING` answers (should stay 0 for this generator's mix).
+    pub missing: u64,
+    /// Protocol/transport errors — a healthy run reports 0.
+    pub errors: u64,
+    /// Wall-clock duration of the measured phase in seconds.
+    pub elapsed_s: f64,
+    /// Requests per second (all threads combined).
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+    /// Serving method reported by the server.
+    pub method: String,
+    /// Index footprint reported by the server.
+    pub size_bytes: u64,
+    /// Threads used.
+    pub threads: usize,
+}
+
+impl LoadgenReport {
+    /// The `BENCH_serve.json` record for this run.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tool", Json::str("tir loadgen")),
+            ("method", Json::str(self.method.clone())),
+            ("threads", Json::Int(self.threads as u64)),
+            ("requests", Json::Int(self.requests)),
+            ("ok", Json::Int(self.ok)),
+            ("hits", Json::Int(self.hits)),
+            ("rejected", Json::Int(self.rejected)),
+            ("missing", Json::Int(self.missing)),
+            ("errors", Json::Int(self.errors)),
+            ("elapsed_s", Json::Num(self.elapsed_s)),
+            ("qps", Json::Num(self.qps)),
+            ("p50_us", Json::Num(self.p50_us)),
+            ("p95_us", Json::Num(self.p95_us)),
+            ("p99_us", Json::Num(self.p99_us)),
+            ("max_us", Json::Num(self.max_us)),
+            ("size_bytes", Json::Int(self.size_bytes)),
+        ])
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "{} requests in {:.2}s over {} threads against {}\n\
+             throughput  {:.0} req/s\n\
+             latency     p50 {:.0}µs | p95 {:.0}µs | p99 {:.0}µs | max {:.0}µs\n\
+             outcomes    ok {} | hits {} | rejected {} | missing {} | errors {}",
+            self.requests,
+            self.elapsed_s,
+            self.threads,
+            self.method,
+            self.qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.ok,
+            self.hits,
+            self.rejected,
+            self.missing,
+            self.errors
+        )
+    }
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    line: String,
+}
+
+impl Connection {
+    fn open(addr: &str) -> Result<Connection, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        Ok(Connection {
+            reader,
+            writer: stream,
+            line: String::new(),
+        })
+    }
+
+    fn call(&mut self, request: &str) -> Result<Response, String> {
+        self.writer
+            .write_all(request.as_bytes())
+            .and_then(|_| self.writer.write_all(b"\n"))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        self.line.clear();
+        let n = self
+            .reader
+            .read_line(&mut self.line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        parse_response(self.line.trim_end())
+    }
+}
+
+/// Server facts loadgen needs before it can generate a workload.
+struct ServerInfo {
+    method: String,
+    size_bytes: u64,
+    next_id: u32,
+    domain_min: u64,
+    domain_max: u64,
+    terms: Vec<String>,
+}
+
+fn discover(addr: &str) -> Result<ServerInfo, String> {
+    let mut conn = Connection::open(addr)?;
+    let stats = match conn.call("STATS")? {
+        Response::Stats(pairs) => pairs,
+        other => return Err(format!("expected STATS, got {other:?}")),
+    };
+    let get = |key: &str| -> Option<String> {
+        stats.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    };
+    let method = get("method").unwrap_or_else(|| "unknown".into());
+    let size_bytes = get("size_bytes").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let next_id: u32 = get("next_id")
+        .and_then(|v| v.parse().ok())
+        .ok_or("STATS lacks next_id")?;
+    let (domain_min, domain_max) = get("domain")
+        .and_then(|v| {
+            let (lo, hi) = v.split_once(':')?;
+            Some((lo.parse().ok()?, hi.parse().ok()?))
+        })
+        .ok_or("STATS lacks domain")?;
+    let terms = match conn.call("ELEMS 256")? {
+        Response::Elems(terms) => terms,
+        other => return Err(format!("expected ELEMS, got {other:?}")),
+    };
+    if terms.is_empty() {
+        return Err("server returned no element terms to query with".into());
+    }
+    Ok(ServerInfo {
+        method,
+        size_bytes,
+        next_id,
+        domain_min,
+        domain_max,
+        terms,
+    })
+}
+
+struct ThreadOutcome {
+    histogram: LatencyHistogram,
+    ok: u64,
+    hits: u64,
+    rejected: u64,
+    missing: u64,
+    errors: u64,
+}
+
+fn worker(
+    cfg: &LoadgenConfig,
+    info: &ServerInfo,
+    id_source: &AtomicU32,
+    thread_idx: usize,
+    requests: u64,
+) -> Result<ThreadOutcome, String> {
+    let mut conn = Connection::open(&cfg.addr)?;
+    let mut rng = Rng::new(cfg.seed ^ (thread_idx as u64).wrapping_mul(0xA5A5_A5A5));
+    let mut out = ThreadOutcome {
+        histogram: LatencyHistogram::new(),
+        ok: 0,
+        hits: 0,
+        rejected: 0,
+        missing: 0,
+        errors: 0,
+    };
+    let span = info.domain_max.saturating_sub(info.domain_min).max(1);
+    let mut my_inserts: Vec<u32> = Vec::new();
+    // Window extents from stabbing-ish to 1% of the domain.
+    let extents = [0u64, span / 10_000, span / 1_000, span / 100];
+
+    for _ in 0..requests {
+        let is_write = rng.chance(cfg.write_fraction);
+        let request = if !is_write {
+            let len = extents[rng.below(extents.len() as u64) as usize];
+            let st = info.domain_min + rng.below(span.saturating_sub(len).max(1));
+            let n_elems = 1 + rng.below(cfg.max_elems.max(1) as u64) as usize;
+            let mut elems = Vec::with_capacity(n_elems);
+            for _ in 0..n_elems {
+                elems.push(info.terms[rng.below(info.terms.len() as u64) as usize].clone());
+            }
+            elems.sort();
+            elems.dedup();
+            format!("QUERY {} {} {}", st, st + len, elems.join(","))
+        } else if rng.chance(cfg.insert_fraction) || my_inserts.is_empty() {
+            let id = id_source.fetch_add(1, Ordering::Relaxed);
+            let st = info.domain_min + rng.below(span);
+            let end = (st + rng.below((span / 64).max(1)))
+                .min(info.domain_max)
+                .max(st);
+            let n_elems = 1 + rng.below(cfg.max_elems.max(1) as u64) as usize;
+            let mut elems = Vec::with_capacity(n_elems);
+            for _ in 0..n_elems {
+                elems.push(info.terms[rng.below(info.terms.len() as u64) as usize].clone());
+            }
+            elems.sort();
+            elems.dedup();
+            my_inserts.push(id);
+            format!("INSERT {} {} {} {}", id, st, end, elems.join(","))
+        } else {
+            let pick = rng.below(my_inserts.len() as u64) as usize;
+            let id = my_inserts.swap_remove(pick);
+            format!("DELETE {id}")
+        };
+
+        let t0 = Instant::now();
+        let response = conn.call(&request);
+        let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        out.histogram.record(nanos);
+        match response {
+            Ok(Response::Hits(ids)) => {
+                out.ok += 1;
+                out.hits += ids.len() as u64;
+            }
+            Ok(Response::Ok) => out.ok += 1,
+            Ok(Response::Overloaded) => out.rejected += 1,
+            Ok(Response::Missing) => out.missing += 1,
+            Ok(Response::Err(_)) => out.errors += 1,
+            Ok(_) => out.errors += 1, // unexpected response kind
+            Err(_) => {
+                out.errors += 1;
+                // The transport is gone; there is no point hammering it.
+                return Ok(out);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the closed loop and aggregates a report.
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    if cfg.requests == 0 || cfg.threads == 0 {
+        return Err("need at least one request and one thread".into());
+    }
+    let info = Arc::new(discover(&cfg.addr)?);
+    // Leave a gap above the server's next_id so a concurrent writer
+    // (e.g. a second loadgen) is less likely to collide.
+    let id_source = Arc::new(AtomicU32::new(info.next_id));
+
+    let per_thread = cfg.requests / cfg.threads as u64;
+    let remainder = cfg.requests % cfg.threads as u64;
+    let t0 = Instant::now();
+    let mut joins = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let cfg = cfg.clone();
+        let info = Arc::clone(&info);
+        let id_source = Arc::clone(&id_source);
+        let quota = per_thread + u64::from((t as u64) < remainder);
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("tir-loadgen-{t}"))
+                .spawn(move || worker(&cfg, &info, &id_source, t, quota))
+                .map_err(|e| format!("spawn: {e}"))?,
+        );
+    }
+
+    let mut histogram = LatencyHistogram::new();
+    let (mut ok, mut hits, mut rejected, mut missing, mut errors) = (0, 0, 0, 0, 0);
+    for join in joins {
+        let outcome = join
+            .join()
+            .map_err(|_| "loadgen thread panicked".to_string())??;
+        histogram.merge(&outcome.histogram);
+        ok += outcome.ok;
+        hits += outcome.hits;
+        rejected += outcome.rejected;
+        missing += outcome.missing;
+        errors += outcome.errors;
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let issued = histogram.count();
+
+    Ok(LoadgenReport {
+        requests: issued,
+        ok,
+        hits,
+        rejected,
+        missing,
+        errors,
+        elapsed_s,
+        qps: issued as f64 / elapsed_s.max(1e-9),
+        p50_us: histogram.quantile(0.50) as f64 / 1_000.0,
+        p95_us: histogram.quantile(0.95) as f64 / 1_000.0,
+        p99_us: histogram.quantile(0.99) as f64 / 1_000.0,
+        max_us: histogram.max() as f64 / 1_000.0,
+        method: info.method.clone(),
+        size_bytes: info.size_bytes,
+        threads: cfg.threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_spread() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        let same = (0..100).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert!(same < 5);
+        // below() stays in range.
+        for n in [1u64, 2, 7, 1000] {
+            for _ in 0..50 {
+                assert!(a.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::new(1);
+        assert!((0..100).all(|_| !rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn zero_request_configs_are_rejected() {
+        let mut cfg = LoadgenConfig::new("127.0.0.1:1");
+        cfg.requests = 0;
+        assert!(run(&cfg).is_err());
+    }
+}

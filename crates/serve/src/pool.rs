@@ -1,0 +1,275 @@
+//! Worker-pool query executor with per-shard dispatch and backpressure.
+//!
+//! `workers` OS threads each own a bounded request queue. A query is
+//! dispatched to the worker chosen by hashing its rarest-first element
+//! (per-shard dispatch: queries over the same elements land on the same
+//! worker, which keeps that worker's recently traversed postings warm in
+//! its core's cache). A full queue rejects with
+//! [`Rejected::Overloaded`](crate::epoch::Rejected) — the system degrades
+//! by shedding load, never by queueing unboundedly.
+//!
+//! Each worker drains up to `max_batch` queued requests, grabs **one**
+//! epoch snapshot for the whole batch, and answers every query against
+//! it, amortizing the snapshot acquisition and giving batch-mates a
+//! consistent view.
+
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tir_core::{ObjectId, TemporalIrIndex, TimeTravelQuery};
+
+use crate::epoch::{EpochStore, Rejected};
+
+/// An answered query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// The answer set (unsorted, exactly-once ids).
+    pub ids: Vec<ObjectId>,
+}
+
+struct Job {
+    query: TimeTravelQuery,
+    reply: SyncSender<QueryReply>,
+}
+
+/// Tuning knobs of the pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded per-worker queue depth.
+    pub queue_depth: usize,
+    /// Maximum queries answered against one snapshot grab.
+    pub max_batch: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            queue_depth: 256,
+            max_batch: 32,
+        }
+    }
+}
+
+/// Counters exported by [`QueryPool::stats`].
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    /// Queries answered.
+    pub served: AtomicU64,
+    /// Queries rejected because a worker queue was full.
+    pub overloaded: AtomicU64,
+    /// Snapshot grabs (= batches executed).
+    pub batches: AtomicU64,
+    /// Largest batch answered against a single snapshot.
+    pub max_batch: AtomicU64,
+}
+
+/// The executor. Submitting is cheap and non-blocking; results come back
+/// on per-request channels.
+pub struct QueryPool<I> {
+    txs: Vec<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
+    _marker: std::marker::PhantomData<fn() -> I>,
+}
+
+impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> QueryPool<I> {
+    /// Spawns the worker threads over a shared [`EpochStore`].
+    pub fn new(store: Arc<EpochStore<I>>, config: PoolConfig) -> QueryPool<I> {
+        let workers = config.workers.max(1);
+        let stats = Arc::new(PoolStats::default());
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = sync_channel::<Job>(config.queue_depth.max(1));
+            let store = Arc::clone(&store);
+            let stats = Arc::clone(&stats);
+            let max_batch = config.max_batch.max(1);
+            let handle = std::thread::Builder::new()
+                .name(format!("tir-query-{w}"))
+                .spawn(move || worker_loop(&rx, &store, &stats, max_batch))
+                .expect("spawning a query worker thread");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        QueryPool {
+            txs,
+            handles,
+            stats,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Shard routing: hash of the first (lowest-id) query element. All
+    /// queries over an element set sharing that element serialize onto
+    /// one worker, trading a little balance for cache locality.
+    fn shard(&self, q: &TimeTravelQuery) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        q.elems.first().copied().unwrap_or(0).hash(&mut h);
+        (h.finish() % self.txs.len() as u64) as usize
+    }
+
+    /// Submits a query; the reply arrives on the returned channel.
+    /// `Err(Overloaded)` means the target worker's queue is full.
+    pub fn submit(&self, query: TimeTravelQuery) -> Result<Receiver<QueryReply>, Rejected> {
+        let shard = self.shard(&query);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let job = Job {
+            query,
+            reply: reply_tx,
+        };
+        match self.txs[shard].try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(TrySendError::Full(_)) => {
+                self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                Err(Rejected::Overloaded)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(Rejected::Closed),
+        }
+    }
+
+    /// Submits and waits for the answer (the closed-loop client path).
+    pub fn execute(&self, query: TimeTravelQuery) -> Result<QueryReply, Rejected> {
+        let rx = self.submit(query)?;
+        rx.recv().map_err(|_| Rejected::Closed)
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+impl<I> Drop for QueryPool<I> {
+    fn drop(&mut self) {
+        self.txs.clear(); // closes every queue; workers drain and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<I>(rx: &Receiver<Job>, store: &EpochStore<I>, stats: &PoolStats, max_batch: usize)
+where
+    I: TemporalIrIndex + Clone + Send + Sync + 'static,
+{
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        let snap = store.snapshot();
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .max_batch
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        for job in batch {
+            let ids = snap.index.query(&job.query);
+            stats.served.fetch_add(1, Ordering::Relaxed);
+            // A client that hung up before its answer is not an error.
+            let _ = job.reply.send(QueryReply {
+                epoch: snap.epoch,
+                ids,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::{EpochConfig, WriteOp};
+    use tir_core::{BruteForce, Collection, Object};
+
+    fn pool_over_example() -> (Arc<EpochStore<BruteForce>>, QueryPool<BruteForce>) {
+        let coll = Collection::running_example();
+        let store = Arc::new(EpochStore::new(
+            BruteForce::build(coll.objects()),
+            coll.len() as u64,
+            EpochConfig::default(),
+        ));
+        let pool = QueryPool::new(Arc::clone(&store), PoolConfig::default());
+        (store, pool)
+    }
+
+    #[test]
+    fn answers_match_direct_queries() {
+        let (_store, pool) = pool_over_example();
+        let reply = pool
+            .execute(TimeTravelQuery::new(5, 9, vec![0, 2]))
+            .expect("execute");
+        let mut ids = reply.ids;
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3, 6]);
+        assert_eq!(reply.epoch, 0);
+    }
+
+    #[test]
+    fn sees_writes_after_flush() {
+        let (store, pool) = pool_over_example();
+        store
+            .enqueue(WriteOp::Insert(Object::new(8, 5, 6, vec![0, 2])))
+            .expect("enqueue");
+        store.flush().expect("flush");
+        let reply = pool
+            .execute(TimeTravelQuery::new(5, 9, vec![0, 2]))
+            .expect("execute");
+        let mut ids = reply.ids;
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3, 6, 8]);
+        assert!(reply.epoch >= 1);
+    }
+
+    #[test]
+    fn same_element_routes_to_same_shard() {
+        let (_store, pool) = pool_over_example();
+        let a = TimeTravelQuery::new(0, 5, vec![0, 2]);
+        let b = TimeTravelQuery::new(9, 12, vec![0, 1]);
+        assert_eq!(pool.shard(&a), pool.shard(&b));
+    }
+
+    #[test]
+    fn many_concurrent_submitters() {
+        let (_store, pool) = pool_over_example();
+        let pool = Arc::new(pool);
+        let mut joins = Vec::new();
+        for t in 0..8 {
+            let pool = Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let q = TimeTravelQuery::new(5, 9, vec![(t + i) % 3]);
+                    match pool.execute(q) {
+                        Ok(reply) => {
+                            // Exactly-once ids.
+                            let mut ids = reply.ids.clone();
+                            ids.sort_unstable();
+                            ids.dedup();
+                            assert_eq!(ids.len(), reply.ids.len());
+                        }
+                        Err(Rejected::Overloaded) => {} // legal under load
+                        Err(Rejected::Closed) => panic!("pool closed"),
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("submitter thread");
+        }
+        assert!(pool.stats().served.load(Ordering::Relaxed) > 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The line-oriented wire protocol of `tir serve`.
+//!
+//! One request per line, one response line per request, UTF-8,
+//! space-separated fields, elements comma-separated:
+//!
+//! ```text
+//! request  := QUERY <from> <to> <elem>[,<elem>...]
+//!           | INSERT <id> <from> <to> <elem>[,<elem>...]
+//!           | DELETE <id>
+//!           | STATS
+//!           | ELEMS <n>
+//!           | SHUTDOWN
+//! response := HITS <n>[ <id>...]      answer set of a QUERY
+//!           | OK                      write admitted
+//!           | MISSING                 DELETE of an id that is not live
+//!           | OVERLOADED              backpressure: request shed, retry
+//!           | STATS <k>=<v>[ <k>=<v>...]
+//!           | ELEMS [<term>...]       sample of dictionary terms
+//!           | BYE                     acknowledges SHUTDOWN
+//!           | ERR <message>           malformed or rejected request
+//! ```
+//!
+//! Element tokens are dictionary *strings* (e.g. `e42` for generated
+//! corpora); empty element tokens are a hard protocol error, mirroring
+//! the CLI's strict `--elems` parsing. `OVERLOADED` is a well-formed
+//! outcome, not a protocol error: load generators count it separately.
+
+use tir_core::ObjectId;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Answer a time-travel query.
+    Query {
+        /// Query interval start (inclusive).
+        from: u64,
+        /// Query interval end (inclusive).
+        to: u64,
+        /// Required element terms (non-empty, each token non-empty).
+        elems: Vec<String>,
+    },
+    /// Insert a new object.
+    Insert {
+        /// Fresh object id (tombstone bit must be clear).
+        id: ObjectId,
+        /// Lifespan start.
+        from: u64,
+        /// Lifespan end.
+        to: u64,
+        /// Descriptive element terms.
+        elems: Vec<String>,
+    },
+    /// Logically delete a live object.
+    Delete {
+        /// The object id.
+        id: ObjectId,
+    },
+    /// Server counters.
+    Stats,
+    /// Sample up to `n` dictionary terms (for workload generation).
+    Elems {
+        /// Maximum number of terms to return.
+        n: usize,
+    },
+    /// Stop accepting connections and exit the accept loop.
+    Shutdown,
+}
+
+/// A parsed server response (the client/loadgen side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer set.
+    Hits(Vec<ObjectId>),
+    /// Write admitted.
+    Ok,
+    /// DELETE target not live.
+    Missing,
+    /// Backpressure rejection.
+    Overloaded,
+    /// Counter pairs, verbatim `k=v` tokens.
+    Stats(Vec<(String, String)>),
+    /// Dictionary term sample.
+    Elems(Vec<String>),
+    /// Shutdown acknowledged.
+    Bye,
+    /// Request-level error.
+    Err(String),
+}
+
+/// Splits a comma-separated element list, rejecting empty tokens — the
+/// same strictness the CLI applies to `--elems`.
+pub fn parse_elems(field: &str) -> Result<Vec<String>, String> {
+    if field.is_empty() {
+        return Err("empty element list".into());
+    }
+    let mut out = Vec::new();
+    for tok in field.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            return Err(format!("empty element token in '{field}'"));
+        }
+        out.push(tok.to_string());
+    }
+    Ok(out)
+}
+
+fn parse_u64(tok: &str, what: &str) -> Result<u64, String> {
+    tok.parse().map_err(|_| format!("bad {what} '{tok}'"))
+}
+
+fn parse_id(tok: &str) -> Result<ObjectId, String> {
+    let id: u64 = parse_u64(tok, "id")?;
+    if id >= (1 << 31) {
+        return Err(format!("id {id} out of range (tombstone bit reserved)"));
+    }
+    Ok(id as ObjectId)
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut toks = line.split_ascii_whitespace();
+    let verb = toks.next().ok_or("empty request")?;
+    let rest: Vec<&str> = toks.collect();
+    let arity = |n: usize| -> Result<(), String> {
+        if rest.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{verb} takes {n} argument(s), got {}", rest.len()))
+        }
+    };
+    match verb {
+        "QUERY" => {
+            arity(3)?;
+            let from = parse_u64(rest[0], "from")?;
+            let to = parse_u64(rest[1], "to")?;
+            if from > to {
+                return Err(format!("from {from} > to {to}"));
+            }
+            Ok(Request::Query {
+                from,
+                to,
+                elems: parse_elems(rest[2])?,
+            })
+        }
+        "INSERT" => {
+            arity(4)?;
+            let id = parse_id(rest[0])?;
+            let from = parse_u64(rest[1], "from")?;
+            let to = parse_u64(rest[2], "to")?;
+            if from > to {
+                return Err(format!("from {from} > to {to}"));
+            }
+            Ok(Request::Insert {
+                id,
+                from,
+                to,
+                elems: parse_elems(rest[3])?,
+            })
+        }
+        "DELETE" => {
+            arity(1)?;
+            Ok(Request::Delete {
+                id: parse_id(rest[0])?,
+            })
+        }
+        "STATS" => {
+            arity(0)?;
+            Ok(Request::Stats)
+        }
+        "ELEMS" => {
+            arity(1)?;
+            let n = parse_u64(rest[0], "count")? as usize;
+            Ok(Request::Elems { n })
+        }
+        "SHUTDOWN" => {
+            arity(0)?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(format!("unknown verb '{other}'")),
+    }
+}
+
+/// Formats a response as its wire line (no trailing newline).
+pub fn format_response(r: &Response) -> String {
+    match r {
+        Response::Hits(ids) => {
+            let mut s = format!("HITS {}", ids.len());
+            for id in ids {
+                s.push(' ');
+                s.push_str(&id.to_string());
+            }
+            s
+        }
+        Response::Ok => "OK".into(),
+        Response::Missing => "MISSING".into(),
+        Response::Overloaded => "OVERLOADED".into(),
+        Response::Stats(pairs) => {
+            let mut s = "STATS".to_string();
+            for (k, v) in pairs {
+                s.push(' ');
+                s.push_str(k);
+                s.push('=');
+                s.push_str(v);
+            }
+            s
+        }
+        Response::Elems(terms) => {
+            let mut s = "ELEMS".to_string();
+            for t in terms {
+                s.push(' ');
+                s.push_str(t);
+            }
+            s
+        }
+        Response::Bye => "BYE".into(),
+        Response::Err(msg) => format!("ERR {}", msg.replace('\n', " ")),
+    }
+}
+
+/// Parses a response line (the loadgen side).
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "HITS" => {
+            let mut toks = rest.split_ascii_whitespace();
+            let n: usize = toks
+                .next()
+                .ok_or("HITS without a count")?
+                .parse()
+                .map_err(|_| "bad HITS count".to_string())?;
+            let ids: Vec<ObjectId> = toks
+                .map(|t| t.parse().map_err(|_| format!("bad id '{t}'")))
+                .collect::<Result<_, _>>()?;
+            if ids.len() != n {
+                return Err(format!("HITS count {n} but {} ids", ids.len()));
+            }
+            Ok(Response::Hits(ids))
+        }
+        "OK" => Ok(Response::Ok),
+        "MISSING" => Ok(Response::Missing),
+        "OVERLOADED" => Ok(Response::Overloaded),
+        "STATS" => {
+            let pairs = rest
+                .split_ascii_whitespace()
+                .map(|t| {
+                    t.split_once('=')
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .ok_or_else(|| format!("bad stats pair '{t}'"))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(Response::Stats(pairs))
+        }
+        "ELEMS" => Ok(Response::Elems(
+            rest.split_ascii_whitespace().map(str::to_string).collect(),
+        )),
+        "BYE" => Ok(Response::Bye),
+        "ERR" => Ok(Response::Err(rest.to_string())),
+        other => Err(format!("unknown response verb '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_requests() {
+        assert_eq!(
+            parse_request("QUERY 5 9 a,c").expect("query"),
+            Request::Query {
+                from: 5,
+                to: 9,
+                elems: vec!["a".into(), "c".into()]
+            }
+        );
+        assert_eq!(
+            parse_request("INSERT 8 5 6 a,c").expect("insert"),
+            Request::Insert {
+                id: 8,
+                from: 5,
+                to: 6,
+                elems: vec!["a".into(), "c".into()]
+            }
+        );
+        assert_eq!(
+            parse_request("DELETE 8").expect("delete"),
+            Request::Delete { id: 8 }
+        );
+        assert_eq!(parse_request("STATS").expect("stats"), Request::Stats);
+        assert_eq!(
+            parse_request("ELEMS 16").expect("elems"),
+            Request::Elems { n: 16 }
+        );
+        assert_eq!(parse_request("SHUTDOWN").expect("bye"), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "NOPE 1 2",
+            "QUERY 5 9",               // missing elems
+            "QUERY 9 5 a",             // inverted interval
+            "QUERY x 9 a",             // bad number
+            "QUERY 5 9 a,,c",          // empty element token
+            "QUERY 5 9 ,",             // only empty tokens
+            "INSERT 8 5 6",            // missing elems
+            "INSERT 2147483648 0 1 a", // tombstone bit
+            "DELETE",                  // missing id
+            "DELETE x",                // bad id
+            "STATS now",               // arity
+            "ELEMS",                   // arity
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for r in [
+            Response::Hits(vec![1, 3, 6]),
+            Response::Hits(vec![]),
+            Response::Ok,
+            Response::Missing,
+            Response::Overloaded,
+            Response::Stats(vec![
+                ("epoch".into(), "7".into()),
+                ("live".into(), "1000".into()),
+            ]),
+            Response::Elems(vec!["e1".into(), "e2".into()]),
+            Response::Bye,
+            Response::Err("bad thing".into()),
+        ] {
+            let line = format_response(&r);
+            assert!(!line.contains('\n'));
+            assert_eq!(parse_response(&line).expect("roundtrip"), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn hits_count_must_match() {
+        assert!(parse_response("HITS 2 1").is_err());
+        assert!(parse_response("HITS x").is_err());
+    }
+}

@@ -1,0 +1,464 @@
+//! The `tir serve` TCP front end.
+//!
+//! One thread per connection reads request lines ([`crate::protocol`]),
+//! resolves element strings through the shared dictionary, and dispatches:
+//! queries go through the [`QueryPool`] (per-shard, batched, backpressured),
+//! writes are admission-checked against the **catalog** (the map of live
+//! objects, authoritative for id liveness ahead of the applied snapshots)
+//! and enqueued on the [`EpochStore`]'s bounded write queue. Both reject
+//! with `OVERLOADED` instead of queueing unboundedly.
+//!
+//! A `QUERY` naming an element unknown to the dictionary answers
+//! `HITS 0`: no object can carry it, and a serving system should not
+//! treat a miss as a client fault.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use tir_core::{Object, TemporalIrIndex, TimeTravelQuery};
+use tir_invidx::Dictionary;
+
+use crate::epoch::{lock, EpochConfig, EpochStore, Rejected, Validator, WriteOp};
+use crate::pool::{PoolConfig, QueryPool};
+use crate::protocol::{format_response, parse_request, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an OS-assigned port.
+    pub addr: String,
+    /// Query pool shape.
+    pub pool: PoolConfig,
+    /// Bounded write-queue depth of the epoch store.
+    pub write_queue_depth: usize,
+    /// Maximum writes coalesced into one epoch swap.
+    pub max_write_batch: usize,
+    /// Method name reported in `STATS` (e.g. `irhint-perf`).
+    pub method: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            pool: PoolConfig::default(),
+            write_queue_depth: 1024,
+            max_write_batch: 256,
+            method: "unknown".into(),
+        }
+    }
+}
+
+struct Shared<I> {
+    store: Arc<EpochStore<I>>,
+    pool: QueryPool<I>,
+    dict: Mutex<Dictionary>,
+    catalog: Mutex<HashMap<u32, Object>>,
+    next_id: AtomicU32,
+    domain_min: AtomicU64,
+    domain_max: AtomicU64,
+    method: String,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+/// A running server: its bound address plus the accept-loop handle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and waits for the accept loop to exit.
+    /// Connections already open finish serving their clients.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // unblock accept()
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (e.g. a client sent `SHUTDOWN`).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builds the serving stack over a built index and starts accepting
+/// connections. `catalog` must list exactly the live objects of `index`;
+/// `dict` resolves protocol element strings to ids.
+pub fn spawn_server<I>(
+    index: I,
+    catalog: Vec<Object>,
+    dict: Dictionary,
+    config: ServerConfig,
+    validator: Option<Validator<I>>,
+) -> std::io::Result<ServerHandle>
+where
+    I: TemporalIrIndex + Clone + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let live = catalog.len() as u64;
+    let store = Arc::new(EpochStore::new(
+        index,
+        live,
+        EpochConfig {
+            queue_depth: config.write_queue_depth,
+            max_batch: config.max_write_batch,
+            validator,
+        },
+    ));
+    let pool = QueryPool::new(Arc::clone(&store), config.pool);
+
+    let mut domain_min = u64::MAX;
+    let mut domain_max = 0u64;
+    let mut next_id = 0u32;
+    let mut by_id = HashMap::with_capacity(catalog.len());
+    for o in catalog {
+        domain_min = domain_min.min(o.interval.st);
+        domain_max = domain_max.max(o.interval.end);
+        next_id = next_id.max(o.id + 1);
+        by_id.insert(o.id, o);
+    }
+    if domain_min > domain_max {
+        (domain_min, domain_max) = (0, 0);
+    }
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        store,
+        pool,
+        dict: Mutex::new(dict),
+        catalog: Mutex::new(by_id),
+        next_id: AtomicU32::new(next_id),
+        domain_min: AtomicU64::new(domain_min),
+        domain_max: AtomicU64::new(domain_max),
+        method: config.method,
+        shutdown: Arc::clone(&shutdown),
+        addr,
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept = std::thread::Builder::new()
+        .name("tir-accept".into())
+        .spawn(move || accept_loop(&listener, &accept_shared))?;
+
+    Ok(ServerHandle {
+        addr,
+        accept: Some(accept),
+        shutdown,
+    })
+}
+
+fn accept_loop<I>(listener: &TcpListener, shared: &Arc<Shared<I>>)
+where
+    I: TemporalIrIndex + Clone + Send + Sync + 'static,
+{
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        // Connection threads are detached: they exit when the client
+        // hangs up, and a stopping server only stops *accepting*.
+        let _ = std::thread::Builder::new()
+            .name("tir-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &conn_shared);
+            });
+    }
+}
+
+fn serve_connection<I>(stream: TcpStream, shared: &Shared<I>) -> std::io::Result<()>
+where
+    I: TemporalIrIndex + Clone + Send + Sync + 'static,
+{
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let response = match parse_request(trimmed) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = handle(shared, req);
+                if is_shutdown {
+                    writer.write_all(format_response(&resp).as_bytes())?;
+                    writer.write_all(b"\n")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                resp
+            }
+            Err(msg) => Response::Err(msg),
+        };
+        writer.write_all(format_response(&response).as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}
+
+fn handle<I>(shared: &Shared<I>, req: Request) -> Response
+where
+    I: TemporalIrIndex + Clone + Send + Sync + 'static,
+{
+    match req {
+        Request::Query { from, to, elems } => {
+            let resolved: Option<Vec<u32>> = {
+                let dict = lock(&shared.dict);
+                elems.iter().map(|t| dict.lookup(t)).collect()
+            };
+            match resolved {
+                // An element nothing was ever tagged with ⇒ empty answer.
+                None => Response::Hits(Vec::new()),
+                Some(ids) => match shared.pool.execute(TimeTravelQuery::new(from, to, ids)) {
+                    Ok(reply) => {
+                        let mut ids = reply.ids;
+                        ids.sort_unstable();
+                        Response::Hits(ids)
+                    }
+                    Err(Rejected::Overloaded) => Response::Overloaded,
+                    Err(Rejected::Closed) => Response::Err("server shutting down".into()),
+                },
+            }
+        }
+        Request::Insert {
+            id,
+            from,
+            to,
+            elems,
+        } => {
+            let desc: Vec<u32> = {
+                let mut dict = lock(&shared.dict);
+                elems.iter().map(|t| dict.intern(t)).collect()
+            };
+            let object = Object::new(id, from, to, desc);
+            // Admission control: the catalog lock spans the liveness
+            // check and the enqueue so two racing INSERTs of one id
+            // cannot both pass.
+            let mut catalog = lock(&shared.catalog);
+            if catalog.contains_key(&id) {
+                return Response::Err(format!("id {id} already live"));
+            }
+            match shared.store.enqueue(WriteOp::Insert(object.clone())) {
+                Ok(()) => {
+                    catalog.insert(id, object);
+                    drop(catalog);
+                    shared.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                    shared.domain_min.fetch_min(from, Ordering::Relaxed);
+                    shared.domain_max.fetch_max(to, Ordering::Relaxed);
+                    Response::Ok
+                }
+                Err(Rejected::Overloaded) => Response::Overloaded,
+                Err(Rejected::Closed) => Response::Err("server shutting down".into()),
+            }
+        }
+        Request::Delete { id } => {
+            let mut catalog = lock(&shared.catalog);
+            let Some(object) = catalog.remove(&id) else {
+                return Response::Missing;
+            };
+            match shared.store.enqueue(WriteOp::Delete(object.clone())) {
+                Ok(()) => Response::Ok,
+                Err(Rejected::Overloaded) => {
+                    catalog.insert(id, object); // not deleted after all
+                    Response::Overloaded
+                }
+                Err(Rejected::Closed) => Response::Err("server shutting down".into()),
+            }
+        }
+        Request::Stats => {
+            let snap = shared.store.snapshot();
+            let estats = shared.store.stats();
+            let pstats = shared.pool.stats();
+            let pairs: Vec<(String, String)> = [
+                ("method", shared.method.clone()),
+                ("epoch", snap.epoch.to_string()),
+                ("live", snap.live.to_string()),
+                ("size_bytes", snap.index.size_bytes().to_string()),
+                (
+                    "next_id",
+                    shared.next_id.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "domain",
+                    format!(
+                        "{}:{}",
+                        shared.domain_min.load(Ordering::Relaxed),
+                        shared.domain_max.load(Ordering::Relaxed)
+                    ),
+                ),
+                ("workers", shared.pool.workers().to_string()),
+                ("served", pstats.served.load(Ordering::Relaxed).to_string()),
+                (
+                    "overloaded",
+                    pstats.overloaded.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "batches",
+                    pstats.batches.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "inserts",
+                    estats.inserts.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "deletes",
+                    estats.deletes.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "missed_deletes",
+                    estats.missed_deletes.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "violations",
+                    estats.violations.load(Ordering::Relaxed).to_string(),
+                ),
+            ]
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+            Response::Stats(pairs)
+        }
+        Request::Elems { n } => {
+            let dict = lock(&shared.dict);
+            let total = dict.len();
+            if n == 0 || total == 0 {
+                return Response::Elems(Vec::new());
+            }
+            // Even sample across the id space; skip terms the wire
+            // format cannot carry (whitespace).
+            let step = (total / n).max(1);
+            let mut terms = Vec::with_capacity(n.min(total));
+            let mut id = 0usize;
+            while id < total && terms.len() < n {
+                if let Some(t) = dict.term(id as u32) {
+                    if !t.is_empty() && !t.chars().any(char::is_whitespace) {
+                        terms.push(t.to_string());
+                    }
+                }
+                id += step;
+            }
+            Response::Elems(terms)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(shared.addr); // unblock accept()
+            Response::Bye
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tir_core::{BruteForce, Collection};
+
+    fn example_server() -> ServerHandle {
+        let coll = Collection::running_example();
+        let mut dict = Dictionary::new();
+        for name in ["a", "b", "c"] {
+            dict.intern(name);
+        }
+        spawn_server(
+            BruteForce::build(coll.objects()),
+            coll.objects().to_vec(),
+            dict,
+            ServerConfig {
+                method: "brute-force".into(),
+                ..Default::default()
+            },
+            None,
+        )
+        .expect("server spawns")
+    }
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+        stream
+            .write_all(format!("{req}\n").as_bytes())
+            .expect("write");
+        stream.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn end_to_end_query_insert_delete_stats() {
+        let server = example_server();
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "QUERY 5 9 a,c"),
+            "HITS 3 1 3 6"
+        );
+        // Unknown element: empty answer, not an error.
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "QUERY 5 9 zebra"),
+            "HITS 0"
+        );
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "INSERT 8 5 6 a,c"),
+            "OK"
+        );
+        // Duplicate id is rejected at admission.
+        assert!(roundtrip(&mut stream, &mut reader, "INSERT 8 0 1 b").starts_with("ERR"));
+        // The write becomes visible (poll; the applier is asynchronous).
+        let mut seen = false;
+        for _ in 0..200 {
+            if roundtrip(&mut stream, &mut reader, "QUERY 5 9 a,c") == "HITS 4 1 3 6 8" {
+                seen = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(seen, "inserted object never became visible");
+        assert_eq!(roundtrip(&mut stream, &mut reader, "DELETE 8"), "OK");
+        assert_eq!(roundtrip(&mut stream, &mut reader, "DELETE 8"), "MISSING");
+
+        let stats = roundtrip(&mut stream, &mut reader, "STATS");
+        assert!(stats.starts_with("STATS "), "{stats}");
+        assert!(stats.contains("method=brute-force"), "{stats}");
+        assert!(stats.contains("violations=0"), "{stats}");
+
+        let elems = roundtrip(&mut stream, &mut reader, "ELEMS 8");
+        assert!(elems.starts_with("ELEMS "), "{elems}");
+
+        assert!(roundtrip(&mut stream, &mut reader, "BOGUS").starts_with("ERR"));
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_request_stops_accept_loop() {
+        let server = example_server();
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        assert_eq!(roundtrip(&mut stream, &mut reader, "SHUTDOWN"), "BYE");
+        server.join(); // returns because the accept loop exited
+    }
+}

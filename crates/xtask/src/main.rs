@@ -22,7 +22,7 @@ use tir_hint::{Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree};
 
 /// Library crates the attribute and source lints apply to. Binaries
 /// (`cli`, `bench`, this crate) and the dependency shims are exempt.
-const LIB_CRATES: &[&str] = &["hint", "invidx", "core", "datagen", "check"];
+const LIB_CRATES: &[&str] = &["hint", "invidx", "core", "datagen", "check", "serve"];
 
 const REQUIRED_ATTRS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
 
