@@ -1,0 +1,58 @@
+//! Diagnostics: what a rule reports and how it prints.
+
+/// One finding, addressed to a source position.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable kebab-case rule name (`lock-order`, `panic-path`, …) — the
+    /// same name `// analyze:allow(...)` takes.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// Human explanation: what fired and what to do instead.
+    pub message: String,
+    /// Whether a matching `analyze:allow` comment silences it. Rules
+    /// that *inspect* annotations themselves (atomic-ordering) emit
+    /// non-suppressible diagnostics, otherwise a bare allow would
+    /// defeat the justification requirement.
+    pub suppressible: bool,
+}
+
+impl Diagnostic {
+    /// A suppressible diagnostic (the common case).
+    pub fn new(
+        rule: &'static str,
+        path: &str,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            message: message.into(),
+            suppressible: true,
+        }
+    }
+
+    /// Marks this diagnostic as immune to `analyze:allow` comments.
+    pub fn unsuppressible(mut self) -> Diagnostic {
+        self.suppressible = false;
+        self
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,446 @@
+//! A small, dependency-free Rust lexer.
+//!
+//! This is not a full parser — it is exactly the tokenizer the rule
+//! engine needs to never be fooled by surface syntax again: string
+//! literals (including raw strings with any `#` count and byte strings),
+//! char literals vs. lifetimes, nested block comments, raw identifiers,
+//! and numeric literals all lex as single tokens, so a rule matching the
+//! identifier `unwrap` can never fire inside `"docs mention .unwrap()"`
+//! or `// call .unwrap() at your peril`.
+//!
+//! Every token carries its 1-based line and column (in characters), which
+//! is what turns a rule hit into a `path:line:col` diagnostic.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `lock`, `r#match`, …).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without ambiguity against
+    /// char literals).
+    Lifetime,
+    /// Integer or float literal, suffix included (`0x7f`, `1_000u64`).
+    Number,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// A `// …` comment (doc comments included), text without newline.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text with newlines.
+    BlockComment,
+    /// Any other single character (`.`, `:`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokenKind,
+    /// The exact source text of the lexeme (quotes/sigils included).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self, out: &mut String) {
+        if let Some(c) = self.chars.get(self.pos).copied() {
+            out.push(c);
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize, out: &mut String) {
+        for _ in 0..n {
+            self.bump(out);
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. The lexer is lossy only about whitespace; every other
+/// character lands in exactly one token. Malformed input (an unterminated
+/// string, say) never panics — the remainder of the file is consumed into
+/// the open token.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            let mut sink = String::new();
+            cur.bump(&mut sink);
+            continue;
+        }
+        let (line, col) = (cur.line, cur.col);
+        let mut text = String::new();
+        let kind = match c {
+            '/' if cur.peek(1) == Some('/') => {
+                while let Some(ch) = cur.peek(0) {
+                    if ch == '\n' {
+                        break;
+                    }
+                    cur.bump(&mut text);
+                }
+                TokenKind::LineComment
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump_n(2, &mut text);
+                let mut depth = 1usize;
+                while depth > 0 && cur.peek(0).is_some() {
+                    if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                        cur.bump_n(2, &mut text);
+                        depth += 1;
+                    } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                        cur.bump_n(2, &mut text);
+                        depth -= 1;
+                    } else {
+                        cur.bump(&mut text);
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            '"' => {
+                lex_string(&mut cur, &mut text);
+                TokenKind::Str
+            }
+            '\'' => lex_char_or_lifetime(&mut cur, &mut text),
+            'r' | 'b' if starts_literal_prefix(&cur) => lex_prefixed_literal(&mut cur, &mut text),
+            c if is_ident_start(c) => {
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump(&mut text);
+                }
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur, &mut text);
+                TokenKind::Number
+            }
+            _ => {
+                cur.bump(&mut text);
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`?
+/// (`r#ident` also answers true; [`lex_prefixed_literal`] sorts it out.)
+fn starts_literal_prefix(cur: &Cursor) -> bool {
+    match (cur.peek(0), cur.peek(1)) {
+        (Some('r'), Some('"' | '#')) => true,
+        (Some('b'), Some('"' | '\'')) => true,
+        (Some('b'), Some('r')) => matches!(cur.peek(2), Some('"' | '#')),
+        _ => false,
+    }
+}
+
+/// Consumes a literal starting with `r`/`b`/`br`, or a raw identifier
+/// (`r#match`), the cursor sitting on the prefix character.
+fn lex_prefixed_literal(cur: &mut Cursor, text: &mut String) -> TokenKind {
+    // Consume the sigil run: `r`, `b`, or `br`.
+    cur.bump(text); // r | b
+    if text.starts_with('b') && cur.peek(0) == Some('r') {
+        cur.bump(text);
+    }
+    match cur.peek(0) {
+        Some('\'') => {
+            // b'x' byte literal.
+            lex_char_body(cur, text);
+            TokenKind::Char
+        }
+        Some('"') => {
+            lex_string(cur, text);
+            TokenKind::Str
+        }
+        Some('#') => {
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(hashes) == Some('"') {
+                // Raw string r##"…"##: ends at `"` followed by `hashes` #s.
+                cur.bump_n(hashes + 1, text);
+                loop {
+                    match cur.peek(0) {
+                        None => break,
+                        Some('"') if (0..hashes).all(|k| cur.peek(1 + k) == Some('#')) => {
+                            cur.bump_n(1 + hashes, text);
+                            break;
+                        }
+                        Some(_) => cur.bump(text),
+                    }
+                }
+                TokenKind::Str
+            } else {
+                // Raw identifier r#ident.
+                cur.bump(text); // '#'
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump(text);
+                }
+                TokenKind::Ident
+            }
+        }
+        _ => {
+            // Just an identifier that happens to start with r/b.
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump(text);
+            }
+            TokenKind::Ident
+        }
+    }
+}
+
+/// Consumes a `"…"` string, the cursor on the opening quote. Escapes
+/// (`\"`, `\\`) are honoured; newlines are legal inside.
+fn lex_string(cur: &mut Cursor, text: &mut String) {
+    cur.bump(text); // opening quote
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            cur.bump_n(2, text);
+        } else if ch == '"' {
+            cur.bump(text);
+            break;
+        } else {
+            cur.bump(text);
+        }
+    }
+}
+
+/// Consumes `'…'` with the cursor on the opening quote (escapes handled).
+fn lex_char_body(cur: &mut Cursor, text: &mut String) {
+    cur.bump(text); // opening '
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            cur.bump_n(2, text);
+        } else if ch == '\'' {
+            cur.bump(text);
+            break;
+        } else {
+            cur.bump(text);
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime), cursor on the `'`.
+fn lex_char_or_lifetime(cur: &mut Cursor, text: &mut String) -> TokenKind {
+    match cur.peek(1) {
+        Some('\\') => {
+            lex_char_body(cur, text);
+            TokenKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'x'` is a char; `'x` followed by anything else is a
+            // lifetime (lifetimes are single identifiers, so one
+            // ident-char plus a closing quote decides it).
+            let mut end = 2;
+            while cur.peek(end).is_some_and(is_ident_continue) {
+                end += 1;
+            }
+            if cur.peek(end) == Some('\'') && end == 2 {
+                lex_char_body(cur, text);
+                TokenKind::Char
+            } else {
+                cur.bump(text); // '
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump(text);
+                }
+                TokenKind::Lifetime
+            }
+        }
+        Some(_) => {
+            lex_char_body(cur, text);
+            TokenKind::Char
+        }
+        None => {
+            cur.bump(text);
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consumes a numeric literal (int/float/hex/suffix), cursor on a digit.
+/// `0..n` lexes as `0`, `.`, `.`, `n` — the dot is only part of the
+/// number when a digit follows it.
+fn lex_number(cur: &mut Cursor, text: &mut String) {
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump(text);
+        // Exponent sign: `1e-5` / `2.5E+10`.
+        if text.ends_with(['e', 'E'])
+            && cur.peek(0).is_some_and(|c| c == '+' || c == '-')
+            && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            && text.chars().next().is_some_and(|c| c.is_ascii_digit())
+            && !text.starts_with("0x")
+        {
+            cur.bump(text);
+        }
+    }
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump(text); // '.'
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump(text);
+            if text.ends_with(['e', 'E'])
+                && cur.peek(0).is_some_and(|c| c == '+' || c == '-')
+                && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                cur.bump(text);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("fn f() {\n    x.unwrap();\n}\n");
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).expect("unwrap");
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+        let dot = toks.iter().find(|t| t.is_punct('.')).expect("dot");
+        assert_eq!((dot.line, dot.col), (2, 6));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = kinds(r#"let s = "call .unwrap() and panic!";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"inner "quoted" .unwrap()"# ; done"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("quoted")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn byte_and_char_literals() {
+        let toks = kinds(r"let a = b'x'; let c = '\n'; let q = '('; let l: &'static str = s;");
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3, "{chars:?}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner .unwrap() */ still comment */ fn f() {}");
+        assert!(matches!(toks[0].0, TokenKind::BlockComment));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn line_comments_and_docs() {
+        let toks = kinds("/// docs mention .unwrap()\n//! and dbg!\nfn f() {}");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::LineComment)
+                .count(),
+            2
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..n { let x = 1.5e-3; let y = 0x7f_u64; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Number)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "1.5e-3", "0x7f_u64"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_rest_without_panic() {
+        let toks = kinds("let s = \"never closed");
+        assert!(matches!(toks.last(), Some((TokenKind::Str, _))));
+    }
+}

@@ -1,0 +1,141 @@
+//! # tir-analyze
+//!
+//! A from-scratch, dependency-free static-analysis engine for the
+//! temporal-ir workspace. It replaces the PR 1 substring scanner with a
+//! real Rust [`lexer`] (strings, raw strings, char literals, nested
+//! comments, raw identifiers) and a rule framework producing
+//! `path:line:col` diagnostics with per-site
+//! `// analyze:allow(rule-name)` suppressions (see [`source`] for the
+//! exact syntax and extents).
+//!
+//! ## Rule catalog
+//!
+//! | rule | fires on |
+//! |------|----------|
+//! | `lock-order` | cycles in the per-crate Mutex-acquisition graph; re-locking a held mutex |
+//! | `atomic-ordering` | any `Ordering::Relaxed` without a per-site justification comment |
+//! | `raw-lock` | bare `.lock()` calls that bypass the tracked poison-tolerant helper |
+//! | `panic-path` | `.unwrap()`, `todo!`, `unimplemented!`, `dbg!`, `panic!`, message-less `.expect()` in library code |
+//! | `unguarded-cast` | narrowing `as` casts in hot-path crates without a fits-proof annotation |
+//! | `unbounded-channel` | `std::sync::mpsc::channel()` (no backpressure) |
+//!
+//! `#[cfg(test)]` items are exempt from every rule. The driver is
+//! `cargo xtask analyze` (part of `cargo xtask lint`); the old
+//! `cargo xtask srclint` is an alias kept for CI and muscle memory.
+//!
+//! ```
+//! use tir_analyze::{Analysis, Config};
+//!
+//! let mut a = Analysis::new(Config::default());
+//! a.add_file("demo", "demo/lib.rs", "fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+//! let diags = a.finish();
+//! assert_eq!(diags.len(), 1);
+//! assert_eq!(diags[0].rule, "panic-path");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::collections::HashMap;
+
+pub use diag::Diagnostic;
+pub use source::SourceFile;
+
+use rules::lock_order::LockGraph;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crates the `unguarded-cast` rule applies to (`None` = every
+    /// crate). The workspace gate restricts it to the hot-path crates
+    /// `hint`, `invidx`, `core`, where a silent truncation corrupts
+    /// query answers.
+    pub cast_crates: Option<Vec<String>>,
+}
+
+/// The analysis session: feed files with [`Analysis::add_file`], collect
+/// everything with [`Analysis::finish`]. Per-file rules run immediately;
+/// `lock-order` accumulates a graph per crate and is resolved at the end.
+pub struct Analysis {
+    config: Config,
+    diags: Vec<Diagnostic>,
+    graphs: HashMap<String, LockGraph>,
+    files: usize,
+}
+
+impl Analysis {
+    /// Starts an empty session.
+    pub fn new(config: Config) -> Analysis {
+        Analysis {
+            config,
+            diags: Vec::new(),
+            graphs: HashMap::new(),
+            files: 0,
+        }
+    }
+
+    /// Number of files fed so far.
+    pub fn files_seen(&self) -> usize {
+        self.files
+    }
+
+    /// Lexes `text` and runs every applicable rule. `krate` groups files
+    /// for the lock-order graph; `path` is what diagnostics report.
+    pub fn add_file(&mut self, krate: &str, path: &str, text: &str) {
+        self.files += 1;
+        let file = SourceFile::parse(path, text);
+
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        raw.extend(rules::panic_path::check(&file));
+        raw.extend(rules::atomic_ordering::check(&file));
+        raw.extend(rules::raw_lock::check(&file));
+        raw.extend(rules::channel::check(&file));
+        let cast_applies = match &self.config.cast_crates {
+            None => true,
+            Some(list) => list.iter().any(|c| c == krate),
+        };
+        if cast_applies {
+            raw.extend(rules::cast::check(&file));
+        }
+
+        // Suppression pass: a diagnostic is dropped when a matching
+        // allow covers its line (rules that interpret annotations
+        // themselves mark their output non-suppressible).
+        self.diags.extend(
+            raw.into_iter()
+                .filter(|d| !d.suppressible || file.allow(d.rule, d.line).is_none()),
+        );
+
+        let graph = self.graphs.entry(krate.to_string()).or_default();
+        self.diags.extend(graph.add_file(&file));
+    }
+
+    /// Resolves the per-crate lock graphs and returns every diagnostic,
+    /// sorted by path/line/column.
+    pub fn finish(mut self) -> Vec<Diagnostic> {
+        let mut crates: Vec<&String> = self.graphs.keys().collect();
+        crates.sort();
+        let mut cycle_diags = Vec::new();
+        for krate in crates {
+            cycle_diags.extend(self.graphs[krate].check_cycles(krate));
+        }
+        self.diags.extend(cycle_diags);
+        self.diags.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
+        });
+        self.diags
+    }
+}
+
+/// Convenience: run every rule over one snippet as crate `snippet`.
+/// Used by the self-test corpus and handy in doctests.
+pub fn analyze_snippet(text: &str) -> Vec<Diagnostic> {
+    let mut a = Analysis::new(Config::default());
+    a.add_file("snippet", "snippet.rs", text);
+    a.finish()
+}

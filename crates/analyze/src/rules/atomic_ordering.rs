@@ -1,0 +1,64 @@
+//! `atomic-ordering`: every `Ordering::Relaxed` site must carry a
+//! justification. `Relaxed` is correct for monotonic telemetry counters
+//! and id minting, and silently wrong anywhere a load is supposed to
+//! observe writes published by another thread — the difference is
+//! invisible in tests on x86, so the rule forces the author to write the
+//! argument down at the site:
+//!
+//! ```text
+//! stats.served.fetch_add(1, Ordering::Relaxed); // analyze:allow(atomic-ordering): telemetry counter; nothing reads it for synchronization
+//! ```
+//!
+//! A bare `analyze:allow(atomic-ordering)` without the `: why` text still
+//! fires — the annotation *is* the audit trail, so it must say something.
+//! Diagnostics from this rule are non-suppressible by construction (the
+//! rule itself interprets the annotation).
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "atomic-ordering";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        let relaxed = i + 3 < t.len()
+            && t[i].is_ident("Ordering")
+            && t[i + 1].is_punct(':')
+            && t[i + 2].is_punct(':')
+            && t[i + 3].is_ident("Relaxed");
+        if !relaxed {
+            continue;
+        }
+        let site = &t[i + 3];
+        match file.allow(NAME, site.line) {
+            Some(allow) if !allow.justification.is_empty() => {}
+            Some(_) => out.push(
+                Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    site.line,
+                    site.col,
+                    "analyze:allow(atomic-ordering) requires a justification: \
+                     `// analyze:allow(atomic-ordering): <why Relaxed is sufficient>`",
+                )
+                .unsuppressible(),
+            ),
+            None => out.push(
+                Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    site.line,
+                    site.col,
+                    "Ordering::Relaxed requires a per-site justification comment: \
+                     `// analyze:allow(atomic-ordering): <why Relaxed is sufficient>`",
+                )
+                .unsuppressible(),
+            ),
+        }
+    }
+    out
+}

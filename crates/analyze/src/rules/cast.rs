@@ -1,0 +1,43 @@
+//! `unguarded-cast`: lossy `as` casts in hot-path crates must be
+//! annotated. An `as u32` silently truncates; in the index kernels
+//! (`tir-hint`, `tir-invidx`, `tir-core`) a truncated id or bucket
+//! number corrupts answers without a panic, which is exactly the class
+//! of bug the paper's containment semantics cannot tolerate. Casts to
+//! narrowing targets (`u8/u16/u32/i8/i16/i32/f32`) fire unless the site
+//! carries `// analyze:allow(unguarded-cast): <why the value fits>`.
+//! Widening or platform-width casts (`usize`, `u64`, `u128`, `f64`,
+//! `i64`) are not flagged — the signal would drown.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "unguarded-cast";
+
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len().saturating_sub(1) {
+        if !t[i].is_ident("as") {
+            continue;
+        }
+        let target = &t[i + 1];
+        if NARROW.iter().any(|n| target.is_ident(n)) {
+            out.push(Diagnostic::new(
+                NAME,
+                &file.path,
+                target.line,
+                target.col,
+                format!(
+                    "narrowing cast `as {}` in a hot-path crate; prove the value fits and \
+                     annotate `// analyze:allow(unguarded-cast): <why>`, or use try_from",
+                    target.text
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,60 @@
+//! `unbounded-channel`: `std::sync::mpsc::channel()` is banned in
+//! library code. An unbounded queue turns overload into unbounded memory
+//! growth and tail-latency collapse; every queue in the serving stack is
+//! a `sync_channel` with explicit `Overloaded` shedding (PR 2's
+//! backpressure contract), and this rule keeps it that way. Both the
+//! call form `mpsc::channel(...)` and the import form
+//! `use std::sync::mpsc::channel` fire.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "unbounded-channel";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        // `use … mpsc … channel … ;` — an import of the unbounded
+        // constructor (plain or inside a brace group).
+        if t[i].is_ident("use") {
+            let mut saw_mpsc = false;
+            let mut j = i + 1;
+            while j < t.len() && !t[j].is_punct(';') {
+                if t[j].is_ident("mpsc") {
+                    saw_mpsc = true;
+                } else if saw_mpsc && t[j].is_ident("channel") {
+                    out.push(diag(file, t[j].line, t[j].col));
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        // `mpsc::channel(` — the qualified call form.
+        if i + 3 < t.len()
+            && t[i].is_ident("mpsc")
+            && t[i + 1].is_punct(':')
+            && t[i + 2].is_punct(':')
+            && t[i + 3].is_ident("channel")
+        {
+            out.push(diag(file, t[i + 3].line, t[i + 3].col));
+        }
+        i += 1;
+    }
+    out
+}
+
+fn diag(file: &SourceFile, line: u32, col: u32) -> Diagnostic {
+    Diagnostic::new(
+        NAME,
+        &file.path,
+        line,
+        col,
+        "unbounded mpsc::channel() has no backpressure; use sync_channel(depth) \
+         and shed load with an explicit Overloaded error",
+    )
+}

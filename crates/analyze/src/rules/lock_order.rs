@@ -1,0 +1,401 @@
+//! `lock-order`: extract a Mutex-acquisition graph per crate and fail on
+//! cycles. Two threads taking the same two locks in opposite orders is a
+//! deadlock that no unit test reliably reproduces; the rule catches it at
+//! the source level.
+//!
+//! ## Model
+//!
+//! Acquisition sites are recognized in two forms:
+//!
+//! * helper form — `lock(&self.current)` (the tracked `lock()` helper):
+//!   the mutex name is the last path segment inside the call;
+//! * method form — `guard.lock()`: the name is the identifier preceding
+//!   `.lock`.
+//!
+//! Within a function body the rule tracks which guards are *held*:
+//!
+//! * a guard bound directly by `let g = lock(…)` lives until the
+//!   enclosing block closes or an explicit `drop(g)`;
+//! * a temporary guard (`*lock(&x) = …`, `f(lock(&a), lock(&b))`) lives
+//!   to the end of its statement.
+//!
+//! Every acquisition B while A is held contributes a directed edge
+//! `A → B` (first witness site pair recorded). Edges across all files of
+//! one crate form the graph; a cycle — including the 1-cycle of
+//! re-locking a mutex already held, which with `std::sync::Mutex` is an
+//! instant deadlock — is reported with the witnessing sites of every
+//! edge on the cycle.
+//!
+//! Mutexes are identified by field/variable name, which is deliberately
+//! coarse: the rule is a reviewer that errs toward asking, and a
+//! false pairing is silenced per site with `// analyze:allow(lock-order)`.
+//! The runtime witness in `tir-serve` (`witness.rs`) keys by mutex
+//! *address* and covers whatever this approximation misses.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::diag::Diagnostic;
+use crate::lexer::Token;
+use crate::source::SourceFile;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "lock-order";
+
+/// Where an edge endpoint was witnessed.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// File of the acquisition.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// The per-crate acquisition graph, fed one file at a time.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// `(held, acquired) → (site holding, site acquiring)`, first witness.
+    edges: HashMap<(String, String), (Site, Site)>,
+}
+
+impl LockGraph {
+    /// Scans one file's functions and adds every held-across edge.
+    /// Immediate re-lock of a held name is reported straight away.
+    pub fn add_file(&mut self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for acq in scan_functions(file) {
+            let AcquisitionPair { held, acquired } = acq;
+            if held.name == acquired.name {
+                diags.push(Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    acquired.site.line,
+                    acquired.site.col,
+                    format!(
+                        "mutex `{}` re-locked while already held (acquired at {}); \
+                         std::sync::Mutex self-deadlocks",
+                        acquired.name, held.site
+                    ),
+                ));
+                continue;
+            }
+            self.edges
+                .entry((held.name.clone(), acquired.name.clone()))
+                .or_insert((held.site.clone(), acquired.site.clone()));
+        }
+        diags
+    }
+
+    /// Cycle check over the accumulated graph. Each cycle is one
+    /// diagnostic naming every edge with its witness sites.
+    pub fn check_cycles(&self, crate_name: &str) -> Vec<Diagnostic> {
+        let mut adj: HashMap<&str, Vec<&str>> = HashMap::new();
+        for (from, to) in self.edges.keys() {
+            adj.entry(from).or_default().push(to);
+        }
+        let mut nodes: Vec<&str> = adj.keys().copied().collect();
+        nodes.sort_unstable();
+
+        let mut done: HashSet<&str> = HashSet::new();
+        let mut diags = Vec::new();
+        for &start in &nodes {
+            if done.contains(start) {
+                continue;
+            }
+            let mut on_path: Vec<&str> = Vec::new();
+            if let Some(cycle) = dfs(start, &adj, &mut on_path, &mut done) {
+                // One diagnostic per cycle: mark its nodes handled so the
+                // same loop is not re-reported from another entry point.
+                for n in &cycle {
+                    done.insert(n);
+                }
+                let mut lines = Vec::new();
+                for w in cycle.windows(2) {
+                    if let Some((hs, as_)) = self.edges.get(&(w[0].to_string(), w[1].to_string())) {
+                        lines.push(format!(
+                            "`{}` then `{}` ({} holds, {} acquires)",
+                            w[0], w[1], hs, as_
+                        ));
+                    }
+                }
+                let (line, col) = self
+                    .edges
+                    .get(&(cycle[0].to_string(), cycle[1].to_string()))
+                    .map(|(_, a)| (a.line, a.col))
+                    .unwrap_or((0, 0));
+                diags.push(
+                    Diagnostic::new(
+                        NAME,
+                        &format!("crates/{crate_name}"),
+                        line,
+                        col,
+                        format!(
+                            "lock-order cycle in crate `{crate_name}`: {}",
+                            lines.join("; ")
+                        ),
+                    )
+                    .unsuppressible(),
+                );
+            }
+        }
+        diags
+    }
+}
+
+/// DFS returning the first cycle found as a node path `[a, …, a]`.
+fn dfs<'a>(
+    node: &'a str,
+    adj: &HashMap<&'a str, Vec<&'a str>>,
+    on_path: &mut Vec<&'a str>,
+    done: &mut HashSet<&'a str>,
+) -> Option<Vec<&'a str>> {
+    if let Some(pos) = on_path.iter().position(|&n| n == node) {
+        let mut cycle: Vec<&str> = on_path[pos..].to_vec();
+        cycle.push(node);
+        return Some(cycle);
+    }
+    if done.contains(node) {
+        return None;
+    }
+    on_path.push(node);
+    if let Some(nexts) = adj.get(node) {
+        let mut sorted = nexts.clone();
+        sorted.sort_unstable();
+        for next in sorted {
+            if let Some(c) = dfs(next, adj, on_path, done) {
+                return Some(c);
+            }
+        }
+    }
+    on_path.pop();
+    done.insert(node);
+    None
+}
+
+struct Held {
+    name: String,
+    site: Site,
+    /// Variable the guard is bound to (None for statement temporaries).
+    var: Option<String>,
+    /// Brace depth at binding; the guard dies when depth drops below.
+    depth: i64,
+}
+
+struct AcquisitionPair {
+    held: HeldRef,
+    acquired: HeldRef,
+}
+
+struct HeldRef {
+    name: String,
+    site: Site,
+}
+
+/// Walks every `fn` body in the file, yielding a (held, acquired) pair
+/// for each acquisition made while another guard is live. Sites carrying
+/// `analyze:allow(lock-order)` are excluded from the graph entirely.
+fn scan_functions(file: &SourceFile) -> Vec<AcquisitionPair> {
+    let t = &file.tokens;
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].is_ident("fn") {
+            // Find the body `{` (skipping the parameter list and any
+            // parenthesized groups in the return type).
+            let mut j = i + 1;
+            let mut paren = 0i64;
+            while j < t.len() {
+                if t[j].is_punct('(') {
+                    paren += 1;
+                } else if t[j].is_punct(')') {
+                    paren -= 1;
+                } else if t[j].is_punct('{') && paren == 0 {
+                    break;
+                } else if t[j].is_punct(';') && paren == 0 {
+                    break; // trait method declaration, no body
+                }
+                j += 1;
+            }
+            if j < t.len() && t[j].is_punct('{') {
+                let end = scan_body(file, j, &mut pairs);
+                i = end;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    pairs
+}
+
+/// Processes one brace-matched body starting at the `{` at `open`;
+/// returns the index just past the matching `}`.
+fn scan_body(file: &SourceFile, open: usize, pairs: &mut Vec<AcquisitionPair>) -> usize {
+    let t = &file.tokens;
+    let mut depth = 0i64;
+    let mut held: Vec<Held> = Vec::new();
+    let mut i = open;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.is_punct('{') {
+            depth += 1;
+            held.retain(|h| h.var.is_some());
+            i += 1;
+            continue;
+        }
+        if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+            held.retain(|h| h.var.is_some() && h.depth <= depth);
+            i += 1;
+            continue;
+        }
+        if tok.is_punct(';') {
+            held.retain(|h| h.var.is_some());
+            i += 1;
+            continue;
+        }
+        // drop(var) releases a bound guard early.
+        if i + 3 < t.len()
+            && tok.is_ident("drop")
+            && t[i + 1].is_punct('(')
+            && t[i + 3].is_punct(')')
+        {
+            let var = t[i + 2].text.clone();
+            held.retain(|h| h.var.as_deref() != Some(var.as_str()));
+            i += 4;
+            continue;
+        }
+        if let Some(acq) = match_acquisition(t, i) {
+            let site = Site {
+                path: file.path.clone(),
+                line: t[acq.name_idx].line,
+                col: t[acq.name_idx].col,
+            };
+            let suppressed = file.allow(NAME, site.line).is_some();
+            if !suppressed {
+                for h in &held {
+                    pairs.push(AcquisitionPair {
+                        held: HeldRef {
+                            name: h.name.clone(),
+                            site: h.site.clone(),
+                        },
+                        acquired: HeldRef {
+                            name: acq.mutex.clone(),
+                            site: site.clone(),
+                        },
+                    });
+                }
+                held.push(Held {
+                    name: acq.mutex,
+                    site,
+                    var: acq.bound_var,
+                    depth,
+                });
+            }
+            i = acq.resume;
+            continue;
+        }
+        i += 1;
+    }
+    i
+}
+
+struct Acquisition {
+    /// Name identifying the mutex (last path segment of the receiver).
+    mutex: String,
+    /// Token index of the name, for the diagnostic position.
+    name_idx: usize,
+    /// `Some(var)` when the guard is directly `let`-bound.
+    bound_var: Option<String>,
+    /// Token index to resume scanning from.
+    resume: usize,
+}
+
+/// Recognizes an acquisition starting at token `i`, either
+/// `lock(&path.to.mutex …)` (helper form, `lock` not preceded by `.`)
+/// or `path.to.mutex.lock(` (method form, matched at the receiver's
+/// final identifier).
+fn match_acquisition(t: &[Token], i: usize) -> Option<Acquisition> {
+    // Helper form: ident `lock` + `(`, not a method call on something.
+    if t[i].is_ident("lock")
+        && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+        && (i == 0 || !t[i - 1].is_punct('.'))
+    {
+        // The mutex name: last identifier inside the balanced parens.
+        let mut j = i + 1;
+        let mut paren = 0i64;
+        let mut last_ident: Option<usize> = None;
+        while j < t.len() {
+            if t[j].is_punct('(') {
+                paren += 1;
+            } else if t[j].is_punct(')') {
+                paren -= 1;
+                if paren == 0 {
+                    break;
+                }
+            } else if t[j].kind == crate::lexer::TokenKind::Ident {
+                last_ident = Some(j);
+            }
+            j += 1;
+        }
+        let name_idx = last_ident?;
+        return Some(Acquisition {
+            mutex: t[name_idx].text.clone(),
+            name_idx,
+            bound_var: binding_before(t, i),
+            resume: j + 1,
+        });
+    }
+    // Method form: `<recv>.lock(` — match at the ident preceding `.lock(`.
+    if i + 3 < t.len()
+        && t[i].kind == crate::lexer::TokenKind::Ident
+        && t[i + 1].is_punct('.')
+        && t[i + 2].is_ident("lock")
+        && t[i + 3].is_punct('(')
+    {
+        // Walk back over the `a.b.c` receiver chain to find its start,
+        // then look for a direct `let var =` binding.
+        let mut start = i;
+        while start >= 2
+            && t[start - 1].is_punct('.')
+            && t[start - 2].kind == crate::lexer::TokenKind::Ident
+        {
+            start -= 2;
+        }
+        return Some(Acquisition {
+            mutex: t[i].text.clone(),
+            name_idx: i,
+            bound_var: binding_before(t, start),
+            resume: i + 4,
+        });
+    }
+    None
+}
+
+/// If the tokens immediately before `expr_start` are `let [mut] v =`
+/// (ignoring `&`/`*` sigils), the guard is bound to `v`.
+fn binding_before(t: &[Token], expr_start: usize) -> Option<String> {
+    let mut k = expr_start;
+    while k > 0 && (t[k - 1].is_punct('&') || t[k - 1].is_punct('*')) {
+        k -= 1;
+    }
+    if k >= 3
+        && t[k - 1].is_punct('=')
+        && t[k - 2].kind == crate::lexer::TokenKind::Ident
+        && (t[k - 3].is_ident("let") || t[k - 3].is_ident("mut"))
+    {
+        return Some(t[k - 2].text.clone());
+    }
+    None
+}

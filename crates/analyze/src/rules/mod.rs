@@ -1,0 +1,21 @@
+//! The rule catalog. Each rule is a function from a prepared
+//! [`SourceFile`](crate::source::SourceFile) to diagnostics; `lock-order`
+//! additionally aggregates a cross-file graph per crate (see
+//! [`lock_order::LockGraph`]).
+
+pub mod atomic_ordering;
+pub mod cast;
+pub mod channel;
+pub mod lock_order;
+pub mod panic_path;
+pub mod raw_lock;
+
+/// Names of every shipped rule, for reporting.
+pub const RULE_NAMES: &[&str] = &[
+    lock_order::NAME,
+    atomic_ordering::NAME,
+    raw_lock::NAME,
+    panic_path::NAME,
+    cast::NAME,
+    channel::NAME,
+];

@@ -1,0 +1,80 @@
+//! `panic-path`: library code must not reach a panic through sloppy
+//! means. Denied in non-test code: `.unwrap()`, `todo!`, `unimplemented!`,
+//! `dbg!`, `panic!`, and `.expect(…)` whose argument is anything but a
+//! non-empty string literal (the justification-message convention this
+//! workspace has used since PR 1). `assert!`/`debug_assert!` stay legal —
+//! they state invariants, which is the opposite of sloppy.
+//!
+//! This supersedes the old `srclint` substring scanner: matches are on
+//! the token stream, so `"docs mention .unwrap()"` and comments can
+//! never fire.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "panic-path";
+
+const DENIED_MACROS: &[(&str, &str)] = &[
+    ("todo", "todo! must not ship in library code"),
+    (
+        "unimplemented",
+        "unimplemented! must not ship in library code",
+    ),
+    ("dbg", "dbg! is debug cruft"),
+    (
+        "panic",
+        "explicit panic! in library code; return an error or use expect(\"why\") at the boundary",
+    ),
+];
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        // .unwrap( — method position only, so a local `fn unwrap()` or an
+        // identifier named unwrap does not fire.
+        if i + 2 < t.len()
+            && t[i].is_punct('.')
+            && t[i + 1].is_ident("unwrap")
+            && t[i + 2].is_punct('(')
+        {
+            out.push(Diagnostic::new(
+                NAME,
+                &file.path,
+                t[i + 1].line,
+                t[i + 1].col,
+                "unwrap() panics without context; use expect(\"why\") or handle the None/Err",
+            ));
+        }
+        // .expect(<not a non-empty string literal>)
+        if i + 3 < t.len()
+            && t[i].is_punct('.')
+            && t[i + 1].is_ident("expect")
+            && t[i + 2].is_punct('(')
+        {
+            let arg = &t[i + 3];
+            let literal_msg = arg.kind == crate::lexer::TokenKind::Str
+                && !arg.text.trim_matches('"').trim().is_empty();
+            if !literal_msg {
+                out.push(Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    t[i + 1].line,
+                    t[i + 1].col,
+                    "expect() must carry a non-empty string-literal justification",
+                ));
+            }
+        }
+        // Denied macros: ident immediately followed by `!`.
+        if i + 1 < t.len() && t[i + 1].is_punct('!') {
+            for &(name, why) in DENIED_MACROS {
+                if t[i].is_ident(name) {
+                    out.push(Diagnostic::new(NAME, &file.path, t[i].line, t[i].col, why));
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,38 @@
+//! `raw-lock`: library code must go through the poison-tolerant
+//! `lock()` helper (`tir-serve`'s `crates/serve/src/witness.rs`), never
+//! call `.lock()` on a `Mutex` directly. The helper is where poisoning
+//! policy lives *and* where the dynamic lock-order witness hooks in —
+//! a bare `.lock().unwrap()` bypasses both.
+//!
+//! The helper's own internals (and the witness registry, which cannot
+//! recurse through itself) carry `// analyze:allow(raw-lock)` with an
+//! explanation.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "raw-lock";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    for i in 0..t.len() {
+        if i + 2 < t.len()
+            && t[i].is_punct('.')
+            && t[i + 1].is_ident("lock")
+            && t[i + 2].is_punct('(')
+        {
+            out.push(Diagnostic::new(
+                NAME,
+                &file.path,
+                t[i + 1].line,
+                t[i + 1].col,
+                "bare .lock() bypasses the poison policy and the lock-order witness; \
+                 use the tracked lock() helper",
+            ));
+        }
+    }
+    out
+}

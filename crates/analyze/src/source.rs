@@ -1,0 +1,265 @@
+//! A lexed source file plus everything the rules need to judge it:
+//! the code-token stream with `#[cfg(test)]` regions removed, and the
+//! parsed `// analyze:allow(rule)` suppressions with their line extents.
+//!
+//! ## Suppression syntax
+//!
+//! ```text
+//! stats.served.fetch_add(1, Ordering::Relaxed); // analyze:allow(atomic-ordering): telemetry counter
+//!
+//! // analyze:allow(unguarded-cast): masked to 7 bits above
+//! let byte = (v & 0x7f) as u8;
+//! ```
+//!
+//! A trailing allow covers its own line. An allow on a line of its own
+//! covers the *statement* that starts on the next code line (through the
+//! terminating `;` or the end of the enclosing block), so multi-line
+//! method chains need only one annotation. The text after the optional
+//! `:` is the justification; the `atomic-ordering` rule requires it to
+//! be non-empty.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One parsed `analyze:allow(...)` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// First source line the annotation covers.
+    pub from_line: u32,
+    /// Last source line the annotation covers (inclusive).
+    pub to_line: u32,
+    /// Free-text justification after the `:` (may be empty).
+    pub justification: String,
+}
+
+/// A file ready for rule evaluation.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (workspace-relative by convention).
+    pub path: String,
+    /// Code tokens only: comments stripped, `#[cfg(test)]` items removed.
+    pub tokens: Vec<Token>,
+    /// Parsed suppressions, extents resolved.
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Lexes and prepares `text`.
+    pub fn parse(path: impl Into<String>, text: &str) -> SourceFile {
+        let all = lex(text);
+        let comments: Vec<&Token> = all
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .collect();
+        let code: Vec<Token> = all
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .cloned()
+            .collect();
+        let code = strip_test_items(code);
+        let allows = resolve_allows(&comments, &code);
+        SourceFile {
+            path: path.into(),
+            tokens: code,
+            allows,
+        }
+    }
+
+    /// The innermost allow for `rule` covering `line`, if any.
+    pub fn allow(&self, rule: &str, line: u32) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.rule == rule && (a.from_line..=a.to_line).contains(&line))
+    }
+}
+
+/// Removes every item annotated `#[cfg(test)]` from the token stream
+/// (the repo convention keeps unit tests in a trailing `mod tests`).
+/// Only the exact form `cfg(test)` matches — `cfg(not(test))` is live
+/// code and stays.
+fn strip_test_items(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            // Skip the attribute itself (7 tokens: # [ cfg ( test ) ])
+            // and then the item it decorates: everything through the
+            // matching `}` of its first top-level brace, or through a
+            // `;` for braceless items (`#[cfg(test)] use …;`).
+            i += 7;
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                let t = &tokens[i];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    tokens.len() >= i + 7
+        && tokens[i].is_punct('#')
+        && tokens[i + 1].is_punct('[')
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct('(')
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(')')
+        && tokens[i + 6].is_punct(']')
+}
+
+/// Parses `analyze:allow(rule)` / `analyze:allow(rule): why` out of a
+/// comment body, tolerating doc sigils and leading whitespace.
+fn parse_allow(comment: &str) -> Option<(String, String)> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches(['!', '*'])
+        .trim_start();
+    let rest = body.strip_prefix("analyze:allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
+    Some((rule, justification))
+}
+
+fn resolve_allows(comments: &[&Token], code: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let Some((rule, justification)) = parse_allow(&c.text) else {
+            continue;
+        };
+        let trailing = code.iter().any(|t| t.line == c.line && t.col < c.col);
+        let (from_line, to_line) = if trailing {
+            (c.line, c.line)
+        } else {
+            statement_extent(code, c.line)
+        };
+        allows.push(Allow {
+            rule,
+            from_line,
+            to_line,
+            justification,
+        });
+    }
+    allows
+}
+
+/// For an own-line allow above `after_line`, the covered range: from the
+/// first code line past the comment through the end of the statement
+/// starting there (`;` at the statement's own nesting level, or the
+/// closing brace of the block it opens).
+fn statement_extent(code: &[Token], after_line: u32) -> (u32, u32) {
+    let Some(start) = code.iter().position(|t| t.line > after_line) else {
+        return (after_line + 1, after_line + 1);
+    };
+    let from = code[start].line;
+    let mut depth = 0i64;
+    let mut last = from;
+    for t in &code[start..] {
+        last = t.line;
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+            // Balanced `(..)` / `[..]` pairs (calls, generic tuples, array
+            // literals) stay inside the statement; only a `}` closing a
+            // block the statement opened — or any close past the
+            // statement's own level — ends it.
+            if depth < 0 || (depth == 0 && t.is_punct('}')) {
+                break;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            break;
+        }
+    }
+    (from, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_modules_are_stripped() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n",
+        );
+        assert!(f.tokens.iter().any(|t| t.is_ident("live")));
+        assert!(!f.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_kept() {
+        let f = SourceFile::parse("x.rs", "#[cfg(not(test))]\nfn live() { marker(); }\n");
+        assert!(f.tokens.iter().any(|t| t.is_ident("marker")));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let f = SourceFile::parse("x.rs", "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n");
+        assert!(!f.tokens.iter().any(|t| t.is_ident("bar")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("live")));
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_line() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn f() {\n    g(); // analyze:allow(some-rule): fine here\n    h();\n}\n",
+        );
+        let a = f.allow("some-rule", 2).expect("allow on line 2");
+        assert_eq!(a.justification, "fine here");
+        assert!(f.allow("some-rule", 3).is_none());
+    }
+
+    #[test]
+    fn own_line_allow_covers_whole_statement() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn f() {\n    // analyze:allow(some-rule)\n    stats\n        .counter\n        .bump();\n    other();\n}\n",
+        );
+        assert!(f.allow("some-rule", 3).is_some());
+        assert!(f.allow("some-rule", 5).is_some(), "chain tail covered");
+        assert!(f.allow("some-rule", 6).is_none(), "next stmt not covered");
+    }
+
+    #[test]
+    fn own_line_allow_survives_balanced_parens_in_types() {
+        // `Vec<(A, B)>` closes a paren pair on the `let` line; the
+        // statement must still extend to its terminating `;`.
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn f() {\n    // analyze:allow(some-rule): audited\n    let pairs: Vec<(String, String)> = [\n        (a, b.load()),\n        (c, d.load()),\n    ]\n    .to_vec();\n    other();\n}\n",
+        );
+        assert!(f.allow("some-rule", 4).is_some(), "array rows covered");
+        assert!(f.allow("some-rule", 7).is_some(), "chained call covered");
+        assert!(f.allow("some-rule", 8).is_none(), "next stmt not covered");
+    }
+
+    #[test]
+    fn allow_without_justification_parses_empty() {
+        let f = SourceFile::parse("x.rs", "// analyze:allow(r)\nfn f() {}\n");
+        assert_eq!(f.allow("r", 2).expect("covers fn line").justification, "");
+    }
+}

@@ -1,0 +1,356 @@
+//! Self-test corpus: every shipped rule must (a) fire on a seeded
+//! violation and (b) stay silent on the fixed or annotated form. This is
+//! the proof the acceptance criteria ask for, and a regression net for
+//! the lexer: several snippets hide rule triggers inside strings and
+//! comments where they must NOT fire.
+
+use tir_analyze::{analyze_snippet, Analysis, Config};
+
+fn rules_fired(src: &str) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = analyze_snippet(src).iter().map(|d| d.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    rules
+}
+
+// ---------------------------------------------------------------- panic-path
+
+#[test]
+fn panic_path_fires_on_unwrap() {
+    let diags = analyze_snippet("fn f(x: Option<u32>) -> u32 { x.unwrap() }");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "panic-path");
+    assert_eq!((diags[0].line, diags[0].col), (1, 33));
+}
+
+#[test]
+fn panic_path_silent_on_justified_expect() {
+    assert!(
+        rules_fired(r#"fn f(x: Option<u32>) -> u32 { x.expect("caller checked") }"#).is_empty()
+    );
+}
+
+#[test]
+fn panic_path_fires_on_messageless_expect() {
+    assert_eq!(
+        rules_fired(r#"fn f(x: Option<u32>, m: &str) -> u32 { x.expect(m) }"#),
+        ["panic-path"]
+    );
+    assert_eq!(
+        rules_fired(r#"fn f(x: Option<u32>) -> u32 { x.expect("") }"#),
+        ["panic-path"]
+    );
+}
+
+#[test]
+fn panic_path_fires_on_denied_macros() {
+    for src in [
+        "fn f() { todo!() }",
+        "fn f() { unimplemented!() }",
+        "fn f(x: u32) { dbg!(x); }",
+        "fn f() { panic!(\"boom\") }",
+    ] {
+        assert_eq!(rules_fired(src), ["panic-path"], "{src}");
+    }
+}
+
+#[test]
+fn panic_path_silent_inside_strings_and_comments() {
+    for src in [
+        r#"fn f() -> &'static str { "call .unwrap() then panic!(now)" }"#,
+        "/// call .unwrap() at your peril\n//! dbg! example\n// todo! later\nfn f() {}",
+        r##"fn f() -> &'static str { r#".unwrap() and todo!"# }"##,
+        "/* nested /* .unwrap() */ todo! */ fn f() {}",
+    ] {
+        assert!(rules_fired(src).is_empty(), "{src}");
+    }
+}
+
+#[test]
+fn panic_path_silent_in_test_modules() {
+    let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); panic!(); }\n}\n";
+    assert!(rules_fired(src).is_empty());
+}
+
+#[test]
+fn panic_path_allow_suppresses() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() } // analyze:allow(panic-path): demo";
+    assert!(rules_fired(src).is_empty());
+}
+
+// ------------------------------------------------------------ atomic-ordering
+
+#[test]
+fn atomic_ordering_fires_without_justification() {
+    let diags = analyze_snippet("fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "atomic-ordering");
+}
+
+#[test]
+fn atomic_ordering_silent_with_justified_allow() {
+    let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); } \
+               // analyze:allow(atomic-ordering): monotonic telemetry counter";
+    assert!(rules_fired(src).is_empty());
+}
+
+#[test]
+fn atomic_ordering_bare_allow_still_fires() {
+    let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); } \
+               // analyze:allow(atomic-ordering)";
+    assert_eq!(rules_fired(src), ["atomic-ordering"]);
+}
+
+#[test]
+fn atomic_ordering_own_line_allow_covers_chain() {
+    let src = "fn f(s: &Stats) {\n    \
+               // analyze:allow(atomic-ordering): counter, no sync piggybacks\n    \
+               s.stats\n        .violations\n        .fetch_add(1, Ordering::Relaxed);\n}\n";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn atomic_ordering_silent_on_stronger_orderings() {
+    assert!(rules_fired("fn f(c: &AtomicU64) { c.store(1, Ordering::SeqCst); }").is_empty());
+    assert!(rules_fired("fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }").is_empty());
+}
+
+// ----------------------------------------------------------------- raw-lock
+
+#[test]
+fn raw_lock_fires_on_bare_lock_unwrap() {
+    let src = "fn f(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }";
+    let mut fired = rules_fired(src);
+    fired.sort_unstable();
+    // Both the bare .lock() and the .unwrap() are wrong here.
+    assert_eq!(fired, ["panic-path", "raw-lock"]);
+}
+
+#[test]
+fn raw_lock_silent_on_helper() {
+    assert!(rules_fired("fn f(m: &Mutex<u32>) -> u32 { *lock(m) }").is_empty());
+}
+
+#[test]
+fn raw_lock_allow_for_helper_internals() {
+    let src = "fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {\n    \
+               // analyze:allow(raw-lock): this IS the helper\n    \
+               m.lock().expect(\"poisoned\")\n}\n";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+// --------------------------------------------------------------- lock-order
+
+const INVERSION: &str = "\
+impl S {
+    fn ab(&self) {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        use_both(&a, &b);
+    }
+    fn ba(&self) {
+        let b = lock(&self.beta);
+        let a = lock(&self.alpha);
+        use_both(&a, &b);
+    }
+}
+";
+
+#[test]
+fn lock_order_fires_on_inversion() {
+    let diags = analyze_snippet(INVERSION);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "lock-order");
+    assert!(diags[0].message.contains("alpha"), "{}", diags[0].message);
+    assert!(diags[0].message.contains("beta"));
+    assert!(
+        diags[0].message.contains("snippet.rs:3"),
+        "witness sites named: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn lock_order_silent_on_consistent_order() {
+    let src = "\
+impl S {
+    fn ab(&self) {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        use_both(&a, &b);
+    }
+    fn also_ab(&self) {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        use_both(&a, &b);
+    }
+}
+";
+    assert!(rules_fired(src).is_empty());
+}
+
+#[test]
+fn lock_order_fires_on_relock_of_held_mutex() {
+    let src = "\
+fn f(s: &S) {
+    let a = lock(&s.alpha);
+    let again = lock(&s.alpha);
+}
+";
+    let diags = analyze_snippet(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("re-locked"));
+}
+
+#[test]
+fn lock_order_respects_scopes_and_drop() {
+    // Guard dropped by block end / drop() before the second acquisition:
+    // no edge, no cycle even though the textual order inverts.
+    let src = "\
+impl S {
+    fn ab(&self) {
+        { let a = lock(&self.alpha); use_one(&a); }
+        let b = lock(&self.beta);
+    }
+    fn ba(&self) {
+        let b = lock(&self.beta);
+        drop(b);
+        let a = lock(&self.alpha);
+    }
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn lock_order_temporaries_live_for_one_statement() {
+    // Two temporaries in one statement DO order against each other…
+    let one_stmt = "fn f(s: &S) { use_both(lock(&s.alpha), lock(&s.beta)); }\n\
+                    fn g(s: &S) { use_both(lock(&s.beta), lock(&s.alpha)); }";
+    assert_eq!(rules_fired(one_stmt), ["lock-order"]);
+    // …but a temporary does not leak into the next statement.
+    let two_stmts = "fn f(s: &S) { use_one(lock(&s.alpha)); use_one(lock(&s.beta)); }\n\
+                     fn g(s: &S) { use_one(lock(&s.beta)); use_one(lock(&s.alpha)); }";
+    assert!(rules_fired(two_stmts).is_empty());
+}
+
+#[test]
+fn lock_order_method_form_is_recognized() {
+    let src = "\
+impl S {
+    fn ab(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        use_both(&a, &b);
+    }
+    fn ba(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        use_both(&a, &b);
+    }
+}
+";
+    let fired = rules_fired(src);
+    assert!(fired.contains(&"lock-order"), "{fired:?}");
+}
+
+#[test]
+fn lock_order_allow_excludes_site_from_graph() {
+    let src = "\
+impl S {
+    fn ab(&self) {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        use_both(&a, &b);
+    }
+    fn ba(&self) {
+        let b = lock(&self.beta);
+        // analyze:allow(lock-order): beta is a shard-private clone here
+        let a = lock(&self.alpha);
+        use_both(&a, &b);
+    }
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+// ------------------------------------------------------------ unguarded-cast
+
+#[test]
+fn cast_fires_on_narrowing() {
+    let diags = analyze_snippet("fn f(n: usize) -> u32 { n as u32 }");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "unguarded-cast");
+}
+
+#[test]
+fn cast_silent_on_widening_and_annotated() {
+    assert!(rules_fired("fn f(n: u32) -> u64 { n as u64 }").is_empty());
+    assert!(rules_fired("fn f(n: u32) -> usize { n as usize }").is_empty());
+    assert!(rules_fired(
+        "fn f(n: usize) -> u32 { n as u32 } // analyze:allow(unguarded-cast): n < 2^32 by construction"
+    )
+    .is_empty());
+}
+
+#[test]
+fn cast_scoped_to_configured_crates() {
+    let src = "fn f(n: usize) -> u32 { n as u32 }";
+    let mut a = Analysis::new(Config {
+        cast_crates: Some(vec!["hint".into()]),
+    });
+    a.add_file("serve", "serve/lib.rs", src);
+    a.add_file("hint", "hint/lib.rs", src);
+    let diags = a.finish();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].path, "hint/lib.rs");
+}
+
+// --------------------------------------------------------- unbounded-channel
+
+#[test]
+fn channel_fires_on_qualified_call_and_import() {
+    assert_eq!(
+        rules_fired("fn f() { let (tx, rx) = mpsc::channel::<u32>(); }"),
+        ["unbounded-channel"]
+    );
+    assert_eq!(
+        rules_fired("use std::sync::mpsc::channel;\nfn f() {}"),
+        ["unbounded-channel"]
+    );
+    assert_eq!(
+        rules_fired("use std::sync::mpsc::{channel, Receiver};\nfn f() {}"),
+        ["unbounded-channel"]
+    );
+}
+
+#[test]
+fn channel_silent_on_bounded() {
+    assert!(rules_fired(
+        "use std::sync::mpsc::{sync_channel, Receiver};\nfn f() { let (tx, rx) = sync_channel::<u32>(8); }"
+    )
+    .is_empty());
+}
+
+// ------------------------------------------------------------------- engine
+
+#[test]
+fn diagnostics_are_sorted_and_addressed() {
+    let src = "fn f(x: Option<u32>, m: &Mutex<u32>) {\n    let a = m.lock().unwrap();\n    x.unwrap();\n}\n";
+    let diags = analyze_snippet(src);
+    assert!(diags.len() >= 3, "{diags:?}");
+    for w in diags.windows(2) {
+        assert!((w[0].line, w[0].col) <= (w[1].line, w[1].col));
+    }
+    let rendered = diags[0].to_string();
+    assert!(rendered.starts_with("snippet.rs:2:"), "{rendered}");
+}
+
+#[test]
+fn files_seen_counts() {
+    let mut a = Analysis::new(Config::default());
+    a.add_file("x", "a.rs", "fn a() {}");
+    a.add_file("x", "b.rs", "fn b() {}");
+    assert_eq!(a.files_seen(), 2);
+    assert!(a.finish().is_empty());
+}

@@ -117,6 +117,7 @@ impl TifHintSlicing {
     fn slice_of(&self, t: Timestamp) -> u32 {
         let t = t.clamp(self.domain_min, self.domain_max);
         let span = (self.domain_max - self.domain_min) as u128 + 1;
+        // analyze:allow(unguarded-cast): quotient is < k, and k is already a u32
         (((t - self.domain_min) as u128 * self.k as u128) / span) as u32
     }
 
@@ -137,6 +138,7 @@ impl TifHintSlicing {
                 sc.subs = fresh;
                 sc.first = lo;
             }
+            // analyze:allow(unguarded-cast): per-element slice count is bounded by k: u32
             let last = sc.first + sc.subs.len() as u32 - 1;
             if hi > last {
                 sc.subs

@@ -168,6 +168,7 @@ impl IrHintPerf {
         for (li, lvl) in self.levels.iter().enumerate() {
             for (pi, &j) in lvl.keys.iter().enumerate() {
                 for kind in KINDS {
+                    // analyze:allow(unguarded-cast): level index is bounded by m <= 20
                     f(li as u32, j, kind, &lvl.parts[pi].divs[kidx(kind)]);
                 }
             }

@@ -42,6 +42,7 @@ pub struct IrHintSize {
 /// interval-only cost model over-partitions here.
 pub fn choose_m_ir(n: usize, per_part: usize) -> u32 {
     let parts = (n as f64 / per_part.max(1) as f64).max(1.0);
+    // analyze:allow(unguarded-cast): log2 of a value >= 1.0 is finite and non-negative, far below u32::MAX
     (parts.log2().ceil() as u32).clamp(2, 20)
 }
 

@@ -40,6 +40,7 @@ impl SlicedList {
             self.subs = fresh;
             self.first = lo;
         }
+        // analyze:allow(unguarded-cast): per-element slice count is bounded by k: u32
         let last = self.first + self.subs.len() as u32 - 1;
         if hi > last {
             self.subs.resize_with(
@@ -102,6 +103,7 @@ impl TifSlicing {
     pub fn slice_of(&self, t: Timestamp) -> u32 {
         let t = t.clamp(self.domain_min, self.domain_max);
         let span = (self.domain_max - self.domain_min) as u128 + 1;
+        // analyze:allow(unguarded-cast): quotient is < k, and k is already a u32
         (((t - self.domain_min) as u128 * self.k as u128) / span) as u32
     }
 
@@ -130,6 +132,7 @@ impl TifSlicing {
     pub fn for_each_sublist(&self, mut f: impl FnMut(u32, u32, &TemporalList)) {
         for (&e, sl) in &self.lists {
             for (i, sub) in sl.subs.iter().enumerate() {
+                // analyze:allow(unguarded-cast): sub-list index is bounded by k: u32
                 f(e, sl.first + i as u32, sub);
             }
         }
@@ -262,6 +265,7 @@ pub fn tune_num_slices(coll: &Collection, candidates: &[u32], max_blowup: f64, e
     let mut best = (f64::INFINITY, 1u32);
     for &k in candidates {
         assert!(k >= 1);
+        // analyze:allow(unguarded-cast): quotient is < k, a u32 candidate value
         let slice_of = |t: Timestamp| -> u32 { (((t - d.st) as u128 * k as u128) / span) as u32 };
         let mut postings: u64 = 0;
         for o in coll.objects() {

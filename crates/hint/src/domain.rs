@@ -59,6 +59,7 @@ impl Domain {
     #[inline]
     pub fn cell(&self, t: u64) -> u32 {
         let t = t.clamp(self.min, self.max);
+        // analyze:allow(unguarded-cast): shift is chosen at build time so the cell count fits u32
         ((t - self.min) >> self.shift) as u32
     }
 

@@ -55,6 +55,7 @@ impl Grid1D {
     pub fn cell_of(&self, t: u64) -> u32 {
         let t = t.clamp(self.min, self.max);
         let span = (self.max - self.min) as u128 + 1;
+        // analyze:allow(unguarded-cast): quotient is < k, and k is already a u32
         (((t - self.min) as u128 * self.k as u128) / span) as u32
     }
 

@@ -237,6 +237,7 @@ impl Hint {
                             sts: &d.sts,
                             ends: &d.ends,
                             kind,
+                            // analyze:allow(unguarded-cast): level index is bounded by m <= 20
                             level: li as u32,
                             j,
                         },
@@ -584,6 +585,7 @@ fn sort_division(d: &mut crate::partition::Division, order: DivisionOrder, kind:
     if n <= 1 {
         return;
     }
+    // analyze:allow(unguarded-cast): record ids are u32 by construction, so n <= u32::MAX
     let mut perm: Vec<u32> = (0..n as u32).collect();
     match order {
         DivisionOrder::ById => {

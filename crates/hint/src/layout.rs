@@ -116,6 +116,7 @@ impl Layout {
     /// at most two partitions per level are produced.
     pub fn assign(&self, a: u32, b: u32, mut f: impl FnMut(u32, u32, bool)) {
         debug_assert!(a <= b);
+        // analyze:allow(unguarded-cast): m <= 20 is a build-time invariant, so 1 << m fits u32
         debug_assert!(b < (1u64 << self.m) as u32);
         let a0 = a;
         let (mut a, mut b) = (a, b);

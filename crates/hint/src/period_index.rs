@@ -58,6 +58,7 @@ impl PeriodIndex {
     fn bucket_of(&self, t: u64) -> u32 {
         let t = t.clamp(self.min, self.max);
         let span = (self.max - self.min) as u128 + 1;
+        // analyze:allow(unguarded-cast): quotient is < num_buckets, already a u32
         (((t - self.min) as u128 * self.num_buckets as u128) / span) as u32
     }
 

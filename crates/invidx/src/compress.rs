@@ -10,6 +10,7 @@
 #[inline]
 fn put_varint(data: &mut Vec<u8>, mut v: u64) {
     loop {
+        // analyze:allow(unguarded-cast): masked to 7 bits on the previous operation
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
@@ -60,6 +61,7 @@ impl CompressedPostings {
         data.shrink_to_fit();
         CompressedPostings {
             data,
+            // analyze:allow(unguarded-cast): posting count is bounded by the u32 id space
             len: ids.len() as u32,
         }
     }
@@ -81,6 +83,7 @@ impl CompressedPostings {
         let mut pos = 0;
         let mut acc = 0u32;
         for i in 0..self.len {
+            // analyze:allow(unguarded-cast): deltas were encoded from u32 ids, so each fits on decode
             let delta = get_varint(&self.data, &mut pos) as u32;
             acc = if i == 0 { delta } else { acc + delta };
             out.push(acc);
@@ -146,6 +149,7 @@ impl Iterator for CompressedIter<'_> {
             return None;
         }
         self.remaining -= 1;
+        // analyze:allow(unguarded-cast): deltas were encoded from u32 ids, so each fits on decode
         let delta = get_varint(self.data, &mut self.pos) as u32;
         self.acc = if self.first { delta } else { self.acc + delta };
         self.first = false;
@@ -183,6 +187,7 @@ impl CompressedTemporalPostings {
         data.shrink_to_fit();
         CompressedTemporalPostings {
             data,
+            // analyze:allow(unguarded-cast): posting count is bounded by the u32 id space
             len: ids.len() as u32,
         }
     }
@@ -202,6 +207,7 @@ impl CompressedTemporalPostings {
         let mut pos = 0;
         let mut acc = 0u32;
         for i in 0..self.len {
+            // analyze:allow(unguarded-cast): deltas were encoded from u32 ids, so each fits on decode
             let delta = get_varint(&self.data, &mut pos) as u32;
             acc = if i == 0 { delta } else { acc + delta };
             let st = get_varint(&self.data, &mut pos);

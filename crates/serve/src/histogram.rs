@@ -209,4 +209,55 @@ mod tests {
         assert_eq!(h.quantile(0.99), 0);
         assert_eq!(h.mean(), 0.0);
     }
+
+    #[test]
+    fn empty_histogram_zero_at_every_quantile() {
+        let h = LatencyHistogram::new();
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q = {q}");
+        }
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(12_345);
+        // Every quantile of a one-sample distribution is that sample's
+        // bucket floor: one value, one answer, within quantization.
+        let reported = h.quantile(0.5);
+        assert!(reported <= 12_345);
+        assert!((12_345 - reported) as f64 / 12_345.0 <= 1.0 / 32.0);
+        for q in [0.0, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), reported, "q = {q}");
+        }
+        assert_eq!(h.mean(), 12_345.0);
+        assert_eq!(h.max(), 12_345);
+    }
+
+    #[test]
+    fn extreme_values_hit_top_buckets_without_panicking() {
+        let mut h = LatencyHistogram::new();
+        for v in [u64::MAX, u64::MAX - 1, 1u64 << 63, (1u64 << 63) - 1] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX);
+        // The top of the u64 range must land in-bounds (no indexing
+        // panic) and report within one sub-bucket of the true value.
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= u64::MAX - (u64::MAX / 32));
+        // Lower quantiles stay within the distribution's range.
+        assert!(h.quantile(0.5) >= (1u64 << 63) - (1u64 << 58));
+    }
+
+    #[test]
+    fn quantile_inputs_outside_unit_interval_clamp() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
 }

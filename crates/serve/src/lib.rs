@@ -54,6 +54,7 @@ pub mod loadgen;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod witness;
 
 pub use epoch::{EpochConfig, EpochStore, Rejected, Snapshot, WriteOp};
 pub use histogram::LatencyHistogram;

@@ -296,6 +296,7 @@ fn worker(
             elems.dedup();
             format!("QUERY {} {} {}", st, st + len, elems.join(","))
         } else if rng.chance(cfg.insert_fraction) || my_inserts.is_empty() {
+            // analyze:allow(atomic-ordering): unique-id ticket; only atomicity matters, not ordering
             let id = id_source.fetch_add(1, Ordering::Relaxed);
             let st = info.domain_min + rng.below(span);
             let end = (st + rng.below((span / 64).max(1)))

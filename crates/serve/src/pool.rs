@@ -128,6 +128,7 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> QueryPool<I> {
         match self.txs[shard].try_send(job) {
             Ok(()) => Ok(reply_rx),
             Err(TrySendError::Full(_)) => {
+                // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
                 self.stats.overloaded.fetch_add(1, Ordering::Relaxed);
                 Err(Rejected::Overloaded)
             }
@@ -174,12 +175,15 @@ where
             }
         }
         let snap = store.snapshot();
+        // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
         stats.batches.fetch_add(1, Ordering::Relaxed);
+        // analyze:allow(atomic-ordering): high-water gauge, read only for reporting
         stats
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
         for job in batch {
             let ids = snap.index.query(&job.query);
+            // analyze:allow(atomic-ordering): monotonic stat counter; replies synchronize via the channel
             stats.served.fetch_add(1, Ordering::Relaxed);
             // A client that hung up before its answer is not an error.
             let _ = job.reply.send(QueryReply {
