@@ -114,16 +114,25 @@ pub fn throughput(index: &dyn TemporalIrIndex, queries: &[TimeTravelQuery]) -> f
     if queries.is_empty() {
         return 0.0;
     }
+    // One scratch arena and one reply buffer for the whole measurement:
+    // the timed loop exercises the zero-alloc `query_into` path, like
+    // the serving workers do.
+    let mut scratch = QueryScratch::default();
+    let mut hits: Vec<ObjectId> = Vec::new();
     let warm = queries.len().min(64);
     for q in &queries[..warm] {
-        black_box(index.query(q));
+        hits.clear();
+        index.query_into(q, &mut scratch, &mut hits);
+        black_box(hits.len());
     }
     let mut best = f64::INFINITY;
     for _ in 0..3 {
         let t0 = Instant::now();
         let mut total = 0usize;
         for q in queries {
-            total += index.query(q).len();
+            hits.clear();
+            index.query_into(q, &mut scratch, &mut hits);
+            total += hits.len();
         }
         best = best.min(t0.elapsed().as_secs_f64());
         black_box(total);
@@ -147,9 +156,15 @@ where
         let chunk = queries.len().div_ceil(threads);
         for part in queries.chunks(chunk) {
             s.spawn(move || {
+                // Per-thread scratch, mirroring the serve pool's
+                // one-arena-per-worker layout.
+                let mut scratch = QueryScratch::default();
+                let mut hits: Vec<ObjectId> = Vec::new();
                 let mut total = 0usize;
                 for q in part {
-                    total += index.query(q).len();
+                    hits.clear();
+                    index.query_into(q, &mut scratch, &mut hits);
+                    total += hits.len();
                 }
                 black_box(total);
             });

@@ -88,7 +88,26 @@ impl Validate for Tif {
                     ),
                 );
             }
+            // The hybrid container mirror must agree list-for-list with
+            // the temporal lists the planner intersects against.
+            match self.containers().get(e) {
+                None if live_count > 0 => fail(
+                    &mut out,
+                    &path,
+                    format!("{live_count} live postings but no hybrid container"),
+                ),
+                Some(c) if c.cardinality() as usize != live_count => fail(
+                    &mut out,
+                    &path,
+                    format!(
+                        "hybrid container holds {} live ids, temporal list {live_count}",
+                        c.cardinality()
+                    ),
+                ),
+                _ => {}
+            }
         });
+        out.extend(self.containers().validate());
         out
     }
 }

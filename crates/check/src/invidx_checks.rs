@@ -3,7 +3,7 @@
 use crate::{fail, Validate, Violation};
 use tir_invidx::{
     live, raw, CompactInverted, CompactTemporalInverted, CompressedPostings, Dictionary,
-    InvertedIndex,
+    HybridPostings, InvertedIndex, PlanStats, PostingContainer,
 };
 
 impl Validate for Dictionary {
@@ -200,6 +200,159 @@ impl Validate for CompactTemporalInverted {
             &mut out,
             |_, _| {},
         );
+        out
+    }
+}
+
+impl Validate for HybridPostings {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let universe = self.universe();
+        let den = u64::from(self.config().density_den);
+        self.for_each(|e, c| {
+            let path = format!("hybrid/elem{e}");
+            match c {
+                PostingContainer::Sparse { ids, live: cached } => {
+                    if !ids.windows(2).all(|w| raw(w[0]) < raw(w[1])) {
+                        fail(
+                            &mut out,
+                            &path,
+                            "sparse postings not strictly ascending by raw id".into(),
+                        );
+                    }
+                    // analyze:allow(unguarded-cast): live count bounded by the u32 id universe
+                    let counted = ids.iter().filter(|&&id| live(id)).count() as u32;
+                    if counted != *cached {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("cached live count {cached}, counted {counted}"),
+                        );
+                    }
+                    if let Some(&last) = ids.last() {
+                        if raw(last) >= universe && universe > 0 {
+                            fail(
+                                &mut out,
+                                &path,
+                                format!("id {} outside universe {universe}", raw(last)),
+                            );
+                        }
+                    }
+                    // Inserts promote eagerly, so a live set at or above
+                    // the density threshold must already be dense.
+                    if u64::from(counted) * den >= u64::from(universe) && counted > 0 {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "sparse at {counted} live of universe {universe} \
+                                 (threshold 1/{den}): should be dense"
+                            ),
+                        );
+                    }
+                }
+                PostingContainer::Dense(d) => {
+                    let present_pop: u64 =
+                        d.present_words().iter().map(|w| u64::from(w.count_ones())).sum();
+                    if present_pop != u64::from(d.present_count()) {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "cached present count {}, popcount {present_pop}",
+                                d.present_count()
+                            ),
+                        );
+                    }
+                    let deleted_pop: u64 =
+                        d.deleted_words().iter().map(|w| u64::from(w.count_ones())).sum();
+                    if deleted_pop != u64::from(d.deleted_count()) {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "cached deleted count {}, popcount {deleted_pop}",
+                                d.deleted_count()
+                            ),
+                        );
+                    }
+                    if let Some((w, _)) = d
+                        .present_words()
+                        .iter()
+                        .zip(d.deleted_words())
+                        .enumerate()
+                        .find(|(_, (&p, &del))| del & !p != 0)
+                    {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("deleted bit outside the present set in word {w}"),
+                        );
+                    }
+                    let own = d.universe();
+                    let tail_bits = usize::from(own % 64 != 0);
+                    let want_words = own as usize / 64 + tail_bits;
+                    if d.present_words().len() != want_words
+                        || d.deleted_words().len() != want_words
+                    {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "universe {own} wants {want_words} words, has {} present / {} deleted",
+                                d.present_words().len(),
+                                d.deleted_words().len()
+                            ),
+                        );
+                    } else if own % 64 != 0 {
+                        let ghost = !0u64 << (own % 64);
+                        if d.present_words().last().is_some_and(|&w| w & ghost != 0) {
+                            fail(
+                                &mut out,
+                                &path,
+                                format!("present bits set at or above universe {own}"),
+                            );
+                        }
+                    }
+                }
+            }
+        });
+        out
+    }
+}
+
+impl Validate for PlanStats {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if self.kernel_scanned_sum() != self.scanned {
+            fail(
+                &mut out,
+                "plan_stats/scanned",
+                format!(
+                    "per-kernel scanned sums to {}, total says {}",
+                    self.kernel_scanned_sum(),
+                    self.scanned
+                ),
+            );
+        }
+        for (kernel, steps, scanned) in [
+            ("merge", self.merge_steps, self.merge_scanned),
+            ("gallop", self.gallop_steps, self.gallop_scanned),
+            (
+                "bitmap_probe",
+                self.bitmap_probe_steps,
+                self.bitmap_probe_scanned,
+            ),
+            ("word_and", self.word_and_steps, self.word_and_scanned),
+        ] {
+            if steps == 0 && scanned != 0 {
+                fail(
+                    &mut out,
+                    &format!("plan_stats/{kernel}"),
+                    format!("{scanned} elements scanned in zero steps"),
+                );
+            }
+        }
         out
     }
 }

@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use tir_check::Validate;
 use tir_core::prelude::*;
 use tir_hint::{Hint, HintConfig, IntervalRecord};
+use tir_invidx::{ContainerConfig, HybridPostings, Kernel, PlanStats};
 
 const DOMAIN: u64 = 2000;
 const DICT: u32 = 10;
@@ -99,6 +100,102 @@ proptest! {
         idx.testing_corrupt();
         let v = idx.validate();
         prop_assert!(!v.is_empty(), "corrupted parallel arrays went unnoticed");
+    }
+
+    #[test]
+    fn tif_and_hybrid_containers_validate_after_random_updates(
+        coll in arb_collection(30),
+        extra in arb_collection(8),
+        del_mask in prop::collection::vec(any::<bool>(), 30),
+    ) {
+        let mut idx = Tif::build(&coll);
+        for o in extra.objects() {
+            let o = Object::new(o.id + 1000, o.interval.st, o.interval.end, o.desc.clone());
+            idx.insert(&o);
+        }
+        for (o, &kill) in coll.objects().iter().zip(del_mask.iter()) {
+            if kill {
+                idx.delete(o);
+            }
+        }
+        let v = idx.validate();
+        prop_assert!(v.is_empty(), "violations: {v:?}");
+    }
+
+    #[test]
+    fn hybrid_postings_validate_after_random_updates(
+        lists in prop::collection::vec(prop::collection::btree_set(0u32..64, 1..32), 1..8),
+        kills in prop::collection::vec((0u32..8, 0u32..64), 0..16),
+    ) {
+        let owned: Vec<Vec<u32>> = lists.iter().map(|s| s.iter().copied().collect()).collect();
+        let mut h = HybridPostings::from_lists(
+            owned.iter().enumerate().map(|(e, ids)| (e as u32, ids.as_slice())),
+            64,
+            ContainerConfig::default(),
+        );
+        for &(e, id) in &kills {
+            h.tombstone(e, id);
+        }
+        let v = h.validate();
+        prop_assert!(v.is_empty(), "violations: {v:?}");
+        h.compact();
+        let v = h.validate();
+        prop_assert!(v.is_empty(), "violations after compact: {v:?}");
+    }
+
+    #[test]
+    fn corrupted_hybrid_cardinality_reports_a_violation(
+        ids in prop::collection::btree_set(0u32..200, 5..60),
+    ) {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let mut h = HybridPostings::from_lists(
+            std::iter::once((0u32, ids.as_slice())),
+            200,
+            ContainerConfig::default(),
+        );
+        h.testing_corrupt_cardinality();
+        let v = h.validate();
+        prop_assert!(!v.is_empty(), "desynced cardinality went unnoticed");
+    }
+
+    #[test]
+    fn corrupted_hybrid_deleted_bit_reports_a_violation(hole in 50u32..100) {
+        // 50 live of universe 100 is dense under the default 1/32
+        // threshold, and every id in [50, 100) is a guaranteed hole the
+        // corruption hook can set a stray deleted bit in.
+        let ids: Vec<u32> = (0..50).chain(std::iter::once(hole)).collect();
+        let mut h = HybridPostings::from_lists(
+            std::iter::once((0u32, ids.as_slice())),
+            100,
+            ContainerConfig::default(),
+        );
+        prop_assert!(h.get(0).is_some_and(|c| c.is_dense()));
+        h.tombstone(0, hole);
+        prop_assert!(h.validate().is_empty());
+        h.testing_corrupt_deleted_outside();
+        let v = h.validate();
+        prop_assert!(!v.is_empty(), "deleted bit outside the present set went unnoticed");
+    }
+
+    #[test]
+    fn plan_stats_validate_and_catch_desync(
+        notes in prop::collection::vec((0u8..4, 0u64..1000), 0..32),
+        bump in 1u64..100,
+    ) {
+        let mut stats = PlanStats::default();
+        for &(k, scanned) in &notes {
+            let kernel = match k {
+                0 => Kernel::Merge,
+                1 => Kernel::Gallop,
+                2 => Kernel::BitmapProbe,
+                _ => Kernel::WordAnd,
+            };
+            stats.note(kernel, scanned);
+        }
+        let v = stats.validate();
+        prop_assert!(v.is_empty(), "violations: {v:?}");
+        stats.scanned += bump;
+        prop_assert!(!stats.validate().is_empty(), "scanned desync went unnoticed");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::postings::TemporalList;
 use crate::types::{Object, ObjectId, TimeTravelQuery};
 use tir_invidx::compress::{CompressedPostings, CompressedTemporalPostings};
 use tir_invidx::intersect_merge_into;
+use tir_invidx::planner::{Kernel, QueryScratch};
 
 /// The compressed temporal inverted file.
 #[derive(Debug, Clone, Default)]
@@ -78,47 +79,64 @@ impl TemporalIrIndex for CompressedTif {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        let Some((&first, rest)) = plan.split_first() else {
-            return Vec::new();
-        };
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
+
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
+        }
         let (q_st, q_end) = (q.interval.st, q.interval.end);
 
         // Least frequent element: temporal filter over base + overlay.
-        let mut cands: Vec<ObjectId> = Vec::new();
+        let first = scratch.plan[0];
+        let mut scanned = 0u64;
         if let Some(base) = self.base_temporal.get(&first) {
+            let cands = &mut scratch.cands;
             base.for_each(|id, st, end| {
+                scanned += 1;
                 if st <= q_end && end >= q_st && !self.dead.contains(&id) {
                     cands.push(id);
                 }
             });
         }
         if let Some(over) = self.overlay.get(&first) {
-            over.filter_overlap_into(q_st, q_end, &mut cands);
+            scanned += over.seed_overlap_into(q_st, q_end, &mut scratch.cands) as u64;
         }
-        cands.sort_unstable();
-        cands.dedup();
+        scratch.note(Kernel::Merge, scanned);
+        scratch.cands.sort_unstable();
+        scratch.cands.dedup();
 
         // Remaining elements: streaming intersection against base ids,
-        // merged with the overlay hits.
-        let mut hits = Vec::new();
-        for &e in rest {
-            if cands.is_empty() {
+        // merged with the overlay hits. The compressed stream decodes
+        // sequentially, so these steps are charged as merge scans.
+        let mut hits = scratch.take_aux();
+        for pi in 1..scratch.plan.len() {
+            if scratch.cands.is_empty() {
                 break;
             }
+            let e = scratch.plan[pi];
             hits.clear();
             if let Some(base) = self.base_ids.get(&e) {
-                base.intersect_into(&cands, &mut hits);
+                base.intersect_into(&scratch.cands, &mut hits);
                 hits.retain(|id| !self.dead.contains(id));
+                scratch.note(Kernel::Merge, (scratch.cands.len() + base.len()) as u64);
             }
             if let Some(over) = self.overlay.get(&e) {
-                intersect_merge_into(&cands, &over.ids, &mut hits);
+                intersect_merge_into(&scratch.cands, &over.ids, &mut hits);
+                scratch.note(Kernel::Merge, (scratch.cands.len() + over.ids.len()) as u64);
             }
             hits.sort_unstable();
             hits.dedup();
-            std::mem::swap(&mut cands, &mut hits);
+            std::mem::swap(&mut scratch.cands, &mut hits);
         }
-        cands
+        scratch.put_aux(hits);
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {

@@ -44,11 +44,19 @@ impl FreqTable {
     /// Returns the query elements sorted by ascending frequency and
     /// deduplicated — the evaluation order of Algorithm 1.
     pub fn plan(&self, elems: &[ElemId]) -> Vec<ElemId> {
-        let mut q = elems.to_vec();
-        q.sort_unstable();
-        q.dedup();
-        q.sort_by_key(|&e| self.get(e));
+        let mut q = Vec::new();
+        self.plan_into(elems, &mut q);
         q
+    }
+
+    /// Allocation-free [`FreqTable::plan`]: writes the evaluation order
+    /// into a reusable buffer (the planner scratch's `plan` vector).
+    pub fn plan_into(&self, elems: &[ElemId], out: &mut Vec<ElemId>) {
+        out.clear();
+        out.extend_from_slice(elems);
+        out.sort_unstable();
+        out.dedup();
+        out.sort_by_key(|&e| self.get(e));
     }
 
     /// Heap footprint in bytes.

@@ -11,7 +11,8 @@ use crate::freq::FreqTable;
 use crate::index_trait::TemporalIrIndex;
 use crate::types::{Object, ObjectId, TimeTravelQuery, Timestamp};
 use tir_hint::{DivisionOrder, Hint, HintConfig, IntervalRecord};
-use tir_invidx::{live, mark_hits, raw, TOMBSTONE};
+use tir_invidx::planner::{Kernel, QueryScratch};
+use tir_invidx::{live, raw, TOMBSTONE};
 
 /// Default HINT levels for the hybrid; Section 5.2 tunes `m = 5`.
 pub const DEFAULT_M: u32 = 5;
@@ -174,45 +175,55 @@ impl TemporalIrIndex for TifHintSlicing {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        let Some((&first, rest)) = plan.split_first() else {
-            return Vec::new();
-        };
-        let mut cands = match self.hints.get(&first) {
-            Some(h) => h.range_query(q.interval.st, q.interval.end),
-            None => return Vec::new(),
-        };
-        cands.sort_unstable();
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
 
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
+        }
+        let first = scratch.plan[0];
+        let Some(h0) = self.hints.get(&first) else {
+            scratch.take_into(out);
+            return;
+        };
+        h0.range_query_into(q.interval.st, q.interval.end, &mut scratch.cands);
+        scratch.note(Kernel::Merge, scratch.cands.len() as u64);
+
+        scratch.cands.sort_unstable();
+
+        // Remaining elements: merge-mark the sorted candidate set against
+        // the sliced copies. A candidate is replicated into every slice it
+        // overlaps, so hits are marked across sub-lists and compacted once
+        // per round, which keeps the set sorted and emits each id once.
         let s_lo = self.slice_of(q.interval.st);
         let s_hi = self.slice_of(q.interval.end);
-        let mut hits = Vec::new();
-        for &e in rest {
-            if cands.is_empty() {
+        for pi in 1..scratch.plan.len() {
+            if scratch.cands.is_empty() {
                 break;
             }
-            hits.clear();
-            hits.resize(cands.len(), false);
+            let e = scratch.plan[pi];
+            let mut cands = std::mem::take(&mut scratch.cands);
+            scratch.begin_mark(cands.len());
             if let Some(sc) = self.slices.get(&e) {
                 for s in s_lo..=s_hi {
                     if s < sc.first {
                         continue;
                     }
                     if let Some(sub) = sc.subs.get((s - sc.first) as usize) {
-                        mark_hits(&cands, &sub.ids, &mut hits);
+                        scratch.mark(&cands, &sub.ids);
                     }
                 }
             }
-            let mut w = 0;
-            for i in 0..cands.len() {
-                if hits[i] {
-                    cands[w] = cands[i];
-                    w += 1;
-                }
-            }
-            cands.truncate(w);
+            scratch.finish_mark(&mut cands);
+            scratch.cands = cands;
         }
-        cands
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {

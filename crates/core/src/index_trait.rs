@@ -1,6 +1,7 @@
 //! The common interface of every temporal-IR index in this crate.
 
 use crate::types::{Object, ObjectId, TimeTravelQuery};
+use tir_invidx::QueryScratch;
 
 /// A time-travel IR index: answers [`TimeTravelQuery`]s and supports
 /// incremental maintenance.
@@ -21,6 +22,18 @@ pub trait TemporalIrIndex {
 
     /// Answers a time-travel IR query.
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId>;
+
+    /// Answers a query through a reusable [`QueryScratch`], appending the
+    /// answer set to `out`. Steady-state callers that hold one scratch
+    /// and one output buffer per worker (the serve pool, bench loops)
+    /// thereby amortize every intermediate allocation; per-query planner
+    /// counters land in [`QueryScratch::last_stats`]. The default
+    /// delegates to [`Self::query`]; every index in this crate overrides
+    /// both methods so neither falls through to the other.
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        let _ = scratch;
+        out.extend(self.query(q));
+    }
 
     /// Adds one object.
     fn insert(&mut self, o: &Object);

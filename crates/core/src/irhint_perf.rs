@@ -13,7 +13,8 @@ use crate::index_trait::TemporalIrIndex;
 use crate::types::{ElemId, Object, ObjectId, TimeTravelQuery, Timestamp};
 use tir_hint::layout::refine_mode;
 use tir_hint::{CheckMode, DivisionKind, Domain, Layout};
-use tir_invidx::{intersect_adaptive_into, live, CompactTemporalInverted};
+use tir_invidx::planner::{Kernel, Postings, QueryScratch};
+use tir_invidx::{live, CompactTemporalInverted};
 
 const KINDS: [DivisionKind; 4] = [
     DivisionKind::OrigIn,
@@ -64,13 +65,6 @@ impl Level {
             }
         }
     }
-}
-
-/// Reusable per-query buffers.
-#[derive(Debug, Default)]
-struct Scratch {
-    cands: Vec<u32>,
-    next: Vec<u32>,
 }
 
 /// The performance-focused irHINT index.
@@ -201,7 +195,7 @@ impl IrHintPerf {
         mode: CheckMode,
         q_st: Timestamp,
         q_end: Timestamp,
-        scratch: &mut Scratch,
+        scratch: &mut QueryScratch,
         out: &mut Vec<ObjectId>,
     ) {
         let (&first, rest) = plan.split_first().expect("non-empty plan");
@@ -209,8 +203,7 @@ impl IrHintPerf {
         if p.is_empty() {
             return;
         }
-        let cands = &mut scratch.cands;
-        cands.clear();
+        scratch.cands.clear();
         for i in 0..p.ids.len() {
             if !live(p.ids[i]) {
                 continue;
@@ -222,19 +215,17 @@ impl IrHintPerf {
                 CheckMode::Both => p.sts[i] <= q_end && p.ends[i] >= q_st,
             };
             if ok {
-                cands.push(p.ids[i]);
+                scratch.cands.push(p.ids[i]);
             }
         }
-        let next = &mut scratch.next;
+        scratch.note(Kernel::Merge, p.ids.len() as u64);
         for &e in rest {
-            if cands.is_empty() {
+            if scratch.cands.is_empty() {
                 return;
             }
-            next.clear();
-            intersect_adaptive_into(cands, div.postings(e).ids, next);
-            std::mem::swap(cands, next);
+            scratch.intersect(Postings::Ids(div.postings(e).ids));
         }
-        out.extend_from_slice(cands);
+        out.append(&mut scratch.cands);
     }
 }
 
@@ -254,15 +245,24 @@ impl TemporalIrIndex for IrHintPerf {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        if plan.is_empty() {
-            return Vec::new();
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
+
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
         }
+        // The plan is borrowed across the division visits while the
+        // scratch is mutated, so move it out and restore it after.
+        let plan = std::mem::take(&mut scratch.plan);
         let (q_st, q_end) = (q.interval.st, q.interval.end);
         let qa = self.domain.cell(q_st);
         let qb = self.domain.cell(q_end);
-        let mut out = Vec::new();
-        let mut scratch = Scratch::default();
         self.layout
             .for_each_relevant_level(qa, qb, |level, f, l, fc, lc, mc| {
                 let lvl = &self.levels[level as usize];
@@ -292,20 +292,13 @@ impl TemporalIrIndex for IrHintPerf {
                         };
                         let div = &part.divs[kidx(kind)];
                         if !div.is_empty() {
-                            self.query_temporal_if(
-                                div,
-                                &plan,
-                                mode,
-                                q_st,
-                                q_end,
-                                &mut scratch,
-                                &mut out,
-                            );
+                            self.query_temporal_if(div, &plan, mode, q_st, q_end, scratch, out);
                         }
                     }
                 }
             });
-        out
+        scratch.plan = plan;
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {

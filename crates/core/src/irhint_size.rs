@@ -12,7 +12,8 @@ use crate::freq::FreqTable;
 use crate::index_trait::TemporalIrIndex;
 use crate::types::{ElemId, Object, ObjectId, TimeTravelQuery};
 use tir_hint::{CheckMode, Hint, HintConfig, IntervalRecord};
-use tir_invidx::{intersect_adaptive_into, live, CompactInverted};
+use tir_invidx::planner::{Kernel, Postings, QueryScratch};
+use tir_invidx::{live, CompactInverted};
 
 type DivKey = (u32, u32, u8);
 
@@ -143,28 +144,28 @@ impl IrHintSize {
     }
 
     /// `QueryIF` (Algorithm 6): intersect the division's temporal
-    /// candidates with the postings of every query element.
+    /// candidates (already sorted in `scratch.cands`) with the postings
+    /// of every query element.
     fn query_if(
         &self,
         key: DivKey,
-        cands: &mut Vec<ObjectId>,
-        next: &mut Vec<ObjectId>,
+        scratch: &mut QueryScratch,
         plan: &[ElemId],
         out: &mut Vec<ObjectId>,
     ) {
         let Some(inv) = self.inv.get(&key) else {
+            // No inverted index for this division: it contributes nothing,
+            // and the candidates must not leak into the next division.
+            scratch.cands.clear();
             return;
         };
-        cands.sort_unstable();
         for &e in plan {
-            if cands.is_empty() {
+            if scratch.cands.is_empty() {
                 return;
             }
-            next.clear();
-            intersect_adaptive_into(cands, inv.postings(e), next);
-            std::mem::swap(cands, next);
+            scratch.intersect(Postings::Ids(inv.postings(e)));
         }
-        out.extend_from_slice(cands);
+        out.append(&mut scratch.cands);
     }
 }
 
@@ -174,18 +175,26 @@ impl TemporalIrIndex for IrHintSize {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        if plan.is_empty() {
-            return Vec::new();
-        }
-        let (q_st, q_end) = (q.interval.st, q.interval.end);
+        let mut scratch = QueryScratch::default();
         let mut out = Vec::new();
-        let mut cands: Vec<ObjectId> = Vec::new();
-        let mut next: Vec<ObjectId> = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
+
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
+        }
+        // The plan is borrowed across the division visits while the
+        // scratch is mutated, so move it out and restore it after.
+        let plan = std::mem::take(&mut scratch.plan);
+        let (q_st, q_end) = (q.interval.st, q.interval.end);
         self.hint.visit_relevant(q_st, q_end, |view, mode| {
             // Step 1 (range query on the interval store): collect the
             // division's temporally qualifying object ids.
-            cands.clear();
+            scratch.cands.clear();
             for (i, &id) in view.ids.iter().enumerate() {
                 if !live(id) {
                     continue;
@@ -197,22 +206,24 @@ impl TemporalIrIndex for IrHintSize {
                     CheckMode::Both => view.sts[i] <= q_end && view.ends[i] >= q_st,
                 };
                 if ok {
-                    cands.push(id);
+                    scratch.cands.push(id);
                 }
             }
-            if cands.is_empty() {
+            scratch.note(Kernel::Merge, view.ids.len() as u64);
+            if scratch.cands.is_empty() {
                 return;
             }
+            scratch.cands.sort_unstable();
             // Step 2: intersect with the division's inverted index.
             self.query_if(
                 (view.level, view.j, kind_u8(view.kind)),
-                &mut cands,
-                &mut next,
+                scratch,
                 &plan,
-                &mut out,
+                out,
             );
         });
-        out
+        scratch.plan = plan;
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {

@@ -69,6 +69,7 @@ pub use sharding::{ShardView, ShardingConfig, TifSharding, IMPACT_STRIDE};
 pub use slicing::{tune_num_slices, TifSlicing};
 pub use tif::Tif;
 pub use tif_hint::{IntersectStrategy, TifHint, TifHintConfig};
+pub use tir_invidx::{Kernel, PlanStats, QueryScratch};
 pub use types::{ElemId, Interval, Object, ObjectId, TimeTravelQuery, Timestamp};
 
 /// Commonly used items, star-importable.
@@ -86,4 +87,5 @@ pub mod prelude {
     pub use crate::tif::Tif;
     pub use crate::tif_hint::{IntersectStrategy, TifHint, TifHintConfig};
     pub use crate::types::{ElemId, Interval, Object, ObjectId, TimeTravelQuery, Timestamp};
+    pub use tir_invidx::{Kernel, PlanStats, QueryScratch};
 }

@@ -73,6 +73,19 @@ impl TemporalList {
     pub fn size_bytes(&self) -> usize {
         self.ids.capacity() * 4 + (self.sts.capacity() + self.ends.capacity()) * 8
     }
+
+    /// [`TemporalList::filter_overlap_into`] as a planner seed step:
+    /// returns the number of entries scanned so the caller can charge the
+    /// temporal filter pass to its query counters.
+    pub fn seed_overlap_into(
+        &self,
+        q_st: Timestamp,
+        q_end: Timestamp,
+        out: &mut Vec<ObjectId>,
+    ) -> usize {
+        self.filter_overlap_into(q_st, q_end, out);
+        self.ids.len()
+    }
 }
 
 /// Builds one [`TemporalList`] per element from a collection of objects.

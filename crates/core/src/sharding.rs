@@ -10,7 +10,8 @@ use crate::collection::Collection;
 use crate::freq::FreqTable;
 use crate::index_trait::TemporalIrIndex;
 use crate::types::{Object, ObjectId, TimeTravelQuery, Timestamp};
-use tir_invidx::{contains_sorted, live, TOMBSTONE};
+use tir_invidx::planner::{Kernel, QueryScratch};
+use tir_invidx::{live, TOMBSTONE};
 
 /// Entries per impact-list block.
 pub const IMPACT_STRIDE: usize = 64;
@@ -269,40 +270,60 @@ impl TemporalIrIndex for TifSharding {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        let Some((&first, rest)) = plan.split_first() else {
-            return Vec::new();
-        };
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
+
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
+        }
         let (q_st, q_end) = (q.interval.st, q.interval.end);
 
-        let mut cands: Vec<ObjectId> = Vec::new();
+        let first = scratch.plan[0];
+        let mut scanned = 0u64;
         if let Some(shards) = self.lists.get(&first) {
             for s in shards {
-                s.for_each_qualifying(q_st, q_end, |i| cands.push(s.ids[i] & !TOMBSTONE));
+                s.for_each_qualifying(q_st, q_end, |i| {
+                    scanned += 1;
+                    scratch.cands.push(s.ids[i] & !TOMBSTONE);
+                });
             }
         }
-        cands.sort_unstable();
+        scratch.note(Kernel::Merge, scanned);
 
-        let mut out = Vec::new();
-        for &e in rest {
-            if cands.is_empty() {
+        // Remaining elements: probe the candidate set with each shard's
+        // qualifying ids; take-once probes replace the per-round
+        // binary-search scans and candidate re-sorts.
+        for pi in 1..scratch.plan.len() {
+            if scratch.cands.is_empty() {
                 break;
             }
-            out.clear();
+            let e = scratch.plan[pi];
+            let mut cands = std::mem::take(&mut scratch.cands);
+            scratch.load_candidates(&cands, 0);
+            cands.clear();
+            let mut probed = 0u64;
             if let Some(shards) = self.lists.get(&e) {
                 for s in shards {
                     s.for_each_qualifying(q_st, q_end, |i| {
+                        probed += 1;
                         let id = s.ids[i] & !TOMBSTONE;
-                        if contains_sorted(&cands, id) {
-                            out.push(id);
+                        if scratch.probe_take(id) {
+                            cands.push(id);
                         }
                     });
                 }
             }
-            std::mem::swap(&mut cands, &mut out);
-            cands.sort_unstable();
+            scratch.note_probed(probed);
+            scratch.end_probe();
+            scratch.cands = cands;
         }
-        cands
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {

@@ -10,7 +10,8 @@ use crate::freq::FreqTable;
 use crate::index_trait::TemporalIrIndex;
 use crate::postings::TemporalList;
 use crate::types::{Object, ObjectId, TimeTravelQuery, Timestamp};
-use tir_invidx::{live, mark_hits};
+use tir_invidx::live;
+use tir_invidx::planner::{Kernel, QueryScratch};
 
 /// Default slice count; Section 5.2 selects 50 as the smallest value in
 /// the highest-throughput plateau.
@@ -157,57 +158,64 @@ impl TemporalIrIndex for TifSlicing {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        let Some((&first, rest)) = plan.split_first() else {
-            return Vec::new();
-        };
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
+
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
+        }
         let (q_st, q_end) = (q.interval.st, q.interval.end);
         let s_lo = self.slice_of(q_st);
         let s_hi = self.slice_of(q_end);
 
         // Least frequent element: temporal filter + reference-value dedup.
-        let mut cands: Vec<ObjectId> = Vec::new();
+        let first = scratch.plan[0];
+        let mut scanned = 0u64;
         if let Some(sl) = self.lists.get(&first) {
             for s in s_lo..=s_hi {
                 let Some(sub) = sl.sub(s) else { continue };
+                scanned += sub.ids.len() as u64;
                 for i in 0..sub.ids.len() {
                     if live(sub.ids[i]) && sub.sts[i] <= q_end && sub.ends[i] >= q_st {
                         // Reference value: report only from the slice
                         // containing max(o.st, q.st).
                         if self.slice_of(sub.sts[i].max(q_st)) == s {
-                            cands.push(sub.ids[i]);
+                            scratch.cands.push(sub.ids[i]);
                         }
                     }
                 }
             }
         }
-        cands.sort_unstable();
+        scratch.note(Kernel::Merge, scanned);
+        scratch.cands.sort_unstable();
 
-        // Remaining elements: candidate marking across relevant sub-lists.
-        let mut hits = Vec::new();
-        for &e in rest {
-            if cands.is_empty() {
+        // Remaining elements: merge-mark the sorted candidate set against
+        // each relevant id-sorted sub-list. A candidate may be replicated
+        // into several slices, so hits are marked rather than emitted
+        // directly; compaction keeps the set sorted for the next round.
+        for pi in 1..scratch.plan.len() {
+            if scratch.cands.is_empty() {
                 break;
             }
-            hits.clear();
-            hits.resize(cands.len(), false);
+            let e = scratch.plan[pi];
+            let mut cands = std::mem::take(&mut scratch.cands);
+            scratch.begin_mark(cands.len());
             if let Some(sl) = self.lists.get(&e) {
                 for s in s_lo..=s_hi {
-                    if let Some(sub) = sl.sub(s) {
-                        mark_hits(&cands, &sub.ids, &mut hits);
-                    }
+                    let Some(sub) = sl.sub(s) else { continue };
+                    scratch.mark(&cands, &sub.ids);
                 }
             }
-            let mut w = 0;
-            for i in 0..cands.len() {
-                if hits[i] {
-                    cands[w] = cands[i];
-                    w += 1;
-                }
-            }
-            cands.truncate(w);
+            scratch.finish_mark(&mut cands);
+            scratch.cands = cands;
         }
-        cands
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {

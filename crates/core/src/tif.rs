@@ -8,27 +8,50 @@ use crate::freq::FreqTable;
 use crate::index_trait::TemporalIrIndex;
 use crate::postings::{build_lists, TemporalList};
 use crate::types::{Object, ObjectId, TimeTravelQuery};
-use tir_invidx::intersect_adaptive_into;
+use tir_invidx::planner::{Kernel, Postings, QueryScratch};
+use tir_invidx::{ContainerConfig, HybridPostings};
 
 /// The base temporal inverted file.
 ///
 /// Query evaluation follows Algorithm 1: scan the postings list of the
 /// least frequent query element filtering by the temporal predicate, then
 /// intersect the candidate set with each remaining list in ascending
-/// frequency order.
+/// frequency order. The non-seed intersections run against a
+/// [`HybridPostings`] sidecar — dense elements as bitmaps, sparse ones as
+/// sorted arrays — so the conjunction planner can pick bitmap kernels.
 #[derive(Debug, Clone, Default)]
 pub struct Tif {
     lists: HashMap<u32, TemporalList>,
+    hybrid: HybridPostings,
     freqs: FreqTable,
 }
 
 impl Tif {
     /// Builds the index over a collection.
     pub fn build(coll: &Collection) -> Self {
+        let lists = build_lists(coll.objects());
+        let universe = coll
+            .objects()
+            .iter()
+            .map(|o| o.id.saturating_add(1))
+            .max()
+            .unwrap_or(0);
+        let hybrid = HybridPostings::from_lists(
+            lists.iter().map(|(&e, l)| (e, l.ids.as_slice())),
+            universe,
+            ContainerConfig::default(),
+        );
         Tif {
-            lists: build_lists(coll.objects()),
+            lists,
+            hybrid,
             freqs: FreqTable::from_counts(coll.freqs()),
         }
+    }
+
+    /// The hybrid container directory backing non-seed intersections
+    /// (introspection for validators).
+    pub fn containers(&self) -> &HybridPostings {
+        &self.hybrid
     }
 
     /// The postings list of an element, if any object contains it.
@@ -61,26 +84,34 @@ impl TemporalIrIndex for Tif {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        let Some((&first, rest)) = plan.split_first() else {
-            return Vec::new();
-        };
-        let mut cands = Vec::new();
-        if let Some(list) = self.lists.get(&first) {
-            list.filter_overlap_into(q.interval.st, q.interval.end, &mut cands);
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
+
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
         }
-        let mut next = Vec::new();
-        for &e in rest {
-            if cands.is_empty() {
+        let first = scratch.plan[0];
+        if let Some(list) = self.lists.get(&first) {
+            let scanned = list.seed_overlap_into(q.interval.st, q.interval.end, &mut scratch.cands);
+            scratch.note(Kernel::Merge, scanned as u64);
+        }
+        for i in 1..scratch.plan.len() {
+            if scratch.is_empty() {
                 break;
             }
-            next.clear();
-            if let Some(list) = self.lists.get(&e) {
-                intersect_adaptive_into(&cands, &list.ids, &mut next);
+            let e = scratch.plan[i];
+            match self.hybrid.get(e) {
+                Some(c) => scratch.intersect(Postings::Container(c)),
+                None => scratch.intersect(Postings::Ids(&[])),
             }
-            std::mem::swap(&mut cands, &mut next);
         }
-        cands
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {
@@ -89,6 +120,7 @@ impl TemporalIrIndex for Tif {
                 .entry(e)
                 .or_default()
                 .insert(o.id, o.interval.st, o.interval.end);
+            self.hybrid.insert(e, o.id);
             self.freqs.bump(e);
         }
     }
@@ -98,6 +130,7 @@ impl TemporalIrIndex for Tif {
         for &e in &o.desc {
             if let Some(list) = self.lists.get_mut(&e) {
                 if list.tombstone(o.id) {
+                    self.hybrid.tombstone(e, o.id);
                     self.freqs.drop_one(e);
                     any = true;
                 }
@@ -111,6 +144,7 @@ impl TemporalIrIndex for Tif {
             .values()
             .map(|l| l.size_bytes() + std::mem::size_of::<TemporalList>() + 16)
             .sum::<usize>()
+            + self.hybrid.size_bytes()
             + self.freqs.size_bytes()
     }
 }

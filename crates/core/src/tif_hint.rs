@@ -15,7 +15,8 @@ use crate::freq::FreqTable;
 use crate::index_trait::TemporalIrIndex;
 use crate::types::{Object, ObjectId, TimeTravelQuery, Timestamp};
 use tir_hint::{CheckMode, DivisionOrder, Hint, HintConfig, IntervalRecord};
-use tir_invidx::{contains_sorted, live, mark_hits, raw};
+use tir_invidx::planner::{Kernel, QueryScratch};
+use tir_invidx::{live, raw};
 
 /// How candidate sets are intersected with the per-element HINTs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,53 +168,6 @@ impl TifHint {
             f(e, h);
         }
     }
-
-    /// Algorithm 3 inner loop: traverse `H[e]` with endpoint checks and
-    /// keep candidates whose id is found (binary search in `cands`).
-    fn intersect_binary_search(
-        &self,
-        hint: &Hint,
-        q: &TimeTravelQuery,
-        cands: &[ObjectId],
-        out: &mut Vec<ObjectId>,
-    ) {
-        let (q_st, q_end) = (q.interval.st, q.interval.end);
-        hint.visit_relevant(q_st, q_end, |view, mode| {
-            for (i, &id) in view.ids.iter().enumerate() {
-                if !live(id) {
-                    continue;
-                }
-                let ok = match mode {
-                    CheckMode::None => true,
-                    CheckMode::Start => view.sts[i] <= q_end,
-                    CheckMode::End => view.ends[i] >= q_st,
-                    CheckMode::Both => view.sts[i] <= q_end && view.ends[i] >= q_st,
-                };
-                if ok && contains_sorted(cands, id) {
-                    out.push(id);
-                }
-            }
-        });
-    }
-
-    /// Algorithm 4 inner loop: merge-intersect the candidate set with each
-    /// relevant id-sorted division, marking hits (every candidate occurs
-    /// in at most one relevant division thanks to HINT's duplicate
-    /// avoidance, and temporal checks are unnecessary because candidates
-    /// already overlap the query).
-    fn intersect_merge_sort(
-        &self,
-        hint: &Hint,
-        q: &TimeTravelQuery,
-        cands: &[ObjectId],
-        hits: &mut Vec<bool>,
-    ) {
-        hits.clear();
-        hits.resize(cands.len(), false);
-        hint.visit_relevant(q.interval.st, q.interval.end, |view, _mode| {
-            mark_hits(cands, view.ids, hits);
-        });
-    }
 }
 
 impl TemporalIrIndex for TifHint {
@@ -225,57 +179,86 @@ impl TemporalIrIndex for TifHint {
     }
 
     fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
-        let plan = self.freqs.plan(&q.elems);
-        let Some((&first, rest)) = plan.split_first() else {
-            return Vec::new();
-        };
-        // Candidates: a plain HINT range query on H[e*].
-        let mut cands = match self.hints.get(&first) {
-            Some(h) => h.range_query(q.interval.st, q.interval.end),
-            None => return Vec::new(),
-        };
-        cands.iter_mut().for_each(|id| *id = raw(*id));
+        let mut scratch = QueryScratch::default();
+        let mut out = Vec::new();
+        self.query_into(q, &mut scratch, &mut out);
+        out
+    }
 
-        match self.config.strategy {
-            IntersectStrategy::BinarySearch => {
-                let mut next = Vec::new();
-                for &e in rest {
-                    if cands.is_empty() {
-                        break;
-                    }
-                    cands.sort_unstable();
-                    next.clear();
-                    if let Some(h) = self.hints.get(&e) {
-                        self.intersect_binary_search(h, q, &cands, &mut next);
-                    }
-                    std::mem::swap(&mut cands, &mut next);
-                }
+    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {
+        scratch.reset();
+        self.freqs.plan_into(&q.elems, &mut scratch.plan);
+        if scratch.plan.is_empty() {
+            return;
+        }
+        // Candidates: a plain HINT range query on H[e*].
+        let first = scratch.plan[0];
+        let Some(h0) = self.hints.get(&first) else {
+            scratch.take_into(out);
+            return;
+        };
+        let (q_st, q_end) = (q.interval.st, q.interval.end);
+        h0.range_query_into(q_st, q_end, &mut scratch.cands);
+        scratch.cands.iter_mut().for_each(|id| *id = raw(*id));
+        scratch.note(Kernel::Merge, scratch.cands.len() as u64);
+
+        // Remaining elements: traverse each relevant division of H[e].
+        // Algorithm 3 probes the candidate set with take-once semantics
+        // (replacing its binary searches and the candidate sort they
+        // required); Algorithm 4 keeps its merge-marking pass over the
+        // id-sorted divisions, which only needs the seed sorted once.
+        if matches!(self.config.strategy, IntersectStrategy::MergeSort) {
+            scratch.cands.sort_unstable();
+        }
+        for pi in 1..scratch.plan.len() {
+            if scratch.cands.is_empty() {
+                break;
             }
-            IntersectStrategy::MergeSort => {
-                let mut hits = Vec::new();
-                for &e in rest {
-                    if cands.is_empty() {
-                        break;
-                    }
-                    cands.sort_unstable();
-                    match self.hints.get(&e) {
-                        Some(h) => {
-                            self.intersect_merge_sort(h, q, &cands, &mut hits);
-                            let mut w = 0;
-                            for i in 0..cands.len() {
-                                if hits[i] {
-                                    cands[w] = cands[i];
-                                    w += 1;
+            let e = scratch.plan[pi];
+            let mut cands = std::mem::take(&mut scratch.cands);
+            match self.config.strategy {
+                // Algorithm 3: beneficial sorting + endpoint checks.
+                IntersectStrategy::BinarySearch => {
+                    scratch.load_candidates(&cands, 0);
+                    cands.clear();
+                    let mut probed = 0u64;
+                    if let Some(h) = self.hints.get(&e) {
+                        h.visit_relevant(q_st, q_end, |view, mode| {
+                            probed += view.ids.len() as u64;
+                            for (i, &id) in view.ids.iter().enumerate() {
+                                if !live(id) {
+                                    continue;
+                                }
+                                let ok = match mode {
+                                    CheckMode::None => true,
+                                    CheckMode::Start => view.sts[i] <= q_end,
+                                    CheckMode::End => view.ends[i] >= q_st,
+                                    CheckMode::Both => view.sts[i] <= q_end && view.ends[i] >= q_st,
+                                };
+                                if ok && scratch.probe_take(id) {
+                                    cands.push(id);
                                 }
                             }
-                            cands.truncate(w);
-                        }
-                        None => cands.clear(),
+                        });
                     }
+                    scratch.note_probed(probed);
+                    scratch.end_probe();
+                }
+                // Algorithm 4: merge-mark against id-sorted divisions, no
+                // temporal checks (candidates already overlap the query).
+                IntersectStrategy::MergeSort => {
+                    scratch.begin_mark(cands.len());
+                    if let Some(h) = self.hints.get(&e) {
+                        h.visit_relevant(q_st, q_end, |view, _mode| {
+                            scratch.mark(&cands, view.ids);
+                        });
+                    }
+                    scratch.finish_mark(&mut cands);
                 }
             }
+            scratch.cands = cands;
         }
-        cands
+        scratch.take_into(out);
     }
 
     fn insert(&mut self, o: &Object) {

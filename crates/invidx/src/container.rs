@@ -1,0 +1,557 @@
+//! Hybrid posting containers: sorted `u32` arrays for sparse terms,
+//! 64-bit word bitmaps for dense terms.
+//!
+//! The representation of each term is chosen at build/compaction time by
+//! density over the snapshot's id universe: a term whose postings cover at
+//! least `1/density_den` of the universe is stored as a present-bitmap
+//! (plus a second *deleted* bitmap carrying the tombstones the array form
+//! keeps in bit 31). Cardinality on the dense form is popcount-based and
+//! cached, never recomputed per query.
+//!
+//! Conversions are one-way at run time — a sparse container promotes to
+//! dense when an insert pushes it over the threshold, and only
+//! [`PostingContainer::compact`] (called at compaction) demotes — so the
+//! invariant checked by `tir-check` is simple: the *present* population
+//! of a dense container never shrinks, hence dense containers always
+//! satisfy the threshold against their recorded universe.
+
+use crate::kernels::{live, raw, TOMBSTONE};
+
+/// Default density denominator: a term is dense when its live postings
+/// cover at least 1/32 (~3%) of the id universe. At that density a bitmap
+/// costs at most 2 bits per stored id-array bit and membership is O(1).
+pub const DEFAULT_DENSITY_DEN: u32 = 32;
+
+/// Tunable container policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainerConfig {
+    /// A term is dense when `live_count * density_den >= universe`.
+    pub density_den: u32,
+}
+
+impl Default for ContainerConfig {
+    fn default() -> Self {
+        ContainerConfig {
+            density_den: DEFAULT_DENSITY_DEN,
+        }
+    }
+}
+
+/// A dense postings bitmap over `[0, universe)`: one *present* bit per
+/// stored posting and one *deleted* bit per tombstoned posting.
+#[derive(Debug, Clone, Default)]
+pub struct DenseBits {
+    present: Vec<u64>,
+    deleted: Vec<u64>,
+    universe: u32,
+    present_count: u32,
+    deleted_count: u32,
+}
+
+#[inline]
+fn words_for(universe: u32) -> usize {
+    (universe as usize).div_ceil(64)
+}
+
+impl DenseBits {
+    /// An empty bitmap over `[0, universe)`.
+    pub fn with_universe(universe: u32) -> DenseBits {
+        DenseBits {
+            present: vec![0; words_for(universe)],
+            deleted: vec![0; words_for(universe)],
+            universe,
+            present_count: 0,
+            deleted_count: 0,
+        }
+    }
+
+    /// Builds from a raw-id-sorted slice that may carry bit-31 tombstones;
+    /// tombstoned entries become present+deleted bits.
+    pub fn from_sorted_ids(ids: &[u32], universe: u32) -> DenseBits {
+        let mut d = DenseBits::with_universe(universe.max(ids.last().map_or(0, |&x| raw(x) + 1)));
+        for &id in ids {
+            d.set(raw(id));
+            if !live(id) {
+                d.tombstone(raw(id));
+            }
+        }
+        d
+    }
+
+    /// The id universe this bitmap covers.
+    #[inline]
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// The present words (for word-at-a-time intersection).
+    #[inline]
+    pub fn present_words(&self) -> &[u64] {
+        &self.present
+    }
+
+    /// The deleted words.
+    #[inline]
+    pub fn deleted_words(&self) -> &[u64] {
+        &self.deleted
+    }
+
+    /// Number of present postings, tombstoned ones included.
+    #[inline]
+    pub fn present_count(&self) -> u32 {
+        self.present_count
+    }
+
+    /// Number of tombstoned postings.
+    #[inline]
+    pub fn deleted_count(&self) -> u32 {
+        self.deleted_count
+    }
+
+    /// Live cardinality (popcount-maintained, O(1)).
+    #[inline]
+    pub fn cardinality(&self) -> u32 {
+        self.present_count - self.deleted_count
+    }
+
+    /// True if `id` is stored and not tombstoned.
+    #[inline]
+    pub fn contains_live(&self, id: u32) -> bool {
+        if id >= self.universe {
+            return false;
+        }
+        let (w, b) = (id as usize / 64, id % 64);
+        (self.present[w] >> b) & 1 == 1 && (self.deleted[w] >> b) & 1 == 0
+    }
+
+    /// Marks `id` present (growing the universe if needed); returns true
+    /// if it was absent.
+    pub fn set(&mut self, id: u32) -> bool {
+        if id >= self.universe {
+            self.universe = id + 1;
+            self.present.resize(words_for(self.universe), 0);
+            self.deleted.resize(words_for(self.universe), 0);
+        }
+        let (w, b) = (id as usize / 64, id % 64);
+        if (self.present[w] >> b) & 1 == 1 {
+            return false;
+        }
+        self.present[w] |= 1 << b;
+        self.present_count += 1;
+        true
+    }
+
+    /// Tombstones `id`; returns true if it was present and alive.
+    pub fn tombstone(&mut self, id: u32) -> bool {
+        if id >= self.universe {
+            return false;
+        }
+        let (w, b) = (id as usize / 64, id % 64);
+        if (self.present[w] >> b) & 1 == 0 || (self.deleted[w] >> b) & 1 == 1 {
+            return false;
+        }
+        self.deleted[w] |= 1 << b;
+        self.deleted_count += 1;
+        true
+    }
+
+    /// Calls `f(id)` for every live id, ascending.
+    pub fn for_each_live(&self, mut f: impl FnMut(u32)) {
+        for (w, (&p, &d)) in self.present.iter().zip(&self.deleted).enumerate() {
+            let mut m = p & !d;
+            while m != 0 {
+                // analyze:allow(unguarded-cast): word index * 64 + bit < universe, a u32
+                f((w * 64) as u32 + m.trailing_zeros());
+                m &= m - 1;
+            }
+        }
+    }
+
+    /// The live ids as a sorted vector (demotion / introspection).
+    pub fn to_sorted_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.cardinality() as usize);
+        self.for_each_live(|id| out.push(id));
+        out
+    }
+
+    /// Heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        (self.present.capacity() + self.deleted.capacity()) * 8
+    }
+}
+
+/// One term's postings in whichever form the density policy picked.
+#[derive(Debug, Clone)]
+pub enum PostingContainer {
+    /// Sparse form: raw-id-sorted array, tombstones in bit 31, plus the
+    /// cached live count.
+    Sparse {
+        /// The id array (sorted ascending by raw id).
+        ids: Vec<u32>,
+        /// Number of non-tombstoned entries.
+        live: u32,
+    },
+    /// Dense form: present/deleted bitmaps.
+    Dense(DenseBits),
+}
+
+impl Default for PostingContainer {
+    fn default() -> Self {
+        PostingContainer::Sparse {
+            ids: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl PostingContainer {
+    /// Builds from a raw-id-sorted slice (bit-31 tombstones allowed),
+    /// picking the form by density over `universe`.
+    pub fn from_sorted(ids: &[u32], universe: u32, cfg: ContainerConfig) -> PostingContainer {
+        // analyze:allow(unguarded-cast): live count is bounded by the u32 id universe
+        let live_count = ids.iter().filter(|&&id| live(id)).count() as u32;
+        if is_dense(live_count, universe, cfg) {
+            PostingContainer::Dense(DenseBits::from_sorted_ids(ids, universe))
+        } else {
+            PostingContainer::Sparse {
+                ids: ids.to_vec(),
+                live: live_count,
+            }
+        }
+    }
+
+    /// True for the bitmap form.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        matches!(self, PostingContainer::Dense(_))
+    }
+
+    /// Live cardinality.
+    pub fn cardinality(&self) -> u32 {
+        match self {
+            PostingContainer::Sparse { live, .. } => *live,
+            PostingContainer::Dense(d) => d.cardinality(),
+        }
+    }
+
+    /// Stored entries, tombstoned ones included.
+    pub fn raw_len(&self) -> usize {
+        match self {
+            PostingContainer::Sparse { ids, .. } => ids.len(),
+            PostingContainer::Dense(d) => d.present_count() as usize,
+        }
+    }
+
+    /// Adds `id` (must not be stored live already), promoting to dense if
+    /// the live count crosses the threshold against `universe`.
+    pub fn insert(&mut self, id: u32, universe: u32, cfg: ContainerConfig) {
+        match self {
+            PostingContainer::Sparse { ids, live } => {
+                match ids.last() {
+                    Some(&last) if raw(last) > id => {
+                        let pos = ids.partition_point(|&x| raw(x) <= id);
+                        ids.insert(pos, id);
+                    }
+                    _ => ids.push(id),
+                }
+                *live += 1;
+                if is_dense(*live, universe, cfg) {
+                    *self = PostingContainer::Dense(DenseBits::from_sorted_ids(ids, universe));
+                }
+            }
+            PostingContainer::Dense(d) => {
+                d.set(id);
+            }
+        }
+    }
+
+    /// Tombstones `id`; returns true if found alive.
+    pub fn tombstone(&mut self, id: u32) -> bool {
+        match self {
+            PostingContainer::Sparse { ids, live } => {
+                if let Ok(p) = ids.binary_search_by_key(&id, |&x| raw(x)) {
+                    if live_at(ids, p) {
+                        ids[p] |= TOMBSTONE;
+                        *live -= 1;
+                        return true;
+                    }
+                }
+                false
+            }
+            PostingContainer::Dense(d) => d.tombstone(id),
+        }
+    }
+
+    /// Re-chooses the representation for the current live set: drops
+    /// tombstones from the array form and demotes bitmaps that fell under
+    /// the threshold. The compaction-time counterpart of the build-time
+    /// choice in [`PostingContainer::from_sorted`].
+    pub fn compact(&mut self, universe: u32, cfg: ContainerConfig) {
+        let live_ids = match self {
+            PostingContainer::Sparse { ids, .. } => {
+                ids.retain(|&id| live(id));
+                ids.clone()
+            }
+            PostingContainer::Dense(d) => d.to_sorted_vec(),
+        };
+        *self = PostingContainer::from_sorted(&live_ids, universe, cfg);
+    }
+
+    /// Calls `f(id)` for every live id, ascending.
+    pub fn for_each_live(&self, mut f: impl FnMut(u32)) {
+        match self {
+            PostingContainer::Sparse { ids, .. } => {
+                for &id in ids {
+                    if live(id) {
+                        f(id);
+                    }
+                }
+            }
+            PostingContainer::Dense(d) => d.for_each_live(f),
+        }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            PostingContainer::Sparse { ids, .. } => ids.capacity() * 4,
+            PostingContainer::Dense(d) => d.size_bytes(),
+        }
+    }
+}
+
+#[inline]
+fn is_dense(live_count: u32, universe: u32, cfg: ContainerConfig) -> bool {
+    universe > 0
+        && live_count > 0
+        && u64::from(live_count) * u64::from(cfg.density_den.max(1)) >= u64::from(universe)
+}
+
+#[inline]
+fn live_at(ids: &[u32], p: usize) -> bool {
+    live(ids[p])
+}
+
+/// A term → [`PostingContainer`] directory over one id universe — the
+/// build-time product of the hybrid layout, dropped next to an index's
+/// temporal lists to accelerate its conjunction steps.
+#[derive(Debug, Clone, Default)]
+pub struct HybridPostings {
+    map: std::collections::HashMap<u32, PostingContainer>,
+    universe: u32,
+    cfg: ContainerConfig,
+}
+
+impl HybridPostings {
+    /// Builds the directory from `(term, raw-sorted ids)` pairs. The
+    /// universe should be `max id + 1` over the snapshot.
+    pub fn from_lists<'a>(
+        lists: impl Iterator<Item = (u32, &'a [u32])>,
+        universe: u32,
+        cfg: ContainerConfig,
+    ) -> HybridPostings {
+        let map = lists
+            .map(|(e, ids)| (e, PostingContainer::from_sorted(ids, universe, cfg)))
+            .collect();
+        HybridPostings { map, universe, cfg }
+    }
+
+    /// The container of a term, if any posting was stored for it.
+    #[inline]
+    pub fn get(&self, e: u32) -> Option<&PostingContainer> {
+        self.map.get(&e)
+    }
+
+    /// The id universe (`max id + 1`).
+    #[inline]
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// The density policy.
+    #[inline]
+    pub fn config(&self) -> ContainerConfig {
+        self.cfg
+    }
+
+    /// Number of terms with a container.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no term has a container.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Adds one posting, growing the universe and promoting the term's
+    /// container if it crosses the density threshold.
+    pub fn insert(&mut self, e: u32, id: u32) {
+        self.universe = self.universe.max(id + 1);
+        let (universe, cfg) = (self.universe, self.cfg);
+        self.map.entry(e).or_default().insert(id, universe, cfg);
+    }
+
+    /// Tombstones one posting; returns true if found alive.
+    pub fn tombstone(&mut self, e: u32, id: u32) -> bool {
+        self.map.get_mut(&e).is_some_and(|c| c.tombstone(id))
+    }
+
+    /// Re-chooses every term's representation (compaction).
+    pub fn compact(&mut self) {
+        let (universe, cfg) = (self.universe, self.cfg);
+        for c in self.map.values_mut() {
+            c.compact(universe, cfg);
+        }
+    }
+
+    /// Calls `f(term, container)` for every term, unspecified order
+    /// (introspection for validators).
+    pub fn for_each(&self, mut f: impl FnMut(u32, &PostingContainer)) {
+        for (&e, c) in &self.map {
+            f(e, c);
+        }
+    }
+
+    /// Heap footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.map
+            .values()
+            .map(|c| c.size_bytes() + std::mem::size_of::<PostingContainer>() + 16)
+            .sum()
+    }
+
+    /// Deliberately desyncs a cached cardinality — used by `tir-check`'s
+    /// property tests to prove the validator notices.
+    #[cfg(feature = "testing")]
+    pub fn testing_corrupt_cardinality(&mut self) {
+        for c in self.map.values_mut() {
+            match c {
+                PostingContainer::Sparse { live, ids } if !ids.is_empty() => {
+                    *live += 1;
+                    return;
+                }
+                PostingContainer::Dense(d) => {
+                    d.present_count += 1;
+                    return;
+                }
+                PostingContainer::Sparse { .. } => {}
+            }
+        }
+    }
+
+    /// Deliberately sets a deleted bit outside the present set — used by
+    /// `tir-check`'s property tests to prove the validator notices.
+    #[cfg(feature = "testing")]
+    pub fn testing_corrupt_deleted_outside(&mut self) {
+        for c in self.map.values_mut() {
+            if let PostingContainer::Dense(d) = c {
+                for (w, (&p, del)) in d.present.iter().zip(d.deleted.iter_mut()).enumerate() {
+                    if !p != 0 || w + 1 == d.present.len() {
+                        let hole = (!p).trailing_zeros().min(63);
+                        // analyze:allow(unguarded-cast): word index times 64 is bounded by the u32 universe
+                        if (w * 64) as u32 + hole < d.universe {
+                            *del |= 1u64 << hole;
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_choice_at_build() {
+        let cfg = ContainerConfig::default();
+        // 4 live of universe 1000: sparse.
+        let c = PostingContainer::from_sorted(&[1, 5, 9, 900], 1000, cfg);
+        assert!(!c.is_dense());
+        // 40 live of universe 1000 (1/25 > 1/32): dense.
+        let ids: Vec<u32> = (0..40).map(|i| i * 25).collect();
+        let c = PostingContainer::from_sorted(&ids, 1000, cfg);
+        assert!(c.is_dense());
+        assert_eq!(c.cardinality(), 40);
+    }
+
+    #[test]
+    fn tombstones_on_both_forms() {
+        let cfg = ContainerConfig::default();
+        let mut sparse = PostingContainer::from_sorted(&[1, 5, 9], 1000, cfg);
+        assert!(sparse.tombstone(5));
+        assert!(!sparse.tombstone(5));
+        assert_eq!(sparse.cardinality(), 2);
+
+        let ids: Vec<u32> = (0..64).collect();
+        let mut dense = PostingContainer::from_sorted(&ids, 100, cfg);
+        assert!(dense.is_dense());
+        assert!(dense.tombstone(7));
+        assert!(!dense.tombstone(7));
+        assert_eq!(dense.cardinality(), 63);
+        let PostingContainer::Dense(d) = &dense else {
+            unreachable!()
+        };
+        assert!(!d.contains_live(7));
+        assert!(d.contains_live(8));
+    }
+
+    #[test]
+    fn dense_builder_carries_tombstones() {
+        let ids: Vec<u32> = (0..64)
+            .map(|i| if i == 3 { i | TOMBSTONE } else { i })
+            .collect();
+        let d = DenseBits::from_sorted_ids(&ids, 64);
+        assert_eq!(d.present_count(), 64);
+        assert_eq!(d.deleted_count(), 1);
+        assert_eq!(d.cardinality(), 63);
+        assert!(!d.contains_live(3));
+        assert_eq!(d.to_sorted_vec().len(), 63);
+    }
+
+    #[test]
+    fn insert_promotes_and_compact_demotes() {
+        let cfg = ContainerConfig { density_den: 4 };
+        let mut c = PostingContainer::default();
+        for id in 0..24 {
+            c.insert(id, 100, cfg);
+        }
+        assert!(!c.is_dense(), "24/100 < 1/4");
+        c.insert(24, 100, cfg);
+        assert!(c.is_dense(), "25/100 >= 1/4");
+        assert_eq!(c.cardinality(), 25);
+        for id in 0..20 {
+            assert!(c.tombstone(id));
+        }
+        c.compact(100, cfg);
+        assert!(!c.is_dense(), "5/100 < 1/4 after compaction");
+        assert_eq!(c.cardinality(), 5);
+        let mut seen = Vec::new();
+        c.for_each_live(|id| seen.push(id));
+        assert_eq!(seen, vec![20, 21, 22, 23, 24]);
+    }
+
+    #[test]
+    fn hybrid_directory_roundtrip() {
+        let dense_ids: Vec<u32> = (0..50).collect();
+        let sparse_ids = [3u32, 47, 99];
+        let mut h = HybridPostings::from_lists(
+            [(0u32, dense_ids.as_slice()), (1, sparse_ids.as_slice())].into_iter(),
+            100,
+            ContainerConfig::default(),
+        );
+        assert!(h.get(0).is_some_and(PostingContainer::is_dense));
+        assert!(h.get(1).is_some_and(|c| !c.is_dense()));
+        assert!(h.get(2).is_none());
+        assert!(h.tombstone(1, 47));
+        assert!(!h.tombstone(1, 47));
+        h.insert(2, 120);
+        assert_eq!(h.universe(), 121);
+        assert_eq!(h.get(1).map(PostingContainer::cardinality), Some(2));
+        h.compact();
+        assert_eq!(h.get(1).map(PostingContainer::raw_len), Some(2));
+    }
+}

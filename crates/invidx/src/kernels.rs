@@ -26,11 +26,32 @@ pub fn is_sorted_by_raw(ids: &[u32]) -> bool {
     ids.windows(2).all(|w| raw(w[0]) <= raw(w[1]))
 }
 
+/// Shared O(n) sortedness precondition for every kernel, compiled out in
+/// release builds: `debug_assert_sorted!(xs)` for clean candidate sets,
+/// `debug_assert_sorted!(xs, raw)` for postings sorted by raw id
+/// (tombstone bit ignored).
+#[macro_export]
+macro_rules! debug_assert_sorted {
+    ($ids:expr) => {
+        debug_assert!(
+            $ids.windows(2).all(|w| w[0] <= w[1]),
+            "candidate slice not sorted ascending"
+        )
+    };
+    ($ids:expr, raw) => {
+        debug_assert!(
+            $crate::kernels::is_sorted_by_raw($ids),
+            "postings slice not sorted by raw id"
+        )
+    };
+}
+
 /// Classic merge (zipper) intersection: appends every candidate that has a
 /// live posting to `out`. Linear in `cands.len() + postings.len()`.
+#[inline]
 pub fn intersect_merge_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
-    debug_assert!(cands.windows(2).all(|w| w[0] <= w[1]));
-    debug_assert!(is_sorted_by_raw(postings));
+    debug_assert_sorted!(cands);
+    debug_assert_sorted!(postings, raw);
     let (mut i, mut j) = (0, 0);
     while i < cands.len() && j < postings.len() {
         let c = cands[i];
@@ -51,9 +72,10 @@ pub fn intersect_merge_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>)
 
 /// Galloping (exponential-search) intersection, efficient when `cands` is
 /// much smaller than `postings`: `O(|cands| * log |postings|)`.
+#[inline]
 pub fn intersect_gallop_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
-    debug_assert!(cands.windows(2).all(|w| w[0] <= w[1]));
-    debug_assert!(is_sorted_by_raw(postings));
+    debug_assert_sorted!(cands);
+    debug_assert_sorted!(postings, raw);
     let mut lo = 0usize;
     for &c in cands {
         // Gallop to find the first posting with raw id >= c.
@@ -85,6 +107,7 @@ pub fn intersect_gallop_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>
 pub const GALLOP_RATIO: usize = 16;
 
 /// Picks merge or gallop based on the size ratio of the inputs.
+#[inline]
 pub fn intersect_adaptive_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
     if cands.len().saturating_mul(GALLOP_RATIO) < postings.len() {
         intersect_gallop_into(cands, postings, out);
@@ -103,10 +126,11 @@ pub fn contains_sorted(cands: &[u32], id: u32) -> bool {
 /// Marks `hits[i] = true` for every candidate `cands[i]` that has a live
 /// posting. Used when a candidate may occur in several postings runs (e.g.
 /// replicated slice sub-lists) and must still be emitted once.
+#[inline]
 pub fn mark_hits(cands: &[u32], postings: &[u32], hits: &mut [bool]) {
     debug_assert_eq!(cands.len(), hits.len());
-    debug_assert!(cands.windows(2).all(|w| w[0] <= w[1]));
-    debug_assert!(is_sorted_by_raw(postings));
+    debug_assert_sorted!(cands);
+    debug_assert_sorted!(postings, raw);
     let (mut i, mut j) = (0, 0);
     while i < cands.len() && j < postings.len() {
         let c = cands[i];

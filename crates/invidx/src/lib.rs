@@ -10,6 +10,10 @@
 //!   low-overhead per-division indexes used inside irHINT partitions;
 //! * [`kernels`] — merge / galloping / adaptive sorted-set intersection
 //!   primitives, tombstone-aware;
+//! * [`container`] — hybrid array/bitmap posting containers chosen by
+//!   density at build/compaction time;
+//! * [`planner`] — the cost-based conjunction planner and reusable
+//!   [`QueryScratch`] arena with per-query kernel counters;
 //! * [`compress`] — delta/varint compressed postings (the paper's
 //!   compression future-work direction).
 
@@ -18,17 +22,21 @@
 
 pub mod compact;
 pub mod compress;
+pub mod container;
 pub mod dict;
 pub mod kernels;
 pub mod plain;
+pub mod planner;
 pub mod sigfile;
 
 pub use compact::{CompactInverted, CompactTemporalInverted, TemporalPostings};
 pub use compress::{CompressedPostings, CompressedTemporalPostings};
+pub use container::{ContainerConfig, DenseBits, HybridPostings, PostingContainer};
 pub use dict::Dictionary;
 pub use kernels::{
     contains_sorted, intersect_adaptive_into, intersect_gallop_into, intersect_merge_into,
     kway_merge_dedup, live, mark_hits, raw, TOMBSTONE,
 };
 pub use plain::InvertedIndex;
+pub use planner::{global_stats, Kernel, PlanStats, Postings, QueryScratch};
 pub use sigfile::{Signature, SignatureFile};

@@ -2,7 +2,8 @@
 //! search, used as a building block and as the degenerate 100%-extent
 //! baseline in the evaluation.
 
-use crate::kernels::{intersect_adaptive_into, live, raw, TOMBSTONE};
+use crate::kernels::{live, raw, TOMBSTONE};
+use crate::planner::intersect_ids_into;
 use std::collections::HashMap;
 
 /// Inverted index over a corpus: element id → id-sorted postings list.
@@ -93,7 +94,7 @@ impl InvertedIndex {
         let mut next = Vec::new();
         for &e in rest {
             next.clear();
-            intersect_adaptive_into(&cands, self.postings(e), &mut next);
+            intersect_ids_into(&cands, self.postings(e), &mut next);
             std::mem::swap(&mut cands, &mut next);
             if cands.is_empty() {
                 break;

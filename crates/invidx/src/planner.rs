@@ -1,0 +1,741 @@
+//! Cost-based conjunction planner and per-query scratch arena.
+//!
+//! Every index method evaluates a time-travel query as a conjunction:
+//! seed a candidate set from the least frequent element, then intersect
+//! with the remaining elements in ascending document frequency. This
+//! module owns the *how* of each intersection step:
+//!
+//! * sorted array vs sorted array → **merge** or **gallop**, picked by the
+//!   size ratio ([`crate::kernels::GALLOP_RATIO`]);
+//! * anything vs a dense bitmap container → **bitmap-probe** (O(1)
+//!   membership per candidate), or **word-AND** when the candidate set is
+//!   itself dense enough to be worth materializing as a bitmap, after
+//!   which consecutive dense steps AND whole 64-bit words;
+//! * candidate membership probes (the Algorithm 3 / mark-hits pattern)
+//!   → a candidate bitmap when the universe is small enough, binary
+//!   search otherwise.
+//!
+//! All state lives in a reusable [`QueryScratch`] so a steady-state query
+//! performs no allocation beyond its reply vector, and every step is
+//! counted: per-query via [`QueryScratch::last_stats`], process-wide via
+//! [`global_stats`] (surfaced through `tir serve`'s `STATS`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::container::{DenseBits, PostingContainer};
+use crate::kernels::{
+    intersect_gallop_into, intersect_merge_into, live, mark_hits, raw, GALLOP_RATIO,
+};
+
+/// The kernel a conjunction step ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Linear zipper merge of two sorted arrays.
+    Merge,
+    /// Exponential-search (galloping) intersection or binary-search probe.
+    Gallop,
+    /// O(1) membership tests against a bitmap.
+    BitmapProbe,
+    /// 64-bit word-at-a-time AND of two bitmaps.
+    WordAnd,
+}
+
+/// Per-query planner counters: how many steps each kernel won and how
+/// many elements (or words) each scanned. `scanned` is maintained as the
+/// running total, so `merge_scanned + gallop_scanned +
+/// bitmap_probe_scanned + word_and_scanned == scanned` is an invariant
+/// `tir-check` can audit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Steps answered by the merge kernel.
+    pub merge_steps: u64,
+    /// Steps answered by the gallop / binary-search kernel.
+    pub gallop_steps: u64,
+    /// Steps answered by bitmap probing.
+    pub bitmap_probe_steps: u64,
+    /// Steps answered by word-AND.
+    pub word_and_steps: u64,
+    /// Elements scanned by merge steps.
+    pub merge_scanned: u64,
+    /// Elements scanned by gallop steps.
+    pub gallop_scanned: u64,
+    /// Elements probed by bitmap steps.
+    pub bitmap_probe_scanned: u64,
+    /// Words scanned by word-AND steps (plus bitmap build costs).
+    pub word_and_scanned: u64,
+    /// Total elements scanned over all kernels.
+    pub scanned: u64,
+}
+
+impl PlanStats {
+    /// Records one step.
+    #[inline]
+    pub fn note(&mut self, kernel: Kernel, scanned: u64) {
+        match kernel {
+            Kernel::Merge => {
+                self.merge_steps += 1;
+                self.merge_scanned += scanned;
+            }
+            Kernel::Gallop => {
+                self.gallop_steps += 1;
+                self.gallop_scanned += scanned;
+            }
+            Kernel::BitmapProbe => {
+                self.bitmap_probe_steps += 1;
+                self.bitmap_probe_scanned += scanned;
+            }
+            Kernel::WordAnd => {
+                self.word_and_steps += 1;
+                self.word_and_scanned += scanned;
+            }
+        }
+        self.scanned += scanned;
+    }
+
+    /// Total steps over all kernels.
+    pub fn steps(&self) -> u64 {
+        self.merge_steps + self.gallop_steps + self.bitmap_probe_steps + self.word_and_steps
+    }
+
+    /// Sum of the per-kernel scanned counters — must equal
+    /// [`PlanStats::scanned`].
+    pub fn kernel_scanned_sum(&self) -> u64 {
+        self.merge_scanned + self.gallop_scanned + self.bitmap_probe_scanned + self.word_and_scanned
+    }
+
+    fn is_zero(&self) -> bool {
+        self.steps() == 0 && self.scanned == 0
+    }
+}
+
+struct GlobalCounters {
+    merge_steps: AtomicU64,
+    gallop_steps: AtomicU64,
+    bitmap_probe_steps: AtomicU64,
+    word_and_steps: AtomicU64,
+    merge_scanned: AtomicU64,
+    gallop_scanned: AtomicU64,
+    bitmap_probe_scanned: AtomicU64,
+    word_and_scanned: AtomicU64,
+    scanned: AtomicU64,
+}
+
+static GLOBAL: GlobalCounters = GlobalCounters {
+    merge_steps: AtomicU64::new(0),
+    gallop_steps: AtomicU64::new(0),
+    bitmap_probe_steps: AtomicU64::new(0),
+    word_and_steps: AtomicU64::new(0),
+    merge_scanned: AtomicU64::new(0),
+    gallop_scanned: AtomicU64::new(0),
+    bitmap_probe_scanned: AtomicU64::new(0),
+    word_and_scanned: AtomicU64::new(0),
+    scanned: AtomicU64::new(0),
+};
+
+fn flush_global(s: &PlanStats) {
+    if s.is_zero() {
+        return;
+    }
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .merge_steps
+        .fetch_add(s.merge_steps, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .gallop_steps
+        .fetch_add(s.gallop_steps, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .bitmap_probe_steps
+        .fetch_add(s.bitmap_probe_steps, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .word_and_steps
+        .fetch_add(s.word_and_steps, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .merge_scanned
+        .fetch_add(s.merge_scanned, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .gallop_scanned
+        .fetch_add(s.gallop_scanned, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .bitmap_probe_scanned
+        .fetch_add(s.bitmap_probe_scanned, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .word_and_scanned
+        .fetch_add(s.word_and_scanned, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL.scanned.fetch_add(s.scanned, Ordering::Relaxed);
+}
+
+/// Process-wide accumulated planner counters (every query answered since
+/// start, all threads). Point-in-time read; cross-counter tearing is
+/// acceptable for reporting.
+pub fn global_stats() -> PlanStats {
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    PlanStats {
+        merge_steps: GLOBAL.merge_steps.load(Ordering::Relaxed),
+        gallop_steps: GLOBAL.gallop_steps.load(Ordering::Relaxed),
+        bitmap_probe_steps: GLOBAL.bitmap_probe_steps.load(Ordering::Relaxed),
+        word_and_steps: GLOBAL.word_and_steps.load(Ordering::Relaxed),
+        merge_scanned: GLOBAL.merge_scanned.load(Ordering::Relaxed),
+        gallop_scanned: GLOBAL.gallop_scanned.load(Ordering::Relaxed),
+        bitmap_probe_scanned: GLOBAL.bitmap_probe_scanned.load(Ordering::Relaxed),
+        word_and_scanned: GLOBAL.word_and_scanned.load(Ordering::Relaxed),
+        scanned: GLOBAL.scanned.load(Ordering::Relaxed),
+    }
+}
+
+/// One side of a conjunction step.
+#[derive(Debug, Clone, Copy)]
+pub enum Postings<'a> {
+    /// A raw-id-sorted slice, bit-31 tombstones allowed.
+    Ids(&'a [u32]),
+    /// A hybrid container (array or bitmap form).
+    Container(&'a PostingContainer),
+}
+
+/// The candidate set becomes worth materializing as a bitmap once it
+/// covers at least 1/`WORD_AND_DENSITY_DEN` of the dense side's universe:
+/// below that, per-candidate probes touch less memory than whole-word
+/// ANDs.
+pub const WORD_AND_DENSITY_DEN: usize = 32;
+
+/// Largest id universe a *candidate* bitmap is built for (2^26 ids =
+/// 8 MiB of bits); bigger universes fall back to binary-search probes.
+pub const MAX_PROBE_UNIVERSE: u32 = 1 << 26;
+
+/// Reusable per-worker query state: candidate/output buffers, the plan
+/// order, a candidate bitmap, and the per-query kernel counters. Holding
+/// one per serve worker (or bench loop) makes steady-state queries
+/// allocation-free apart from the reply vector.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Query plan buffer (elements in ascending-frequency order).
+    pub plan: Vec<u32>,
+    /// The current candidate set (sorted, live raw ids) when the planner
+    /// is in array form. Seed this before calling
+    /// [`QueryScratch::intersect`].
+    pub cands: Vec<u32>,
+    next: Vec<u32>,
+    bits: Vec<u64>,
+    bits_live: bool,
+    bits_words: usize,
+    bits_count: u64,
+    loaded: Vec<u32>,
+    hits: Vec<bool>,
+    probe_bits: bool,
+    stats: PlanStats,
+    last: PlanStats,
+}
+
+impl QueryScratch {
+    /// Starts a new query: flushes the previous query's counters to the
+    /// process-wide totals and clears all candidate state.
+    pub fn reset(&mut self) {
+        self.finish_query();
+        self.cands.clear();
+        self.plan.clear();
+    }
+
+    /// Flushes pending counters (also called by [`QueryScratch::reset`]
+    /// and on drop, so drive-by uses cannot lose counts).
+    fn finish_query(&mut self) {
+        if !self.stats.is_zero() {
+            flush_global(&self.stats);
+            self.last = self.stats;
+            self.stats = PlanStats::default();
+        }
+        if self.bits_live {
+            self.zero_bits();
+            self.bits_live = false;
+        }
+    }
+
+    /// The counters of the most recently finished query.
+    pub fn last_stats(&self) -> PlanStats {
+        self.last
+    }
+
+    /// Records a step that ran outside the planner's own kernels (e.g.
+    /// cTIF's streaming decode-intersect) so the totals stay honest.
+    #[inline]
+    pub fn note(&mut self, kernel: Kernel, scanned: u64) {
+        self.stats.note(kernel, scanned);
+    }
+
+    /// True if the candidate set is empty — the early-exit test between
+    /// conjunction steps.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        if self.bits_live {
+            self.bits_count == 0
+        } else {
+            self.cands.is_empty()
+        }
+    }
+
+    /// One conjunction step: replaces the candidate set with its
+    /// intersection against `side`, picking the kernel from the operand
+    /// shapes and sizes.
+    pub fn intersect(&mut self, side: Postings<'_>) {
+        match side {
+            Postings::Ids(ids) => self.intersect_ids(ids),
+            Postings::Container(PostingContainer::Sparse { ids, .. }) => self.intersect_ids(ids),
+            Postings::Container(PostingContainer::Dense(d)) => self.intersect_dense(d),
+        }
+    }
+
+    fn intersect_ids(&mut self, ids: &[u32]) {
+        if self.bits_live {
+            // Downshift: walk the sorted array, keep ids present in the
+            // candidate bitmap. Output is raw-id-sorted by construction.
+            self.cands.clear();
+            for &p in ids {
+                let r = raw(p);
+                if live(p) && self.bit(r) {
+                    self.cands.push(r);
+                }
+            }
+            self.zero_bits();
+            self.bits_live = false;
+            self.stats.note(Kernel::BitmapProbe, ids.len() as u64);
+            return;
+        }
+        self.next.clear();
+        if self.cands.len().saturating_mul(GALLOP_RATIO) < ids.len() {
+            intersect_gallop_into(&self.cands, ids, &mut self.next);
+            self.stats.note(Kernel::Gallop, self.cands.len() as u64);
+        } else {
+            intersect_merge_into(&self.cands, ids, &mut self.next);
+            self.stats
+                .note(Kernel::Merge, (self.cands.len() + ids.len()) as u64);
+        }
+        std::mem::swap(&mut self.cands, &mut self.next);
+    }
+
+    fn intersect_dense(&mut self, d: &DenseBits) {
+        let words = d.present_words();
+        if self.bits_live {
+            // Word-AND with the incoming bitmap; ids beyond its universe
+            // cannot match, so the tail of the candidate bitmap clears.
+            let keep = self.bits_words.min(words.len());
+            let mut count = 0u64;
+            for (b, (&p, &del)) in self
+                .bits
+                .iter_mut()
+                .zip(words.iter().zip(d.deleted_words()))
+                .take(keep)
+            {
+                let v = *b & p & !del;
+                *b = v;
+                count += u64::from(v.count_ones());
+            }
+            for w in keep..self.bits_words {
+                self.bits[w] = 0;
+            }
+            self.bits_words = keep;
+            self.bits_count = count;
+            self.stats.note(Kernel::WordAnd, keep as u64);
+            return;
+        }
+        if self.cands.len().saturating_mul(WORD_AND_DENSITY_DEN) >= d.universe() as usize {
+            // Dense candidates: materialize them as a bitmap once, then
+            // this and consecutive dense steps run word-at-a-time.
+            let w = words.len();
+            if self.bits.len() < w {
+                self.bits.resize(w, 0);
+            }
+            let build = self.cands.len();
+            self.bits[..w].fill(0);
+            for &c in &self.cands {
+                if c < d.universe() {
+                    self.bits[c as usize / 64] |= 1u64 << (c % 64);
+                }
+            }
+            let mut count = 0u64;
+            for (b, (&p, &del)) in self
+                .bits
+                .iter_mut()
+                .zip(words.iter().zip(d.deleted_words()))
+                .take(w)
+            {
+                let v = *b & p & !del;
+                *b = v;
+                count += u64::from(v.count_ones());
+            }
+            self.bits_words = w;
+            self.bits_count = count;
+            self.bits_live = true;
+            self.stats.note(Kernel::WordAnd, (w + build) as u64);
+        } else {
+            // Sparse candidates: O(1) probe per candidate.
+            self.next.clear();
+            for &c in &self.cands {
+                if d.contains_live(c) {
+                    self.next.push(c);
+                }
+            }
+            self.stats
+                .note(Kernel::BitmapProbe, self.cands.len() as u64);
+            std::mem::swap(&mut self.cands, &mut self.next);
+        }
+    }
+
+    /// Finishes the query: materializes the candidate set (ascending if
+    /// the planner ended in bitmap form) into `out` and flushes counters.
+    pub fn take_into(&mut self, out: &mut Vec<u32>) {
+        if self.bits_live {
+            for w in 0..self.bits_words {
+                let mut m = self.bits[w];
+                self.bits[w] = 0;
+                while m != 0 {
+                    // analyze:allow(unguarded-cast): word index * 64 + bit is a valid u32 id
+                    out.push((w * 64) as u32 + m.trailing_zeros());
+                    m &= m - 1;
+                }
+            }
+            self.bits_live = false;
+        } else {
+            out.append(&mut self.cands);
+        }
+        self.finish_query();
+    }
+
+    #[inline]
+    fn bit(&self, id: u32) -> bool {
+        let w = id as usize / 64;
+        w < self.bits_words && (self.bits[w] >> (id % 64)) & 1 == 1
+    }
+
+    fn zero_bits(&mut self) {
+        for w in &mut self.bits[..self.bits_words] {
+            *w = 0;
+        }
+        self.bits_words = 0;
+        self.bits_count = 0;
+    }
+
+    // ----- candidate-probe mode (Algorithm 3 / mark-hits call sites) -----
+
+    /// Indexes `cands` (unique live raw ids, any order) for repeated
+    /// [`QueryScratch::probe_take`] calls: a candidate bitmap when the id
+    /// range is small enough, a sorted copy with hit flags otherwise.
+    /// `universe` is a sizing hint (`max id + 1` if known; 0 is fine —
+    /// the candidate maximum is used); ranges beyond
+    /// [`MAX_PROBE_UNIVERSE`] fall back to binary-search probes.
+    pub fn load_candidates(&mut self, cands: &[u32], universe: u32) {
+        let needed = cands
+            .iter()
+            .fold(universe, |u, &c| u.max(c.saturating_add(1)));
+        self.loaded.clear();
+        self.loaded.extend_from_slice(cands);
+        if needed > 0 && needed <= MAX_PROBE_UNIVERSE {
+            self.probe_bits = true;
+            let w = (needed as usize).div_ceil(64);
+            if self.bits.len() < w {
+                self.bits.resize(w, 0);
+            }
+            self.bits_words = self.bits_words.max(w);
+            for &c in &self.loaded {
+                self.bits[c as usize / 64] |= 1u64 << (c % 64);
+            }
+            self.stats
+                .note(Kernel::BitmapProbe, self.loaded.len() as u64);
+        } else {
+            self.probe_bits = false;
+            self.loaded.sort_unstable();
+            self.hits.clear();
+            self.hits.resize(self.loaded.len(), false);
+            self.stats.note(Kernel::Gallop, self.loaded.len() as u64);
+        }
+    }
+
+    /// Tests whether `raw_id` is a loaded candidate not yet taken, and
+    /// takes it — each candidate is emitted at most once per load, which
+    /// replaces the mark-hits pass over replicated sub-lists.
+    ///
+    /// Deliberately does no counter bookkeeping: this is the hottest
+    /// per-element call in the probe pattern, so call sites account the
+    /// elements they scanned in bulk via [`QueryScratch::note_probed`].
+    #[inline]
+    pub fn probe_take(&mut self, raw_id: u32) -> bool {
+        if self.probe_bits {
+            let w = raw_id as usize / 64;
+            if w < self.bits_words && (self.bits[w] >> (raw_id % 64)) & 1 == 1 {
+                self.bits[w] &= !(1u64 << (raw_id % 64));
+                return true;
+            }
+            false
+        } else if let Ok(i) = self.loaded.binary_search(&raw_id) {
+            !std::mem::replace(&mut self.hits[i], true)
+        } else {
+            false
+        }
+    }
+
+    /// Records `scanned` posting elements probed through
+    /// [`QueryScratch::probe_take`] since the last
+    /// [`QueryScratch::load_candidates`], attributed to whichever probe
+    /// kernel that load selected. Called once per posting list (or per
+    /// round) rather than per element so the probe loop stays free of
+    /// counter read-modify-writes.
+    #[inline]
+    pub fn note_probed(&mut self, scanned: u64) {
+        let kernel = if self.probe_bits {
+            Kernel::BitmapProbe
+        } else {
+            Kernel::Gallop
+        };
+        self.stats.note(kernel, scanned);
+    }
+
+    // ----- merge-marking rounds (sorted replicated sub-lists) -----
+
+    /// Begins a merge-marking round over a sorted candidate set of `n`
+    /// ids: clears and sizes the per-candidate hit flags. Cheaper than
+    /// probe mode when the postings runs are id-sorted, because each
+    /// [`QueryScratch::mark`] is a branch-light linear zipper.
+    pub fn begin_mark(&mut self, n: usize) {
+        self.hits.clear();
+        self.hits.resize(n, false);
+    }
+
+    /// Merge-marks every candidate with a live posting in `postings`
+    /// (both sorted ascending; postings by raw id). A candidate may be
+    /// marked by several runs — e.g. slice-replicated sub-lists — and is
+    /// still emitted once by [`QueryScratch::finish_mark`].
+    pub fn mark(&mut self, cands: &[u32], postings: &[u32]) {
+        mark_hits(cands, postings, &mut self.hits);
+        self.stats
+            .note(Kernel::Merge, (cands.len() + postings.len()) as u64);
+    }
+
+    /// Ends a merge-marking round: compacts `cands` in place (preserving
+    /// sorted order) to the candidates that were marked.
+    pub fn finish_mark(&mut self, cands: &mut Vec<u32>) {
+        debug_assert_eq!(self.hits.len(), cands.len());
+        let mut i = 0;
+        cands.retain(|_| {
+            let hit = self.hits[i];
+            i += 1;
+            hit
+        });
+        self.hits.clear();
+    }
+
+    /// Takes the internal secondary buffer for call sites that run their
+    /// own merge loops (e.g. cTIF's compressed streaming intersection).
+    /// Give it back with [`QueryScratch::put_aux`] so its capacity is
+    /// reused by later queries.
+    pub fn take_aux(&mut self) -> Vec<u32> {
+        let mut aux = std::mem::take(&mut self.next);
+        aux.clear();
+        aux
+    }
+
+    /// Returns the buffer taken with [`QueryScratch::take_aux`].
+    pub fn put_aux(&mut self, mut aux: Vec<u32>) {
+        aux.clear();
+        self.next = aux;
+    }
+
+    /// Ends a probe round, clearing the candidate index so the next
+    /// [`QueryScratch::load_candidates`] starts clean.
+    pub fn end_probe(&mut self) {
+        if self.probe_bits {
+            for &c in &self.loaded {
+                let w = c as usize / 64;
+                if w < self.bits.len() {
+                    self.bits[w] &= !(1u64 << (c % 64));
+                }
+            }
+            self.bits_words = 0;
+        } else {
+            self.hits.clear();
+        }
+        self.loaded.clear();
+    }
+}
+
+impl Drop for QueryScratch {
+    fn drop(&mut self) {
+        self.finish_query();
+    }
+}
+
+/// Standalone planned intersection for call sites without a scratch
+/// (e.g. the corpus-level [`crate::InvertedIndex`]): merge-or-gallop by
+/// ratio, counted into the process-wide totals.
+pub fn intersect_ids_into(cands: &[u32], ids: &[u32], out: &mut Vec<u32>) -> Kernel {
+    let mut stats = PlanStats::default();
+    let kernel = if cands.len().saturating_mul(GALLOP_RATIO) < ids.len() {
+        intersect_gallop_into(cands, ids, out);
+        stats.note(Kernel::Gallop, cands.len() as u64);
+        Kernel::Gallop
+    } else {
+        intersect_merge_into(cands, ids, out);
+        stats.note(Kernel::Merge, (cands.len() + ids.len()) as u64);
+        Kernel::Merge
+    };
+    flush_global(&stats);
+    kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::container::ContainerConfig;
+    use crate::kernels::TOMBSTONE;
+
+    fn seq(scratch: &mut QueryScratch, seed: &[u32], sides: &[Postings<'_>]) -> Vec<u32> {
+        scratch.reset();
+        scratch.cands.extend_from_slice(seed);
+        for side in sides {
+            if scratch.is_empty() {
+                break;
+            }
+            scratch.intersect(*side);
+        }
+        let mut out = Vec::new();
+        scratch.take_into(&mut out);
+        out
+    }
+
+    #[test]
+    fn array_steps_match_kernels() {
+        let mut s = QueryScratch::default();
+        let got = seq(
+            &mut s,
+            &[1, 3, 5, 7, 9],
+            &[Postings::Ids(&[1, 2, 3, 7]), Postings::Ids(&[3, 7, 8])],
+        );
+        assert_eq!(got, vec![3, 7]);
+        let st = s.last_stats();
+        assert_eq!(st.steps(), 2);
+        assert_eq!(st.kernel_scanned_sum(), st.scanned);
+    }
+
+    #[test]
+    fn dense_probe_and_word_and() {
+        let cfg = ContainerConfig { density_den: 4 };
+        let dense_ids: Vec<u32> = (0..128).collect();
+        let c = PostingContainer::from_sorted(&dense_ids, 128, cfg);
+        assert!(c.is_dense());
+
+        // Sparse candidates: bitmap-probe.
+        let mut s = QueryScratch::default();
+        let got = seq(&mut s, &[2, 500], &[Postings::Container(&c)]);
+        assert_eq!(got, vec![2]);
+        assert_eq!(s.last_stats().bitmap_probe_steps, 1);
+
+        // Dense candidates: word-AND, result extracted ascending.
+        let cands: Vec<u32> = (0..128).filter(|i| i % 2 == 0).collect();
+        let got = seq(&mut s, &cands, &[Postings::Container(&c)]);
+        assert_eq!(got, cands);
+        assert_eq!(s.last_stats().word_and_steps, 1);
+
+        // Word-AND chains across consecutive dense steps, then
+        // downshifts cleanly on a sparse side.
+        let evens = PostingContainer::from_sorted(&cands, 128, cfg);
+        let got = seq(
+            &mut s,
+            &(0..128).collect::<Vec<_>>(),
+            &[
+                Postings::Container(&c),
+                Postings::Container(&evens),
+                Postings::Ids(&[4, 5, 6, 200]),
+            ],
+        );
+        assert_eq!(got, vec![4, 6]);
+        let st = s.last_stats();
+        assert_eq!(st.word_and_steps, 2);
+        assert_eq!(st.bitmap_probe_steps, 1);
+    }
+
+    #[test]
+    fn tombstones_respected_on_every_path() {
+        let cfg = ContainerConfig { density_den: 4 };
+        let ids: Vec<u32> = (0..64)
+            .map(|i| if i == 10 { i | TOMBSTONE } else { i })
+            .collect();
+        let c = PostingContainer::from_sorted(&ids, 64, cfg);
+        let mut s = QueryScratch::default();
+        // probe path
+        assert_eq!(
+            seq(&mut s, &[9, 10, 11], &[Postings::Container(&c)]),
+            vec![9, 11]
+        );
+        // word-AND path
+        let all: Vec<u32> = (0..64).collect();
+        let got = seq(&mut s, &all, &[Postings::Container(&c)]);
+        assert!(!got.contains(&10) && got.len() == 63);
+        // downshift path skips tombstoned array entries
+        let arr = [9u32, 10 | TOMBSTONE, 11];
+        let got = seq(
+            &mut s,
+            &all,
+            &[Postings::Container(&c), Postings::Ids(&arr)],
+        );
+        assert_eq!(got, vec![9, 11]);
+    }
+
+    #[test]
+    fn probe_mode_takes_each_candidate_once() {
+        let mut s = QueryScratch::default();
+        // 100 exercises the candidate bitmap; u32::MAX overflows
+        // MAX_PROBE_UNIVERSE and exercises the sorted fallback.
+        for universe in [100u32, u32::MAX] {
+            s.reset();
+            s.load_candidates(&[5, 1, 9], universe);
+            assert!(s.probe_take(1));
+            assert!(!s.probe_take(1), "taken candidates never re-emit");
+            assert!(!s.probe_take(2));
+            assert!(s.probe_take(9));
+            s.end_probe();
+            // A fresh load sees a clean slate.
+            s.load_candidates(&[1], universe);
+            assert!(s.probe_take(1));
+            s.end_probe();
+        }
+    }
+
+    #[test]
+    fn mark_rounds_compact_to_hit_candidates() {
+        let mut s = QueryScratch::default();
+        s.reset();
+        let mut cands = vec![1u32, 4, 7, 9];
+        s.begin_mark(cands.len());
+        // Replicated runs: 7 appears in both, and is still emitted once.
+        s.mark(&cands, &[2, 7, 9 | TOMBSTONE]);
+        s.mark(&cands, &[4, 7]);
+        s.finish_mark(&mut cands);
+        assert_eq!(cands, vec![4, 7]);
+        // A fresh round starts from clean flags.
+        s.begin_mark(cands.len());
+        s.mark(&cands, &[4]);
+        s.finish_mark(&mut cands);
+        assert_eq!(cands, vec![4]);
+        let stats = {
+            s.reset();
+            s.last_stats()
+        };
+        assert_eq!(stats.kernel_scanned_sum(), stats.scanned);
+        assert!(stats.merge_steps >= 3);
+    }
+
+    #[test]
+    fn global_counters_accumulate() {
+        let before = global_stats();
+        let mut out = Vec::new();
+        intersect_ids_into(&[1, 2, 3], &[2, 3, 4], &mut out);
+        assert_eq!(out, vec![2, 3]);
+        let after = global_stats();
+        assert!(after.scanned > before.scanned);
+        assert_eq!(after.kernel_scanned_sum(), after.scanned);
+    }
+}

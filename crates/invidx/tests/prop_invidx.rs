@@ -5,11 +5,34 @@ use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 use tir_invidx::{
     intersect_adaptive_into, intersect_gallop_into, intersect_merge_into, CompactInverted,
-    CompactTemporalInverted, InvertedIndex, TOMBSTONE,
+    CompactTemporalInverted, ContainerConfig, HybridPostings, InvertedIndex, PostingContainer,
+    Postings, QueryScratch, TOMBSTONE,
 };
 
 fn sorted_unique(max: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
     prop::collection::btree_set(0..max, 0..len).prop_map(|s| s.into_iter().collect())
+}
+
+/// Applies a tombstone mask, keeping raw-id order, and returns the raw
+/// array plus the live-id set model.
+fn tombstoned(ids: &[u32], dead: &[bool]) -> (Vec<u32>, BTreeSet<u32>) {
+    let raw: Vec<u32> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            if *dead.get(i).unwrap_or(&false) {
+                id | TOMBSTONE
+            } else {
+                id
+            }
+        })
+        .collect();
+    let live: BTreeSet<u32> = raw
+        .iter()
+        .filter(|&&id| id & TOMBSTONE == 0)
+        .copied()
+        .collect();
+    (raw, live)
 }
 
 proptest! {
@@ -42,6 +65,99 @@ proptest! {
             f(&cands, &postings, &mut out);
             prop_assert_eq!(&out, &want);
         }
+    }
+
+    #[test]
+    fn planner_scratch_agrees_with_set_model(
+        seed in sorted_unique(2048, 400),
+        lists in prop::collection::vec(
+            (sorted_unique(2048, 400), prop::collection::vec(any::<bool>(), 400), any::<bool>()),
+            0..5,
+        ),
+        den in 1u32..64,
+    ) {
+        const UNIVERSE: u32 = 2048;
+        let cfg = ContainerConfig { density_den: den };
+        let mut scratch = QueryScratch::default();
+        scratch.reset();
+        scratch.cands.extend_from_slice(&seed);
+
+        let mut model: BTreeSet<u32> = seed.iter().copied().collect();
+        for (ids, dead, as_container) in &lists {
+            let (raw, live) = tombstoned(ids, dead);
+            if *as_container {
+                let c = PostingContainer::from_sorted(&raw, UNIVERSE, cfg);
+                scratch.intersect(Postings::Container(&c));
+            } else {
+                scratch.intersect(Postings::Ids(&raw));
+            }
+            model = model.intersection(&live).copied().collect();
+        }
+
+        let mut out = Vec::new();
+        scratch.take_into(&mut out);
+        out.sort_unstable();
+        let want: Vec<u32> = model.into_iter().collect();
+        prop_assert_eq!(out, want);
+
+        // Per-query counter invariant: the per-kernel scanned columns
+        // must sum to the running total.
+        let stats = scratch.last_stats();
+        prop_assert_eq!(stats.kernel_scanned_sum(), stats.scanned);
+        if !lists.is_empty() {
+            prop_assert!(stats.steps() >= 1);
+        }
+    }
+
+    #[test]
+    fn hybrid_container_agrees_with_set_model(
+        ids in sorted_unique(512, 200),
+        dead in prop::collection::vec(any::<bool>(), 200),
+        den in 1u32..64,
+        extra in sorted_unique(512, 40),
+        kills in sorted_unique(512, 40),
+    ) {
+        let cfg = ContainerConfig { density_den: den };
+        let (raw, live) = tombstoned(&ids, &dead);
+        let mut h = HybridPostings::from_lists(
+            std::iter::once((7u32, raw.as_slice())),
+            512,
+            cfg,
+        );
+        let mut model = live;
+        for &id in &extra {
+            if !model.contains(&id) && !raw.iter().any(|&r| r & !TOMBSTONE == id) {
+                h.insert(7, id);
+                model.insert(id);
+            }
+        }
+        for &id in &kills {
+            let killed = h.tombstone(7, id);
+            prop_assert_eq!(killed, model.remove(&id));
+        }
+        let want: Vec<u32> = model.iter().copied().collect();
+        let got = match h.get(7) {
+            Some(c) => {
+                let mut v = Vec::new();
+                c.for_each_live(|id| v.push(id));
+                v.sort_unstable();
+                prop_assert_eq!(c.cardinality() as usize, want.len());
+                v
+            }
+            None => Vec::new(),
+        };
+        prop_assert_eq!(got, want.clone());
+        h.compact();
+        let got: Vec<u32> = match h.get(7) {
+            Some(c) => {
+                let mut v = Vec::new();
+                c.for_each_live(|id| v.push(id));
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        };
+        prop_assert_eq!(got, want);
     }
 
     #[test]
@@ -100,6 +216,42 @@ proptest! {
                 let want = model.iter().find(|&&(me, mid, _, _)| me == e && mid == id).unwrap();
                 prop_assert_eq!(p.sts[i], want.2);
                 prop_assert_eq!(p.ends[i], want.3);
+            }
+        }
+    }
+
+    #[test]
+    fn planner_edge_cases_hold_under_any_density(den in 1u32..64) {
+        let cfg = ContainerConfig { density_den: den };
+        let ids: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        let disjoint: Vec<u32> = (0..100).map(|i| i * 3 + 1).collect();
+        let all_dead: Vec<u32> = ids.iter().map(|&id| id | TOMBSTONE).collect();
+        for (postings, want) in [
+            (ids.clone(), ids.clone()),      // identical sets
+            (disjoint, Vec::new()),          // disjoint sets
+            (Vec::new(), Vec::new()),        // empty postings
+            (all_dead, Vec::new()),          // fully tombstoned
+        ] {
+            let c = PostingContainer::from_sorted(&postings, 300, cfg);
+            for as_container in [false, true] {
+                let mut scratch = QueryScratch::default();
+                scratch.reset();
+                scratch.cands.extend_from_slice(&ids);
+                if as_container {
+                    scratch.intersect(Postings::Container(&c));
+                } else {
+                    scratch.intersect(Postings::Ids(&postings));
+                }
+                let mut out = Vec::new();
+                scratch.take_into(&mut out);
+                out.sort_unstable();
+                prop_assert_eq!(&out, &want);
+                // Empty candidate seed stays empty against anything.
+                scratch.reset();
+                scratch.intersect(Postings::Ids(&postings));
+                let mut out = Vec::new();
+                scratch.take_into(&mut out);
+                prop_assert!(out.is_empty());
             }
         }
     }

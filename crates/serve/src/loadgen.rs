@@ -118,6 +118,17 @@ pub struct LoadgenReport {
     pub size_bytes: u64,
     /// Threads used.
     pub threads: usize,
+    /// Conjunction-planner kernel mix over the run (post-run minus
+    /// pre-run server counters): merge steps.
+    pub kern_merge: u64,
+    /// Gallop / binary-search steps during the run.
+    pub kern_gallop: u64,
+    /// Bitmap-probe steps during the run.
+    pub kern_bitmap_probe: u64,
+    /// Word-AND steps during the run.
+    pub kern_word_and: u64,
+    /// Elements scanned by intersection kernels during the run.
+    pub elems_scanned: u64,
 }
 
 impl LoadgenReport {
@@ -140,6 +151,11 @@ impl LoadgenReport {
             ("p99_us", Json::Num(self.p99_us)),
             ("max_us", Json::Num(self.max_us)),
             ("size_bytes", Json::Int(self.size_bytes)),
+            ("kern_merge", Json::Int(self.kern_merge)),
+            ("kern_gallop", Json::Int(self.kern_gallop)),
+            ("kern_bitmap_probe", Json::Int(self.kern_bitmap_probe)),
+            ("kern_word_and", Json::Int(self.kern_word_and)),
+            ("elems_scanned", Json::Int(self.elems_scanned)),
         ])
     }
 
@@ -149,7 +165,8 @@ impl LoadgenReport {
             "{} requests in {:.2}s over {} threads against {}\n\
              throughput  {:.0} req/s\n\
              latency     p50 {:.0}µs | p95 {:.0}µs | p99 {:.0}µs | max {:.0}µs\n\
-             outcomes    ok {} | hits {} | rejected {} | missing {} | errors {}",
+             outcomes    ok {} | hits {} | rejected {} | missing {} | errors {}\n\
+             kernels     merge {} | gallop {} | bitmap-probe {} | word-AND {} | scanned {}",
             self.requests,
             self.elapsed_s,
             self.threads,
@@ -163,7 +180,12 @@ impl LoadgenReport {
             self.hits,
             self.rejected,
             self.missing,
-            self.errors
+            self.errors,
+            self.kern_merge,
+            self.kern_gallop,
+            self.kern_bitmap_probe,
+            self.kern_word_and,
+            self.elems_scanned
         )
     }
 }
@@ -204,6 +226,58 @@ impl Connection {
     }
 }
 
+/// Conjunction-planner kernel counters scraped from a STATS reply.
+/// Servers predating the planner simply omit the keys; every field
+/// then reads 0 and the report shows an all-zero kernel mix.
+#[derive(Debug, Clone, Copy, Default)]
+struct KernelCounters {
+    merge: u64,
+    gallop: u64,
+    bitmap_probe: u64,
+    word_and: u64,
+    scanned: u64,
+}
+
+impl KernelCounters {
+    fn from_stats(pairs: &[(String, String)]) -> KernelCounters {
+        let get = |key: &str| -> u64 {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(0)
+        };
+        KernelCounters {
+            merge: get("kern_merge"),
+            gallop: get("kern_gallop"),
+            bitmap_probe: get("kern_bitmap_probe"),
+            word_and: get("kern_word_and"),
+            scanned: get("elems_scanned"),
+        }
+    }
+
+    /// Counter delta since `earlier` (saturating: a restarted server
+    /// yields zeros, not nonsense).
+    fn since(&self, earlier: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            merge: self.merge.saturating_sub(earlier.merge),
+            gallop: self.gallop.saturating_sub(earlier.gallop),
+            bitmap_probe: self.bitmap_probe.saturating_sub(earlier.bitmap_probe),
+            word_and: self.word_and.saturating_sub(earlier.word_and),
+            scanned: self.scanned.saturating_sub(earlier.scanned),
+        }
+    }
+}
+
+/// One STATS round-trip for its kernel counters only.
+fn fetch_kernels(addr: &str) -> Result<KernelCounters, String> {
+    let mut conn = Connection::open(addr)?;
+    match conn.call("STATS")? {
+        Response::Stats(pairs) => Ok(KernelCounters::from_stats(&pairs)),
+        other => Err(format!("expected STATS, got {other:?}")),
+    }
+}
+
 /// Server facts loadgen needs before it can generate a workload.
 struct ServerInfo {
     method: String,
@@ -212,6 +286,8 @@ struct ServerInfo {
     domain_min: u64,
     domain_max: u64,
     terms: Vec<String>,
+    /// Kernel counters at discovery time — the "before" snapshot.
+    kernels: KernelCounters,
 }
 
 fn discover(addr: &str) -> Result<ServerInfo, String> {
@@ -234,6 +310,7 @@ fn discover(addr: &str) -> Result<ServerInfo, String> {
             Some((lo.parse().ok()?, hi.parse().ok()?))
         })
         .ok_or("STATS lacks domain")?;
+    let kernels = KernelCounters::from_stats(&stats);
     let terms = match conn.call("ELEMS 256")? {
         Response::Elems(terms) => terms,
         other => return Err(format!("expected ELEMS, got {other:?}")),
@@ -248,6 +325,7 @@ fn discover(addr: &str) -> Result<ServerInfo, String> {
         domain_min,
         domain_max,
         terms,
+        kernels,
     })
 }
 
@@ -383,6 +461,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
     let issued = histogram.count();
+    // Second STATS snapshot: the delta is the kernel work this run drove.
+    // A server that died mid-run already surfaced as transport errors, so
+    // a failed snapshot degrades to zeros instead of failing the report.
+    let kernels = fetch_kernels(&cfg.addr)
+        .map(|after| after.since(&info.kernels))
+        .unwrap_or_default();
 
     Ok(LoadgenReport {
         requests: issued,
@@ -400,6 +484,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         method: info.method.clone(),
         size_bytes: info.size_bytes,
         threads: cfg.threads,
+        kern_merge: kernels.merge,
+        kern_gallop: kernels.gallop,
+        kern_bitmap_probe: kernels.bitmap_probe,
+        kern_word_and: kernels.word_and,
+        elems_scanned: kernels.scanned,
     })
 }
 

@@ -19,7 +19,7 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use tir_core::{ObjectId, TemporalIrIndex, TimeTravelQuery};
+use tir_core::{ObjectId, QueryScratch, TemporalIrIndex, TimeTravelQuery};
 
 use crate::epoch::{EpochStore, Rejected};
 
@@ -166,6 +166,9 @@ fn worker_loop<I>(rx: &Receiver<Job>, store: &EpochStore<I>, stats: &PoolStats, 
 where
     I: TemporalIrIndex + Clone + Send + Sync + 'static,
 {
+    // Per-worker reusable arena: after warm-up, the only steady-state
+    // allocation per query is the reply vector handed to the client.
+    let mut scratch = QueryScratch::default();
     while let Ok(first) = rx.recv() {
         let mut batch = vec![first];
         while batch.len() < max_batch {
@@ -182,7 +185,8 @@ where
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
         for job in batch {
-            let ids = snap.index.query(&job.query);
+            let mut ids: Vec<ObjectId> = Vec::new();
+            snap.index.query_into(&job.query, &mut scratch, &mut ids);
             // analyze:allow(atomic-ordering): monotonic stat counter; replies synchronize via the channel
             stats.served.fetch_add(1, Ordering::Relaxed);
             // A client that hung up before its answer is not an error.

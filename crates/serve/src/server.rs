@@ -347,6 +347,19 @@ where
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect();
+            // Conjunction-planner kernel mix (process-wide totals): lets
+            // loadgen and CI spot kernel-selection regressions.
+            let kstats = tir_invidx::global_stats();
+            let mut pairs = pairs;
+            for (k, v) in [
+                ("kern_merge", kstats.merge_steps),
+                ("kern_gallop", kstats.gallop_steps),
+                ("kern_bitmap_probe", kstats.bitmap_probe_steps),
+                ("kern_word_and", kstats.word_and_steps),
+                ("elems_scanned", kstats.scanned),
+            ] {
+                pairs.push((k.to_string(), v.to_string()));
+            }
             Response::Stats(pairs)
         }
         Request::Elems { n } => {
