@@ -3,12 +3,16 @@
 //! A from-scratch, dependency-free static-analysis engine for the
 //! temporal-ir workspace. It replaces the PR 1 substring scanner with a
 //! real Rust [`lexer`] (strings, raw strings, char literals, nested
-//! comments, raw identifiers) and a rule framework producing
-//! `path:line:col` diagnostics with per-site
+//! comments, raw identifiers), a lightweight item/function [`parser`]
+//! layered on it, a workspace-wide [`callgraph`] with suffix-based name
+//! resolution, and a [`reach`]ability engine — feeding a rule framework
+//! that produces `path:line:col` diagnostics with per-site
 //! `// analyze:allow(rule-name)` suppressions (see [`source`] for the
 //! exact syntax and extents).
 //!
 //! ## Rule catalog
+//!
+//! Token-local rules, judged per file:
 //!
 //! | rule | fires on |
 //! |------|----------|
@@ -18,6 +22,15 @@
 //! | `panic-path` | `.unwrap()`, `todo!`, `unimplemented!`, `dbg!`, `panic!`, message-less `.expect()` in library code |
 //! | `unguarded-cast` | narrowing `as` casts in hot-path crates without a fits-proof annotation |
 //! | `unbounded-channel` | `std::sync::mpsc::channel()` (no backpressure) |
+//! | `blocking-under-lock` | channel/thread/socket/I-O waits or nested acquisitions inside a lock-held region |
+//!
+//! Whole-program rules, judged over the workspace call graph in
+//! [`Analysis::finish`]:
+//!
+//! | rule | fires on |
+//! |------|----------|
+//! | `hot-path-alloc` | allocating APIs reachable from `query_into` / planner kernels, outside declared scratch arenas |
+//! | `panic-reachability` | panicking calls reachable from the serve accept loop / worker pool, with the full call chain |
 //!
 //! `#[cfg(test)]` items are exempt from every rule. The driver is
 //! `cargo xtask analyze` (part of `cargo xtask lint`); the old
@@ -36,36 +49,98 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
+pub mod reach;
 pub mod rules;
 pub mod source;
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 pub use diag::Diagnostic;
 pub use source::SourceFile;
 
+use callgraph::CallGraph;
+use parser::FnDef;
 use rules::lock_order::LockGraph;
+use source::Allow;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Config {
     /// Crates the `unguarded-cast` rule applies to (`None` = every
     /// crate). The workspace gate restricts it to the hot-path crates
     /// `hint`, `invidx`, `core`, where a silent truncation corrupts
     /// query answers.
     pub cast_crates: Option<Vec<String>>,
+    /// Function names whose bodies root the `hot-path-alloc`
+    /// reachability walk: the `query_into` implementations and the
+    /// planner kernels.
+    pub hot_path_roots: Vec<String>,
+    /// Call names the hot-path walk does not traverse. `query` by
+    /// default: the `TemporalIrIndex` default `query_into` delegates to
+    /// the allocating cold-path `query`.
+    pub hot_path_cuts: Vec<String>,
+    /// Type names declared as scratch arenas: their impls are exempt
+    /// from `hot-path-alloc`, and receivers rooted in them may grow.
+    pub scratch_arenas: Vec<String>,
+    /// Substrings of parameter types that mark a binding as a legal
+    /// growth sink (caller-owned output buffers, arena borrows).
+    pub growth_sinks: Vec<String>,
+    /// Function names rooting the `panic-reachability` walk: the serve
+    /// accept loop and the worker pool's thread body.
+    pub serve_roots: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect();
+        Config {
+            cast_crates: None,
+            hot_path_roots: s(&[
+                "query_into",
+                "intersect_merge_into",
+                "intersect_gallop_into",
+                "intersect_adaptive_into",
+                "mark_hits",
+                "intersect_ids_into",
+            ]),
+            hot_path_cuts: s(&["query"]),
+            scratch_arenas: s(&["QueryScratch"]),
+            growth_sinks: s(&["QueryScratch", "Vec", "String"]),
+            serve_roots: s(&["accept_loop", "worker_loop"]),
+        }
+    }
+}
+
+/// Everything [`Analysis::finish_report`] returns: the inputs seen, the
+/// suppression inventory, and the sorted findings — the payload of
+/// `cargo xtask analyze --json`.
+pub struct Report {
+    /// Number of files fed to the session.
+    pub files: usize,
+    /// Count of `analyze:allow` annotations per rule name across all
+    /// files — the audit surface a reviewer diffs against the baseline.
+    pub allows: BTreeMap<String, usize>,
+    /// Every diagnostic, sorted by path/line/column/rule.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 /// The analysis session: feed files with [`Analysis::add_file`], collect
-/// everything with [`Analysis::finish`]. Per-file rules run immediately;
-/// `lock-order` accumulates a graph per crate and is resolved at the end.
+/// everything with [`Analysis::finish`]. Token-local rules run
+/// immediately; `lock-order` cycles and the whole-program rules
+/// (`hot-path-alloc`, `panic-reachability`) resolve at the end, once
+/// the complete call graph exists.
 pub struct Analysis {
     config: Config,
     diags: Vec<Diagnostic>,
     graphs: HashMap<String, LockGraph>,
     files: usize,
+    fns: Vec<FnDef>,
+    allows_by_path: HashMap<String, Vec<Allow>>,
+    allow_counts: BTreeMap<String, usize>,
 }
 
 impl Analysis {
@@ -76,6 +151,9 @@ impl Analysis {
             diags: Vec::new(),
             graphs: HashMap::new(),
             files: 0,
+            fns: Vec::new(),
+            allows_by_path: HashMap::new(),
+            allow_counts: BTreeMap::new(),
         }
     }
 
@@ -84,8 +162,10 @@ impl Analysis {
         self.files
     }
 
-    /// Lexes `text` and runs every applicable rule. `krate` groups files
-    /// for the lock-order graph; `path` is what diagnostics report.
+    /// Lexes `text` and runs every applicable per-file rule, retaining
+    /// the parsed functions and suppressions for the whole-program
+    /// passes. `krate` groups files for the lock-order graph; `path` is
+    /// what diagnostics report.
     pub fn add_file(&mut self, krate: &str, path: &str, text: &str) {
         self.files += 1;
         let file = SourceFile::parse(path, text);
@@ -95,6 +175,7 @@ impl Analysis {
         raw.extend(rules::atomic_ordering::check(&file));
         raw.extend(rules::raw_lock::check(&file));
         raw.extend(rules::channel::check(&file));
+        raw.extend(rules::blocking_under_lock::check(&file));
         let cast_applies = match &self.config.cast_crates {
             None => true,
             Some(list) => list.iter().any(|c| c == krate),
@@ -113,22 +194,52 @@ impl Analysis {
 
         let graph = self.graphs.entry(krate.to_string()).or_default();
         self.diags.extend(graph.add_file(&file));
+
+        self.fns.extend(parser::parse_fns(krate, &file));
+        for a in &file.allows {
+            *self.allow_counts.entry(a.rule.clone()).or_insert(0) += 1;
+        }
+        self.allows_by_path.insert(path.to_string(), file.allows);
     }
 
-    /// Resolves the per-crate lock graphs and returns every diagnostic,
-    /// sorted by path/line/column.
-    pub fn finish(mut self) -> Vec<Diagnostic> {
+    /// Resolves the per-crate lock graphs, builds the workspace call
+    /// graph, runs the whole-program rules, and returns the full
+    /// [`Report`], diagnostics sorted by path/line/column.
+    pub fn finish_report(mut self) -> Report {
         let mut crates: Vec<&String> = self.graphs.keys().collect();
         crates.sort();
-        let mut cycle_diags = Vec::new();
+        let mut late_diags = Vec::new();
         for krate in crates {
-            cycle_diags.extend(self.graphs[krate].check_cycles(krate));
+            late_diags.extend(self.graphs[krate].check_cycles(krate));
         }
-        self.diags.extend(cycle_diags);
+
+        let graph = CallGraph::build(std::mem::take(&mut self.fns));
+        late_diags.extend(rules::hot_path_alloc::check(
+            &graph,
+            &self.allows_by_path,
+            &self.config,
+        ));
+        late_diags.extend(rules::panic_reach::check(
+            &graph,
+            &self.allows_by_path,
+            &self.config,
+        ));
+
+        self.diags.extend(late_diags);
         self.diags.sort_by(|a, b| {
             (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
         });
-        self.diags
+        Report {
+            files: self.files,
+            allows: self.allow_counts,
+            diagnostics: self.diags,
+        }
+    }
+
+    /// [`Analysis::finish_report`] for callers that only want the
+    /// diagnostics.
+    pub fn finish(self) -> Vec<Diagnostic> {
+        self.finish_report().diagnostics
     }
 }
 

@@ -1,0 +1,605 @@
+//! A lightweight item/function parser layered on the [`crate::lexer`].
+//!
+//! This is deliberately not a full Rust grammar: the whole-program rules
+//! need exactly three structural facts that token-local scanning cannot
+//! provide —
+//!
+//! 1. **function boundaries**: every `fn` item with its name, signature
+//!    parameters, and brace-matched body token range;
+//! 2. **ownership**: which `impl`/`trait` block a function lives in, so
+//!    `QueryScratch::intersect` is distinguishable from a free
+//!    `intersect` and scratch-arena impls can be allowlisted wholesale;
+//! 3. **call sites**: every `callee(…)`, `recv.callee(…)`,
+//!    `Qual::callee(…)`, and `mac!(…)` inside a body, with enough
+//!    context (qualifier, receiver-chain root) for suffix-based
+//!    resolution in [`crate::callgraph`].
+//!
+//! The parser runs on the prepared [`SourceFile`] token stream, so
+//! `#[cfg(test)]` items are already stripped and string/comment contents
+//! can never masquerade as code. Closures are not separate functions:
+//! their calls attribute to the enclosing `fn`, which is the right model
+//! for reachability (the closure runs when the function runs, or is
+//! spawned by it).
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// One parsed function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`self` for any self form; the last pattern ident
+    /// otherwise, which covers `mut x: T` and simple tuple patterns).
+    pub name: String,
+    /// The declared type as space-joined token text (`& mut QueryScratch`).
+    pub ty: String,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Crate the file belongs to (the analysis grouping key).
+    pub krate: String,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any (`QueryScratch` for
+    /// `impl QueryScratch { fn intersect … }`).
+    pub owner: Option<String>,
+    /// 1-based line of the function name.
+    pub line: u32,
+    /// 1-based column of the function name.
+    pub col: u32,
+    /// Parsed signature parameters.
+    pub params: Vec<Param>,
+    /// The body tokens, including the outer braces. Empty for bodyless
+    /// trait-method declarations.
+    pub tokens: Vec<Token>,
+}
+
+impl FnDef {
+    /// `Owner::name` when owned, plain `name` otherwise — for diagnostics.
+    pub fn qual_name(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (method or function name; macro name for macros).
+    pub name: String,
+    /// `Some("Vec")` for `Vec::new(…)` — the path segment right before
+    /// the final `::`.
+    pub qual: Option<String>,
+    /// For method calls, the first identifier of the receiver chain
+    /// (`scratch` in `scratch.cands.push(…)`); `None` when the receiver
+    /// is a computed expression.
+    pub recv_root: Option<String>,
+    /// Whether this is a method call (`recv.name(…)`).
+    pub is_method: bool,
+    /// Whether this is a macro invocation (`name!(…)`).
+    pub is_macro: bool,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// 1-based column of the callee name.
+    pub col: u32,
+}
+
+/// Keywords that look like `ident (` in the token stream but are not
+/// calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "as", "move", "loop", "else", "let", "ref",
+    "mut", "box", "unsafe", "break", "continue", "where", "impl", "dyn", "fn",
+];
+
+/// Parses every `fn` item in `file` (test items already stripped by
+/// [`SourceFile::parse`]), attributing each to its enclosing
+/// `impl`/`trait` block.
+pub fn parse_fns(krate: &str, file: &SourceFile) -> Vec<FnDef> {
+    let t = &file.tokens;
+    let mut out = Vec::new();
+    // Stack of (owner name, brace depth at which the owning block opened).
+    let mut owners: Vec<(Option<String>, i64)> = Vec::new();
+    let mut pending_owner: Option<Option<String>> = None;
+    let mut depth: i64 = 0;
+    let mut i = 0;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.is_punct('{') {
+            depth += 1;
+            if let Some(owner) = pending_owner.take() {
+                owners.push((owner, depth));
+            }
+            i += 1;
+            continue;
+        }
+        if tok.is_punct('}') {
+            depth -= 1;
+            while owners.last().is_some_and(|&(_, d)| d > depth) {
+                owners.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if tok.is_ident("impl") || tok.is_ident("trait") {
+            let (owner, at) = parse_owner_header(t, i + 1);
+            pending_owner = Some(owner);
+            i = at; // at the `{` (or wherever the header scan stopped)
+            continue;
+        }
+        if tok.is_ident("fn") {
+            let owner = owners.last().and_then(|(o, _)| o.clone());
+            if let Some((def, next)) = parse_fn(krate, file, t, i, owner) {
+                out.push(def);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scans an `impl`/`trait` header starting just past the keyword,
+/// returning the owning type name and the index of the body `{` (or the
+/// terminating `;`). For `impl Trait for Type` the type wins; generics
+/// and `where` clauses are skipped.
+fn parse_owner_header(t: &[Token], start: usize) -> (Option<String>, usize) {
+    let mut angle = 0i64;
+    let mut paren = 0i64;
+    let mut pre: Option<String> = None;
+    let mut post: Option<String> = None;
+    let mut saw_for = false;
+    let mut in_where = false;
+    let mut j = start;
+    while j < t.len() {
+        let tok = &t[j];
+        if tok.is_punct('<') {
+            angle += 1;
+        } else if tok.is_punct('>') {
+            angle -= 1;
+        } else if tok.is_punct('(') {
+            paren += 1;
+        } else if tok.is_punct(')') {
+            paren -= 1;
+        } else if (tok.is_punct('{') || tok.is_punct(';')) && angle <= 0 && paren == 0 {
+            break;
+        } else if tok.kind == TokenKind::Ident && angle <= 0 && paren == 0 && !in_where {
+            if tok.is_ident("for") {
+                saw_for = true;
+            } else if tok.is_ident("where") {
+                in_where = true;
+            } else if saw_for {
+                // First path segment after `for` is enough to name the
+                // type; later segments of `a::b::Type` refine it.
+                post = Some(tok.text.clone());
+                in_where = followed_by_where(t, j);
+                if !in_where {
+                    post = last_path_segment(t, j);
+                }
+            } else {
+                pre = last_path_segment(t, j);
+            }
+        }
+        j += 1;
+    }
+    (post.or(pre), j)
+}
+
+/// From an ident at `j`, walks a `a::b::c` path forward and returns the
+/// final segment.
+fn last_path_segment(t: &[Token], j: usize) -> Option<String> {
+    let mut k = j;
+    loop {
+        let next_is_path = t.get(k + 1).is_some_and(|x| x.is_punct(':'))
+            && t.get(k + 2).is_some_and(|x| x.is_punct(':'))
+            && t.get(k + 3).is_some_and(|x| x.kind == TokenKind::Ident);
+        if next_is_path {
+            k += 3;
+        } else {
+            return Some(t[k].text.clone());
+        }
+    }
+}
+
+fn followed_by_where(t: &[Token], j: usize) -> bool {
+    t.get(j + 1).is_some_and(|x| x.is_ident("where"))
+}
+
+/// Parses one `fn` starting at index `at` (the `fn` token). Returns the
+/// definition and the index to resume scanning from.
+fn parse_fn(
+    krate: &str,
+    file: &SourceFile,
+    t: &[Token],
+    at: usize,
+    owner: Option<String>,
+) -> Option<(FnDef, usize)> {
+    let name_tok = t.get(at + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let mut j = at + 2;
+    // Generic parameters: skip a balanced `<…>` group.
+    if t.get(j).is_some_and(|x| x.is_punct('<')) {
+        let mut angle = 0i64;
+        while j < t.len() {
+            if t[j].is_punct('<') {
+                angle += 1;
+            } else if t[j].is_punct('>') {
+                angle -= 1;
+                if angle == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Parameter list.
+    if !t.get(j).is_some_and(|x| x.is_punct('(')) {
+        return None;
+    }
+    let params_open = j;
+    let mut paren = 0i64;
+    while j < t.len() {
+        if t[j].is_punct('(') {
+            paren += 1;
+        } else if t[j].is_punct(')') {
+            paren -= 1;
+            if paren == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    let params_close = j;
+    let params = parse_params(
+        &t[params_open + 1..params_close.min(t.len())],
+        owner.as_deref(),
+    );
+    // Return type / where clause: scan to the body `{` or a `;`
+    // (trait-method declaration). Parenthesized groups in the return
+    // type are skipped; `->` introduces no braces in this codebase's
+    // signatures.
+    j = params_close + 1;
+    let mut paren = 0i64;
+    let mut body: Vec<Token> = Vec::new();
+    while j < t.len() {
+        let tok = &t[j];
+        if tok.is_punct('(') || tok.is_punct('[') {
+            paren += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') {
+            paren -= 1;
+        } else if tok.is_punct(';') && paren == 0 {
+            j += 1;
+            break;
+        } else if tok.is_punct('{') && paren == 0 {
+            let open = j;
+            let mut braces = 0i64;
+            while j < t.len() {
+                if t[j].is_punct('{') {
+                    braces += 1;
+                } else if t[j].is_punct('}') {
+                    braces -= 1;
+                    if braces == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            body = t[open..j].to_vec();
+            break;
+        }
+        j += 1;
+    }
+    Some((
+        FnDef {
+            krate: krate.to_string(),
+            path: file.path.clone(),
+            name: name_tok.text.clone(),
+            owner,
+            line: name_tok.line,
+            col: name_tok.col,
+            params,
+            tokens: body,
+        },
+        j,
+    ))
+}
+
+/// Splits a parameter token slice at top-level commas and extracts
+/// (name, type) per parameter.
+fn parse_params(t: &[Token], owner: Option<&str>) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0i64;
+    let mut start = 0usize;
+    let mut pieces: Vec<&[Token]> = Vec::new();
+    for (k, tok) in t.iter().enumerate() {
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('<') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('>') {
+            depth -= 1;
+        } else if tok.is_punct(',') && depth <= 0 {
+            pieces.push(&t[start..k]);
+            start = k + 1;
+        }
+    }
+    if start < t.len() {
+        pieces.push(&t[start..]);
+    }
+    for piece in pieces {
+        if piece.is_empty() {
+            continue;
+        }
+        // The colon separating pattern from type, at top level.
+        let mut depth = 0i64;
+        let mut colon: Option<usize> = None;
+        for (k, tok) in piece.iter().enumerate() {
+            if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('<') {
+                depth += 1;
+            } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('>') {
+                depth -= 1;
+            } else if tok.is_punct(':') && depth == 0 {
+                // `::` in a default-type path is two colon tokens; a
+                // pattern colon is a lone one.
+                let double = piece.get(k + 1).is_some_and(|x| x.is_punct(':'))
+                    || (k > 0 && piece[k - 1].is_punct(':'));
+                if !double {
+                    colon = Some(k);
+                    break;
+                }
+            }
+        }
+        match colon {
+            None => {
+                // A self form: `self`, `&self`, `&mut self`.
+                if piece.iter().any(|x| x.is_ident("self")) {
+                    params.push(Param {
+                        name: "self".to_string(),
+                        ty: owner.unwrap_or("Self").to_string(),
+                    });
+                }
+            }
+            Some(c) => {
+                let name = piece[..c]
+                    .iter()
+                    .rev()
+                    .find(|x| {
+                        x.kind == TokenKind::Ident && !x.is_ident("mut") && !x.is_ident("ref")
+                    })
+                    .map(|x| x.text.clone());
+                let ty = piece[c + 1..]
+                    .iter()
+                    .map(|x| x.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if let Some(name) = name {
+                    params.push(Param { name, ty });
+                }
+            }
+        }
+    }
+    params
+}
+
+/// Extracts every call site from a body token slice. See [`Call`] for
+/// the recognized forms.
+pub fn extract_calls(tokens: &[Token]) -> Vec<Call> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let tok = &tokens[i];
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        // Macro invocation: `name ! (` / `name ! [` / `name ! {`.
+        if next.is_punct('!')
+            && tokens
+                .get(i + 2)
+                .is_some_and(|d| d.is_punct('(') || d.is_punct('[') || d.is_punct('{'))
+        {
+            out.push(Call {
+                name: tok.text.clone(),
+                qual: None,
+                recv_root: None,
+                is_method: false,
+                is_macro: true,
+                line: tok.line,
+                col: tok.col,
+            });
+            continue;
+        }
+        if !next.is_punct('(') {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.iter().any(|k| tok.is_ident(k)) {
+            continue;
+        }
+        // `fn name(` is a definition (nested items / closures in bodies).
+        if i > 0 && tokens[i - 1].is_ident("fn") {
+            continue;
+        }
+        let is_method = i > 0 && tokens[i - 1].is_punct('.');
+        let qual = if !is_method
+            && i >= 3
+            && tokens[i - 1].is_punct(':')
+            && tokens[i - 2].is_punct(':')
+            && tokens[i - 3].kind == TokenKind::Ident
+        {
+            Some(tokens[i - 3].text.clone())
+        } else {
+            None
+        };
+        let recv_root = if is_method {
+            receiver_root(tokens, i - 1)
+        } else {
+            None
+        };
+        out.push(Call {
+            name: tok.text.clone(),
+            qual,
+            recv_root,
+            is_method,
+            is_macro: false,
+            line: tok.line,
+            col: tok.col,
+        });
+    }
+    out
+}
+
+/// Walks a `a.b.c.` receiver chain backwards from the `.` at `dot`,
+/// returning the chain's first identifier, or `None` when the receiver
+/// is a computed expression (`f().g(…)`, `x[0].g(…)`).
+fn receiver_root(tokens: &[Token], dot: usize) -> Option<String> {
+    let mut k = dot; // index of a `.` whose left side we inspect
+    loop {
+        if k == 0 {
+            return None;
+        }
+        let left = &tokens[k - 1];
+        if left.kind != TokenKind::Ident && left.kind != TokenKind::Number {
+            return None; // `)`, `]`, `?`, literal-free chains: computed
+        }
+        if k >= 2 && tokens[k - 2].is_punct('.') {
+            k -= 2;
+            continue;
+        }
+        return Some(left.text.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<FnDef> {
+        parse_fns("snippet", &SourceFile::parse("snippet.rs", src))
+    }
+
+    #[test]
+    fn free_and_impl_fns_with_owners() {
+        let fns = parse(
+            "fn free() {}\n\
+             impl QueryScratch {\n    fn intersect(&mut self, side: Postings<'_>) {}\n}\n\
+             impl fmt::Display for Diagnostic {\n    fn fmt(&self) {}\n}\n",
+        );
+        let names: Vec<(String, Option<String>)> = fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("intersect".into(), Some("QueryScratch".into())),
+                ("fmt".into(), Some("Diagnostic".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let fns = parse(
+            "impl<I: TemporalIrIndex + Clone> QueryPool<I> {\n    fn submit(&self) {}\n}\n\
+             impl<T> Deref for TrackedGuard<'_, T> {\n    fn deref(&self) -> &T { &self.inner }\n}\n",
+        );
+        assert_eq!(fns[0].owner.as_deref(), Some("QueryPool"));
+        assert_eq!(fns[1].owner.as_deref(), Some("TrackedGuard"));
+    }
+
+    #[test]
+    fn trait_blocks_own_default_methods() {
+        let fns = parse(
+            "pub trait TemporalIrIndex {\n    fn query(&self, q: &Q) -> Vec<u32>;\n    \
+             fn query_into(&self, q: &Q, out: &mut Vec<u32>) { out.extend(self.query(q)); }\n}\n",
+        );
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].owner.as_deref(), Some("TemporalIrIndex"));
+        assert!(fns[0].tokens.is_empty(), "declaration has no body");
+        assert!(!fns[1].tokens.is_empty(), "default method has a body");
+    }
+
+    #[test]
+    fn params_capture_names_and_types() {
+        let fns = parse(
+            "impl Tif {\n    fn query_into(&self, q: &TimeTravelQuery, scratch: &mut QueryScratch, out: &mut Vec<ObjectId>) {}\n}\n",
+        );
+        let p = &fns[0].params;
+        assert_eq!(p[0].name, "self");
+        assert_eq!(p[0].ty, "Tif");
+        assert_eq!(p[2].name, "scratch");
+        assert!(p[2].ty.contains("QueryScratch"), "{}", p[2].ty);
+        assert_eq!(p[3].name, "out");
+        assert!(p[3].ty.contains("Vec"), "{}", p[3].ty);
+    }
+
+    #[test]
+    fn nested_modules_keep_owner_attribution() {
+        let fns = parse(
+            "mod outer {\n    impl Widget {\n        fn inner(&self) {}\n    }\n    fn free_in_mod() {}\n}\n\
+             fn top() {}\n",
+        );
+        assert_eq!(fns[0].owner.as_deref(), Some("Widget"));
+        assert_eq!(fns[1].owner, None, "mod does not leak the impl owner");
+        assert_eq!(fns[2].owner, None);
+    }
+
+    #[test]
+    fn cfg_test_functions_are_invisible() {
+        let fns = parse(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    mod nested {\n        fn deeper() {}\n    }\n}\n",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "live");
+    }
+
+    #[test]
+    fn calls_with_quals_receivers_and_macros() {
+        let fns = parse(
+            "fn f(scratch: &mut QueryScratch) {\n    \
+             let v = Vec::new();\n    \
+             scratch.cands.push(1);\n    \
+             helper(2);\n    \
+             format!(\"x\");\n    \
+             self.store.snapshot().index.len();\n}\n",
+        );
+        let calls = extract_calls(&fns[0].tokens);
+        let find = |n: &str| calls.iter().find(|c| c.name == n).expect("call present");
+        assert_eq!(find("new").qual.as_deref(), Some("Vec"));
+        assert_eq!(find("push").recv_root.as_deref(), Some("scratch"));
+        assert!(find("push").is_method);
+        assert!(!find("helper").is_method);
+        assert!(find("format").is_macro);
+        // `.len()` follows `snapshot()` — a computed receiver.
+        assert_eq!(find("len").recv_root, None);
+        assert_eq!(find("snapshot").recv_root.as_deref(), Some("self"));
+    }
+
+    #[test]
+    fn closure_calls_attribute_to_enclosing_fn() {
+        let fns = parse(
+            "fn accept_loop() {\n    spawn(move || {\n        serve_connection(1);\n    });\n}\n",
+        );
+        let calls = extract_calls(&fns[0].tokens);
+        assert!(calls.iter().any(|c| c.name == "serve_connection"));
+    }
+
+    #[test]
+    fn bodyless_then_braced_items_resume_cleanly() {
+        let fns = parse(
+            "trait T {\n    fn a(&self);\n    fn b(&self) { marker(); }\n}\n\
+             fn after() {}\n",
+        );
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[2].name, "after");
+    }
+}

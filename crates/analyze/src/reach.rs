@@ -1,0 +1,144 @@
+//! Reachability over the [`crate::callgraph`], with provenance.
+//!
+//! A breadth-first traversal from a set of root functions, recording for
+//! every reached function the call edge it was first discovered through.
+//! That parent chain is what makes a whole-program diagnostic
+//! actionable: "allocating call reachable from `query_into`" is only
+//! fixable when the report shows *which* path gets there.
+//!
+//! `cuts` stops the traversal at calls by name: the `TemporalIrIndex`
+//! trait's default `query_into` delegates to the allocating cold-path
+//! `query`, and without cutting that edge every hot-path root would
+//! "reach" the entire cold path it exists to replace.
+
+use std::collections::VecDeque;
+
+use crate::callgraph::CallGraph;
+use crate::parser::Call;
+
+/// The result of one traversal.
+pub struct Reach {
+    /// `parent[id]` = the (caller id, call site) this function was first
+    /// reached through; `None` for roots and unreached functions.
+    parent: Vec<Option<(usize, Call)>>,
+    /// Reached function ids in BFS discovery order (roots first).
+    order: Vec<usize>,
+    visited: Vec<bool>,
+}
+
+impl Reach {
+    /// BFS from `roots`, not traversing calls whose name is in `cuts`.
+    pub fn compute(graph: &CallGraph, roots: &[usize], cuts: &[String]) -> Reach {
+        Reach::compute_filtered(graph, roots, cuts, &|_, _| false)
+    }
+
+    /// [`Reach::compute`] with a rule-supplied edge filter: `skip`
+    /// returning `true` for a (caller id, call site) pair prunes that
+    /// edge. `hot-path-alloc` uses it to stop growth calls on
+    /// arena-backed receivers (std container methods by construction)
+    /// from suffix-resolving to same-named workspace builders.
+    pub fn compute_filtered(
+        graph: &CallGraph,
+        roots: &[usize],
+        cuts: &[String],
+        skip: &dyn Fn(usize, &Call) -> bool,
+    ) -> Reach {
+        let n = graph.fns().len();
+        let mut r = Reach {
+            parent: vec![None; n],
+            order: Vec::new(),
+            visited: vec![false; n],
+        };
+        let mut queue = VecDeque::new();
+        for &root in roots {
+            if !r.visited[root] {
+                r.visited[root] = true;
+                r.order.push(root);
+                queue.push_back(root);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for call in graph.calls(id) {
+                if cuts.iter().any(|c| c == &call.name) || skip(id, call) {
+                    continue;
+                }
+                for target in graph.resolve(call) {
+                    if !r.visited[target] {
+                        r.visited[target] = true;
+                        r.parent[target] = Some((id, call.clone()));
+                        r.order.push(target);
+                        queue.push_back(target);
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Reached function ids, roots first, in discovery order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Whether function `id` was reached.
+    pub fn reached(&self, id: usize) -> bool {
+        self.visited.get(id).copied().unwrap_or(false)
+    }
+
+    /// The call chain from a root to `id`, rendered
+    /// `root (path:line) -> … -> fn (path:line)` for diagnostics.
+    pub fn chain(&self, graph: &CallGraph, id: usize) -> String {
+        let mut hops = Vec::new();
+        let mut cur = id;
+        loop {
+            let f = &graph.fns()[cur];
+            hops.push(format!("{} ({}:{})", f.qual_name(), f.path, f.line));
+            match &self.parent[cur] {
+                Some((caller, _)) => cur = *caller,
+                None => break,
+            }
+        }
+        hops.reverse();
+        hops.join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_fns;
+    use crate::source::SourceFile;
+
+    fn graph(src: &str) -> CallGraph {
+        CallGraph::build(parse_fns("snippet", &SourceFile::parse("snippet.rs", src)))
+    }
+
+    #[test]
+    fn transitive_reachability_with_chain() {
+        let g = graph(
+            "fn root() { mid(); }\n\
+             fn mid() { leaf(); }\n\
+             fn leaf() {}\n\
+             fn island() {}\n",
+        );
+        let r = Reach::compute(&g, &[g.named("root")[0]], &[]);
+        let leaf = g.named("leaf")[0];
+        assert!(r.reached(leaf));
+        assert!(!r.reached(g.named("island")[0]));
+        let chain = r.chain(&g, leaf);
+        assert!(chain.starts_with("root ("), "{chain}");
+        assert!(chain.ends_with("leaf (snippet.rs:3)"), "{chain}");
+    }
+
+    #[test]
+    fn cuts_stop_traversal_by_call_name() {
+        let g = graph(
+            "fn query_into(&self) { self.query(); }\n\
+             fn query() { cold_helper(); }\n\
+             fn cold_helper() {}\n",
+        );
+        let r = Reach::compute(&g, &[g.named("query_into")[0]], &[String::from("query")]);
+        assert!(!r.reached(g.named("query")[0]), "cut edge not traversed");
+        assert!(!r.reached(g.named("cold_helper")[0]));
+    }
+}

@@ -1,0 +1,62 @@
+//! `blocking-under-lock`: no blocking operation inside a lock-held
+//! region.
+//!
+//! A mutex in the serving stack guards microseconds of pointer work.
+//! The moment a holder blocks — a channel `recv`/`send`, a thread
+//! `join`, a `sleep`, socket or buffered I/O, or acquiring a *second*
+//! mutex — every other acquirer serializes behind an unbounded wait,
+//! and tail latency inherits whatever the blocked holder was waiting
+//! for. This rule extends the `lock-order` scanner's guard tracking
+//! (helper-form `lock(&x)` and method-form `x.lock()` acquisitions,
+//! `let`-bound vs statement-temporary guard lifetimes, early `drop`)
+//! from *acquisition pairs* to *held-region extents*: any blocking call
+//! made while at least one guard is live fires.
+//!
+//! Like `atomic-ordering`, a suppression must say why:
+//!
+//! ```text
+//! // analyze:allow(blocking-under-lock): bounded by the 1-slot ack channel; holder is the only sender
+//! let done = ack_rx.recv();
+//! ```
+//!
+//! A bare allow still fires — the annotation is the audit trail.
+
+use crate::diag::Diagnostic;
+use crate::rules::lock_order;
+use crate::source::SourceFile;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "blocking-under-lock";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for b in lock_order::scan_file(file).blocking {
+        let message = format!(
+            "{} while holding mutex `{}` (acquired at {}): blocking under a lock \
+             serializes every other acquirer; release the guard first or annotate \
+             `// analyze:allow({NAME}): <why the wait is bounded>`",
+            b.what, b.held_name, b.held_site
+        );
+        match file.allow(NAME, b.line) {
+            Some(allow) if !allow.justification.is_empty() => {}
+            Some(_) => out.push(
+                Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    b.line,
+                    b.col,
+                    format!(
+                        "analyze:allow({NAME}) requires a justification: \
+                         `// analyze:allow({NAME}): <why the wait is bounded>`"
+                    ),
+                )
+                .unsuppressible(),
+            ),
+            None => {
+                out.push(Diagnostic::new(NAME, &file.path, b.line, b.col, message).unsuppressible())
+            }
+        }
+    }
+    out
+}

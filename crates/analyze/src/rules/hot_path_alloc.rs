@@ -1,0 +1,282 @@
+//! `hot-path-alloc`: statically prove the zero-alloc query hot path.
+//!
+//! The adaptive-intersection PR made every `query_into` implementation
+//! depend on a runtime invariant — steady state allocates nothing but
+//! the reply vector — that nothing enforced; one stray `clone()` in a
+//! kernel silently erases the tIF speedup. This rule walks the
+//! workspace call graph from every hot-path root (`query_into`
+//! implementations and the planner kernels, [`crate::Config::hot_path_roots`])
+//! and flags any reachable allocating API.
+//!
+//! ## What counts as allocating
+//!
+//! * constructors: `Vec::new` / `with_capacity`, `Box::new`,
+//!   `String::new` / `from`, map/set constructors, `vec!`, `format!`;
+//! * allocating transforms: `.clone()`, `.to_vec()`, `.collect()`,
+//!   `.to_string()`, `.to_owned()`, `.concat()`, `.repeat()`, and the
+//!   allocating `.sort*()` family (`sort_unstable*` is exempt);
+//! * growth calls (`.push()`, `.extend*()`, `.resize()`, `.reserve()`,
+//!   …) — **unless** the receiver is arena-backed (below), because
+//!   growing a warmed-up arena buffer is exactly the amortized-to-zero
+//!   pattern the hot path is built on.
+//!
+//! `Arc::clone` / `Rc::clone` are refcount bumps, not allocations, and
+//! are exempt.
+//!
+//! ## The scratch-arena allowlist
+//!
+//! Types named in [`crate::Config::scratch_arenas`] (`QueryScratch` by
+//! default) are declared arenas: their `impl` blocks are exempt
+//! wholesale, and elsewhere a growth call is exempt when its receiver
+//! chain roots in arena-backed storage — `self` inside an arena impl, a
+//! parameter whose type mentions an arena or a caller-owned
+//! `Vec`/`String` sink ([`crate::Config::growth_sinks`]), or a local
+//! `let` whose initializer borrows/takes from a tainted binding
+//! (`let mut cands = std::mem::take(&mut scratch.cands)`).
+//!
+//! ## Traversal cuts
+//!
+//! Calls named in [`crate::Config::hot_path_cuts`] (`query` by default)
+//! are not traversed: the `TemporalIrIndex` default `query_into`
+//! delegates to the allocating cold-path `query`, which exists
+//! precisely to take the allocations the hot path must not.
+//!
+//! Escapes require a justification, `atomic-ordering` style: a bare
+//! `analyze:allow(hot-path-alloc)` still fires.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::parser::{Call, FnDef};
+use crate::reach::Reach;
+use crate::source::{allow_in, Allow};
+use crate::Config;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "hot-path-alloc";
+
+/// Call names that always allocate, receiver notwithstanding.
+const ALWAYS_ALLOC: &[&str] = &[
+    "clone",
+    "to_vec",
+    "collect",
+    "to_string",
+    "to_owned",
+    "into_owned",
+    "concat",
+    "repeat",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+
+/// Container/path qualifiers whose constructors allocate.
+const ALLOC_QUALS: &[&str] = &[
+    "Vec", "String", "Box", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque", "Arc", "Rc",
+];
+
+/// Constructor names checked against [`ALLOC_QUALS`].
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Growth calls: allocate only when the backing buffer is cold, so they
+/// are exempt on arena-backed receivers.
+const GROWTH: &[&str] = &[
+    "push",
+    "push_str",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "resize",
+    "reserve",
+    "reserve_exact",
+    "insert",
+];
+
+/// Runs the rule over the whole-workspace call graph.
+pub fn check(
+    graph: &CallGraph,
+    allows: &HashMap<String, Vec<Allow>>,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let roots: Vec<usize> = graph
+        .fns()
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| config.hot_path_roots.iter().any(|r| r == &f.name))
+        .map(|(i, _)| i)
+        .collect();
+    // Per-function taint sets, shared by the traversal filter and the
+    // per-site judgment below.
+    let tainted_all: Vec<HashSet<String>> = graph
+        .fns()
+        .iter()
+        .map(|f| tainted_idents(f, config))
+        .collect();
+    // A growth call on an arena-backed receiver is a std container
+    // method by construction — do not let it suffix-resolve into
+    // same-named workspace builders (`FlatBuilder::push` is build-time
+    // code, not hot-path code).
+    let skip = |caller: usize, call: &Call| -> bool {
+        GROWTH.iter().any(|g| *g == call.name)
+            && call
+                .recv_root
+                .as_ref()
+                .is_some_and(|r| tainted_all[caller].contains(r))
+    };
+    let reach = Reach::compute_filtered(graph, &roots, &config.hot_path_cuts, &skip);
+    let mut out = Vec::new();
+    for &id in reach.order() {
+        let f = &graph.fns()[id];
+        if f.owner
+            .as_deref()
+            .is_some_and(|o| config.scratch_arenas.iter().any(|a| a == o))
+        {
+            continue; // arena internals: the allowlisted allocator itself
+        }
+        let tainted = &tainted_all[id];
+        for call in graph.calls(id) {
+            let Some(what) = alloc_kind(call, tainted) else {
+                continue;
+            };
+            match allow_in(allows, &f.path, NAME, call.line) {
+                Some(allow) if !allow.justification.is_empty() => {}
+                Some(_) => out.push(
+                    Diagnostic::new(
+                        NAME,
+                        &f.path,
+                        call.line,
+                        call.col,
+                        format!(
+                            "analyze:allow({NAME}) requires a justification: \
+                             `// analyze:allow({NAME}): <why this allocation is acceptable>`"
+                        ),
+                    )
+                    .unsuppressible(),
+                ),
+                None => out.push(
+                    Diagnostic::new(
+                        NAME,
+                        &f.path,
+                        call.line,
+                        call.col,
+                        format!(
+                            "allocating call {what} on the zero-alloc query hot path; \
+                             reached via {}: route it through a declared scratch arena \
+                             ({:?}) or annotate `// analyze:allow({NAME}): <why>`",
+                            reach.chain(graph, id),
+                            config.scratch_arenas
+                        ),
+                    )
+                    .unsuppressible(),
+                ),
+            }
+        }
+    }
+    out
+}
+
+/// Classifies a call site; `Some(label)` when it allocates under the
+/// taint model described in the module docs.
+fn alloc_kind(call: &Call, tainted: &HashSet<String>) -> Option<String> {
+    if call.is_macro {
+        return ALLOC_MACROS
+            .iter()
+            .find(|m| **m == call.name)
+            .map(|m| format!("`{m}!`"));
+    }
+    if let Some(q) = &call.qual {
+        if (q == "Arc" || q == "Rc") && call.name == "clone" {
+            return None; // refcount bump, no allocation
+        }
+        if ALLOC_QUALS.iter().any(|a| a == q) && ALLOC_CTORS.iter().any(|c| *c == call.name) {
+            return Some(format!("`{q}::{}`", call.name));
+        }
+    }
+    if ALWAYS_ALLOC.iter().any(|a| *a == call.name) {
+        return Some(format!("`{}`", call.name));
+    }
+    if GROWTH.iter().any(|g| *g == call.name) {
+        let arena_backed = call.recv_root.as_ref().is_some_and(|r| tainted.contains(r));
+        if !arena_backed {
+            return Some(format!("`{}` on a non-arena receiver", call.name));
+        }
+    }
+    None
+}
+
+/// Identifiers in `f` that denote arena-backed storage: qualifying
+/// parameters, plus `let` bindings whose initializer mentions one
+/// (single forward pass — enough for the take/put-back idiom).
+fn tainted_idents(f: &FnDef, config: &Config) -> HashSet<String> {
+    let mut tainted: HashSet<String> = HashSet::new();
+    for p in &f.params {
+        let arena_self = p.name == "self" && config.scratch_arenas.contains(&p.ty);
+        let sink = config
+            .growth_sinks
+            .iter()
+            .any(|s| p.ty.contains(s.as_str()));
+        if arena_self || sink {
+            tainted.insert(p.name.clone());
+        }
+    }
+    let t = &f.tokens;
+    let mut i = 0;
+    while i < t.len() {
+        if !t[i].is_ident("let") {
+            i += 1;
+            continue;
+        }
+        // `if let` / `while let` bind through patterns, not initializer
+        // expressions, and their "statement" has no terminating `;` —
+        // skip them so the scan does not swallow the bindings that
+        // follow inside the block.
+        if i > 0 && (t[i - 1].is_ident("if") || t[i - 1].is_ident("while")) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if t.get(j).is_some_and(|x| x.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(name_tok) = t.get(j) else { break };
+        if name_tok.kind != crate::lexer::TokenKind::Ident {
+            i = j;
+            continue;
+        }
+        // Find `=` then scan the initializer to the statement's `;`.
+        let mut k = j + 1;
+        while k < t.len() && !t[k].is_punct('=') && !t[k].is_punct(';') {
+            k += 1;
+        }
+        if k < t.len() && t[k].is_punct('=') {
+            let mut depth = 0i64;
+            let mut rhs_tainted = false;
+            let mut m = k + 1;
+            while m < t.len() {
+                let tok = &t[m];
+                if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                    depth += 1;
+                } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+                    depth -= 1;
+                } else if tok.is_punct(';') && depth <= 0 {
+                    break;
+                } else if tok.kind == crate::lexer::TokenKind::Ident && tainted.contains(&tok.text)
+                {
+                    rhs_tainted = true;
+                }
+                m += 1;
+            }
+            if rhs_tainted {
+                tainted.insert(name_tok.text.clone());
+            }
+            i = m;
+        } else {
+            i = k;
+        }
+    }
+    tainted
+}

@@ -70,7 +70,7 @@ impl LockGraph {
     /// Immediate re-lock of a held name is reported straight away.
     pub fn add_file(&mut self, file: &SourceFile) -> Vec<Diagnostic> {
         let mut diags = Vec::new();
-        for acq in scan_functions(file) {
+        for acq in scan_file(file).pairs {
             let AcquisitionPair { held, acquired } = acq;
             if held.name == acquired.name {
                 diags.push(Diagnostic::new(
@@ -186,24 +186,83 @@ struct Held {
     var: Option<String>,
     /// Brace depth at binding; the guard dies when depth drops below.
     depth: i64,
+    /// Acquired at a site with a `lock-order` allow: kept out of the
+    /// acquisition graph on both sides, but still a held region for the
+    /// blocking scan.
+    suppressed: bool,
 }
 
-struct AcquisitionPair {
-    held: HeldRef,
-    acquired: HeldRef,
+pub(crate) struct AcquisitionPair {
+    pub(crate) held: HeldRef,
+    pub(crate) acquired: HeldRef,
 }
 
-struct HeldRef {
-    name: String,
-    site: Site,
+pub(crate) struct HeldRef {
+    pub(crate) name: String,
+    pub(crate) site: Site,
 }
+
+/// A potentially blocking operation observed while at least one lock
+/// guard was live — the raw material of the `blocking-under-lock` rule.
+pub(crate) struct BlockingSite {
+    /// What blocked: the call name, or `acquiring mutex `x`` for a
+    /// nested lock acquisition.
+    pub(crate) what: String,
+    /// Name of the (first-acquired still-held) mutex.
+    pub(crate) held_name: String,
+    /// Where that mutex was acquired.
+    pub(crate) held_site: Site,
+    /// 1-based line of the blocking call.
+    pub(crate) line: u32,
+    /// 1-based column of the blocking call.
+    pub(crate) col: u32,
+}
+
+/// Everything one pass over a file's functions yields: held-across
+/// acquisition pairs (for the lock graph) and blocking calls made while
+/// holding a guard (for `blocking-under-lock`).
+pub(crate) struct FileScan {
+    pub(crate) pairs: Vec<AcquisitionPair>,
+    pub(crate) blocking: Vec<BlockingSite>,
+}
+
+/// Method names that can block the calling thread: channel operations,
+/// thread joins/parking, socket syscalls, and buffered I/O. A call to
+/// any of these while a mutex guard is live serializes every other
+/// acquirer behind an unbounded wait.
+const BLOCKING_CALLS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "send",
+    "join",
+    "sleep",
+    "park",
+    "park_timeout",
+    "wait",
+    "wait_timeout",
+    "accept",
+    "connect",
+    "read_line",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+    "write_all",
+    "write_fmt",
+    "flush",
+    "copy",
+];
 
 /// Walks every `fn` body in the file, yielding a (held, acquired) pair
-/// for each acquisition made while another guard is live. Sites carrying
-/// `analyze:allow(lock-order)` are excluded from the graph entirely.
-fn scan_functions(file: &SourceFile) -> Vec<AcquisitionPair> {
+/// for each acquisition made while another guard is live, plus every
+/// blocking call made in a lock-held region. Acquisition sites carrying
+/// `analyze:allow(lock-order)` are excluded from the graph (but still
+/// tracked as held, so the blocking scan stays sound).
+pub(crate) fn scan_file(file: &SourceFile) -> FileScan {
     let t = &file.tokens;
-    let mut pairs = Vec::new();
+    let mut scan = FileScan {
+        pairs: Vec::new(),
+        blocking: Vec::new(),
+    };
     let mut i = 0;
     while i < t.len() {
         if t[i].is_ident("fn") {
@@ -224,7 +283,7 @@ fn scan_functions(file: &SourceFile) -> Vec<AcquisitionPair> {
                 j += 1;
             }
             if j < t.len() && t[j].is_punct('{') {
-                let end = scan_body(file, j, &mut pairs);
+                let end = scan_body(file, j, &mut scan);
                 i = end;
                 continue;
             }
@@ -233,12 +292,12 @@ fn scan_functions(file: &SourceFile) -> Vec<AcquisitionPair> {
         }
         i += 1;
     }
-    pairs
+    scan
 }
 
 /// Processes one brace-matched body starting at the `{` at `open`;
 /// returns the index just past the matching `}`.
-fn scan_body(file: &SourceFile, open: usize, pairs: &mut Vec<AcquisitionPair>) -> usize {
+fn scan_body(file: &SourceFile, open: usize, scan: &mut FileScan) -> usize {
     let t = &file.tokens;
     let mut depth = 0i64;
     let mut held: Vec<Held> = Vec::new();
@@ -283,9 +342,20 @@ fn scan_body(file: &SourceFile, open: usize, pairs: &mut Vec<AcquisitionPair>) -
                 col: t[acq.name_idx].col,
             };
             let suppressed = file.allow(NAME, site.line).is_some();
+            if let Some(h) = held.first() {
+                // A nested acquisition is also a blocking operation:
+                // the inner lock's wait happens with the outer held.
+                scan.blocking.push(BlockingSite {
+                    what: format!("acquiring mutex `{}`", acq.mutex),
+                    held_name: h.name.clone(),
+                    held_site: h.site.clone(),
+                    line: site.line,
+                    col: site.col,
+                });
+            }
             if !suppressed {
-                for h in &held {
-                    pairs.push(AcquisitionPair {
+                for h in held.iter().filter(|h| !h.suppressed) {
+                    scan.pairs.push(AcquisitionPair {
                         held: HeldRef {
                             name: h.name.clone(),
                             site: h.site.clone(),
@@ -296,14 +366,35 @@ fn scan_body(file: &SourceFile, open: usize, pairs: &mut Vec<AcquisitionPair>) -
                         },
                     });
                 }
-                held.push(Held {
-                    name: acq.mutex,
-                    site,
-                    var: acq.bound_var,
-                    depth,
-                });
             }
+            // Track the guard either way, so a lock-order allow does
+            // not blind the blocking scan to the held region.
+            held.push(Held {
+                name: acq.mutex,
+                site,
+                var: acq.bound_var,
+                depth,
+                suppressed,
+            });
             i = acq.resume;
+            continue;
+        }
+        // Blocking call in a held region: `recv.name(` or a bare
+        // `sleep(…)`-style free call.
+        if !held.is_empty()
+            && tok.kind == crate::lexer::TokenKind::Ident
+            && t.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && BLOCKING_CALLS.iter().any(|b| tok.is_ident(b))
+        {
+            let h = &held[0];
+            scan.blocking.push(BlockingSite {
+                what: format!("`{}`", tok.text),
+                held_name: h.name.clone(),
+                held_site: h.site.clone(),
+                line: tok.line,
+                col: tok.col,
+            });
+            i += 1;
             continue;
         }
         i += 1;

@@ -4,10 +4,13 @@
 //! [`lock_order::LockGraph`]).
 
 pub mod atomic_ordering;
+pub mod blocking_under_lock;
 pub mod cast;
 pub mod channel;
+pub mod hot_path_alloc;
 pub mod lock_order;
 pub mod panic_path;
+pub mod panic_reach;
 pub mod raw_lock;
 
 /// Names of every shipped rule, for reporting.
@@ -18,4 +21,7 @@ pub const RULE_NAMES: &[&str] = &[
     panic_path::NAME,
     cast::NAME,
     channel::NAME,
+    blocking_under_lock::NAME,
+    hot_path_alloc::NAME,
+    panic_reach::NAME,
 ];

@@ -74,6 +74,22 @@ impl SourceFile {
     }
 }
 
+/// The innermost allow for `rule` covering `line` of `path`, out of a
+/// per-path allow map — the whole-program rules' counterpart of
+/// [`SourceFile::allow`] (they run after the per-file pass, against
+/// retained annotations).
+pub fn allow_in<'a>(
+    allows: &'a std::collections::HashMap<String, Vec<Allow>>,
+    path: &str,
+    rule: &str,
+    line: u32,
+) -> Option<&'a Allow> {
+    allows
+        .get(path)?
+        .iter()
+        .find(|a| a.rule == rule && (a.from_line..=a.to_line).contains(&line))
+}
+
 /// Removes every item annotated `#[cfg(test)]` from the token stream
 /// (the repo convention keeps unit tests in a trailing `mod tests`).
 /// Only the exact form `cfg(test)` matches — `cfg(not(test))` is live

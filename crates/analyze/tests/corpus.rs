@@ -158,9 +158,14 @@ impl S {
 
 #[test]
 fn lock_order_fires_on_inversion() {
-    let diags = analyze_snippet(INVERSION);
+    // Nested acquisitions also fire blocking-under-lock (each inner
+    // lock waits while the outer is held); the cycle itself is one
+    // lock-order diagnostic.
+    let diags: Vec<_> = analyze_snippet(INVERSION)
+        .into_iter()
+        .filter(|d| d.rule == "lock-order")
+        .collect();
     assert_eq!(diags.len(), 1, "{diags:?}");
-    assert_eq!(diags[0].rule, "lock-order");
     assert!(diags[0].message.contains("alpha"), "{}", diags[0].message);
     assert!(diags[0].message.contains("beta"));
     assert!(
@@ -186,7 +191,9 @@ impl S {
     }
 }
 ";
-    assert!(rules_fired(src).is_empty());
+    // Consistent order: no cycle, so lock-order stays silent. The
+    // nested held regions still surface as blocking-under-lock.
+    assert_eq!(rules_fired(src), ["blocking-under-lock"]);
 }
 
 #[test]
@@ -197,7 +204,10 @@ fn f(s: &S) {
     let again = lock(&s.alpha);
 }
 ";
-    let diags = analyze_snippet(src);
+    let diags: Vec<_> = analyze_snippet(src)
+        .into_iter()
+        .filter(|d| d.rule == "lock-order")
+        .collect();
     assert_eq!(diags.len(), 1, "{diags:?}");
     assert!(diags[0].message.contains("re-locked"));
 }
@@ -227,7 +237,7 @@ fn lock_order_temporaries_live_for_one_statement() {
     // Two temporaries in one statement DO order against each other…
     let one_stmt = "fn f(s: &S) { use_both(lock(&s.alpha), lock(&s.beta)); }\n\
                     fn g(s: &S) { use_both(lock(&s.beta), lock(&s.alpha)); }";
-    assert_eq!(rules_fired(one_stmt), ["lock-order"]);
+    assert_eq!(rules_fired(one_stmt), ["blocking-under-lock", "lock-order"]);
     // …but a temporary does not leak into the next statement.
     let two_stmts = "fn f(s: &S) { use_one(lock(&s.alpha)); use_one(lock(&s.beta)); }\n\
                      fn g(s: &S) { use_one(lock(&s.beta)); use_one(lock(&s.alpha)); }";
@@ -271,7 +281,8 @@ impl S {
     }
 }
 ";
-    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+    let fired = rules_fired(src);
+    assert!(!fired.contains(&"lock-order"), "{:?}", analyze_snippet(src));
 }
 
 // ------------------------------------------------------------ unguarded-cast
@@ -298,6 +309,7 @@ fn cast_scoped_to_configured_crates() {
     let src = "fn f(n: usize) -> u32 { n as u32 }";
     let mut a = Analysis::new(Config {
         cast_crates: Some(vec!["hint".into()]),
+        ..Config::default()
     });
     a.add_file("serve", "serve/lib.rs", src);
     a.add_file("hint", "hint/lib.rs", src);
@@ -353,4 +365,281 @@ fn files_seen_counts() {
     a.add_file("x", "b.rs", "fn b() {}");
     assert_eq!(a.files_seen(), 2);
     assert!(a.finish().is_empty());
+}
+
+// ------------------------------------------------------ blocking-under-lock
+
+#[test]
+fn blocking_fires_on_recv_while_holding() {
+    let src = "fn f(s: &S, rx: &Receiver<u32>) {\n    let g = lock(&s.state);\n    let x = rx.recv();\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["blocking-under-lock"]);
+    assert!(diags[0].message.contains("`recv`"), "{}", diags[0].message);
+    assert!(diags[0].message.contains("state"), "{}", diags[0].message);
+}
+
+#[test]
+fn blocking_fires_on_sleep_and_io_while_holding() {
+    for call in [
+        "thread::sleep(d)",
+        "handle.join()",
+        "reader.read_line(&mut buf)",
+    ] {
+        let src = format!("fn f(s: &S) {{\n    let g = lock(&s.state);\n    {call};\n}}\n");
+        assert_eq!(rules_fired(&src), ["blocking-under-lock"], "{call}");
+    }
+}
+
+#[test]
+fn blocking_fires_on_nested_acquisition() {
+    let src = "fn f(s: &S) {\n    let a = lock(&s.alpha);\n    let b = lock(&s.beta);\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["blocking-under-lock"]);
+    assert!(
+        diags[0].message.contains("acquiring mutex `beta`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn blocking_silent_after_guard_released() {
+    // drop() release and block-scoped guard: the wait happens lock-free.
+    let dropped = "fn f(s: &S, rx: &Receiver<u32>) {\n    let g = lock(&s.state);\n    drop(g);\n    let x = rx.recv();\n}\n";
+    assert!(rules_fired(dropped).is_empty(), "{dropped}");
+    let scoped = "fn f(s: &S, rx: &Receiver<u32>) {\n    { let g = lock(&s.state); g.bump(); }\n    let x = rx.recv();\n}\n";
+    assert!(rules_fired(scoped).is_empty(), "{scoped}");
+}
+
+#[test]
+fn blocking_justified_allow_silences_bare_allow_fires() {
+    let justified = "fn f(s: &S, rx: &Receiver<u32>) {\n    let g = lock(&s.state);\n    let x = rx.recv(); // analyze:allow(blocking-under-lock): 1-slot ack channel, holder is the only sender\n}\n";
+    assert!(rules_fired(justified).is_empty());
+    let bare = "fn f(s: &S, rx: &Receiver<u32>) {\n    let g = lock(&s.state);\n    let x = rx.recv(); // analyze:allow(blocking-under-lock)\n}\n";
+    let diags = analyze_snippet(bare);
+    assert_eq!(rules_fired(bare), ["blocking-under-lock"]);
+    assert!(
+        diags[0].message.contains("justification"),
+        "{}",
+        diags[0].message
+    );
+}
+
+// ------------------------------------------------------- panic-reachability
+
+#[test]
+fn panic_reach_fires_with_full_chain() {
+    let src = "fn worker_loop(rx: &Receiver<Job>) {\n    helper();\n}\nfn helper(x: Option<u32>) {\n    x.unwrap();\n}\n";
+    let diags: Vec<_> = analyze_snippet(src)
+        .into_iter()
+        .filter(|d| d.rule == "panic-reachability")
+        .collect();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let msg = &diags[0].message;
+    assert!(msg.contains("worker_loop (snippet.rs:1)"), "{msg}");
+    assert!(msg.contains("helper (snippet.rs:4)"), "{msg}");
+}
+
+#[test]
+fn panic_reach_fires_on_messaged_expect_unlike_panic_path() {
+    // A messaged .expect() passes the line-local rule but still kills a
+    // serving thread: only panic-reachability fires.
+    let src =
+        "fn accept_loop(x: Option<u32>) {\n    x.expect(\"listener configured at startup\");\n}\n";
+    assert_eq!(rules_fired(src), ["panic-reachability"]);
+}
+
+#[test]
+fn panic_reach_silent_off_the_serving_roots() {
+    let src = "fn island(x: Option<u32>) {\n    x.expect(\"not reachable from serving\");\n}\n";
+    assert!(rules_fired(src).is_empty());
+}
+
+#[test]
+fn panic_reach_silent_on_fixed_form() {
+    let src = "fn worker_loop(rx: &Receiver<Job>) {\n    if helper().is_none() { return; }\n}\nfn helper() -> Option<u32> {\n    None\n}\n";
+    assert!(rules_fired(src).is_empty());
+}
+
+#[test]
+fn panic_reach_justified_allow_silences_bare_allow_fires() {
+    let justified = "fn accept_loop(m: &Mutex<u32>) {\n    // analyze:allow(panic-reachability): poisoned mutex means invariants are gone; die loudly\n    let g = m.lock().expect(\"poisoned\"); // analyze:allow(raw-lock): demo helper body\n}\n";
+    assert!(
+        rules_fired(justified).is_empty(),
+        "{:?}",
+        analyze_snippet(justified)
+    );
+    let bare = "fn accept_loop(x: Option<u32>) {\n    // analyze:allow(panic-reachability)\n    x.expect(\"boom\");\n}\n";
+    assert_eq!(rules_fired(bare), ["panic-reachability"]);
+}
+
+// ----------------------------------------------------------- hot-path-alloc
+
+#[test]
+fn hot_path_alloc_fires_on_clone_in_query_into() {
+    let src = "impl Tif {\n    fn query_into(&self, out: &mut Vec<u32>) {\n        let v = self.ids.clone();\n    }\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["hot-path-alloc"]);
+    assert!(diags[0].message.contains("`clone`"), "{}", diags[0].message);
+}
+
+#[test]
+fn hot_path_alloc_fires_transitively_with_chain() {
+    let src = "fn query_into(out: &mut Vec<u32>) {\n    helper();\n}\nfn helper() {\n    let v = Vec::new();\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["hot-path-alloc"]);
+    let msg = &diags[0].message;
+    assert!(msg.contains("`Vec::new`"), "{msg}");
+    assert!(
+        msg.contains("query_into (snippet.rs:1) -> helper (snippet.rs:4)"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_fires_on_macros_and_kernel_roots() {
+    assert_eq!(
+        rules_fired(
+            "fn intersect_merge_into(a: &[u32]) {\n    let label = format!(\"{a:?}\");\n}\n"
+        ),
+        ["hot-path-alloc"]
+    );
+    assert_eq!(
+        rules_fired("fn mark_hits(a: &[u32]) {\n    let v = vec![1, 2];\n}\n"),
+        ["hot-path-alloc"]
+    );
+}
+
+#[test]
+fn hot_path_alloc_silent_on_arena_growth() {
+    // Growth through every arena-backed route: the caller-owned out
+    // buffer, the scratch parameter's fields, a let-binding taken from
+    // the scratch, and the declared arena's own impl.
+    let src = "\
+impl QueryScratch {
+    fn intersect(&mut self) {
+        self.bits.resize(64, false);
+        let staging = Vec::with_capacity(8);
+    }
+}
+impl Tif {
+    fn query_into(&self, scratch: &mut QueryScratch, out: &mut Vec<u32>) {
+        scratch.reset();
+        scratch.intersect();
+        scratch.cands.push(1);
+        let mut cands = std::mem::take(&mut scratch.cands);
+        cands.push(2);
+        out.extend_from_slice(&cands);
+    }
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn hot_path_alloc_fires_on_non_arena_growth() {
+    let src = "impl Tif {\n    fn query_into(&self, out: &mut Vec<u32>) {\n        self.cache.push(1);\n    }\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["hot-path-alloc"]);
+    assert!(
+        diags[0].message.contains("non-arena receiver"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn hot_path_alloc_cuts_the_cold_path_delegate() {
+    // The trait's default query_into delegates to the allocating cold
+    // path; the `query` cut keeps the walk out of it.
+    let src = "\
+trait TemporalIrIndex {
+    fn query_into(&self, out: &mut Vec<u32>) {
+        out.extend(self.query());
+    }
+}
+impl Tif {
+    fn query(&self) -> Vec<u32> {
+        let mut v = Vec::new();
+        v.clone()
+    }
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn hot_path_alloc_arc_clone_is_not_an_allocation() {
+    let src = "fn query_into(out: &mut Vec<u32>) {\n    let snap = Arc::clone(&CURRENT);\n}\n";
+    assert!(rules_fired(src).is_empty());
+}
+
+#[test]
+fn hot_path_alloc_justified_allow_silences_bare_allow_fires() {
+    let justified = "fn query_into(out: &mut Vec<u32>) {\n    let v = names.to_vec(); // analyze:allow(hot-path-alloc): build-time path, not steady state\n}\n";
+    assert!(rules_fired(justified).is_empty());
+    let bare = "fn query_into(out: &mut Vec<u32>) {\n    let v = names.to_vec(); // analyze:allow(hot-path-alloc)\n}\n";
+    let diags = analyze_snippet(bare);
+    assert_eq!(rules_fired(bare), ["hot-path-alloc"]);
+    assert!(
+        diags[0].message.contains("justification"),
+        "{}",
+        diags[0].message
+    );
+}
+
+// ------------------------------- suppression extents against the call-graph
+// tier (satellite: trailing vs own-line allows, cfg(test) and the parser)
+
+#[test]
+fn trailing_allow_covers_only_its_line_for_graph_rules() {
+    let src = "fn query_into(out: &mut Vec<u32>) {\n    let a = x.to_vec(); // analyze:allow(hot-path-alloc): warm-up only\n    let b = y.to_vec();\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 3, "second site still fires");
+}
+
+#[test]
+fn own_line_allow_covers_the_whole_next_statement_for_graph_rules() {
+    let src = "fn query_into(out: &mut Vec<u32>) {\n    // analyze:allow(hot-path-alloc): one-time label, off the steady state\n    let label = parts\n        .iter()\n        .collect();\n    let stray = other.to_vec();\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(diags.len(), 1, "chain covered, next stmt not: {diags:?}");
+    assert_eq!(diags[0].line, 6);
+}
+
+#[test]
+fn cfg_test_items_are_invisible_to_graph_rules() {
+    // Seeded violations inside #[cfg(test)] modules — including nested
+    // modules — must not reach the parser or the call graph.
+    let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn query_into(out: &mut Vec<u32>) {
+        let v = data.clone();
+    }
+    mod nested {
+        fn worker_loop(x: Option<u32>) {
+            x.unwrap();
+        }
+    }
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn cfg_test_sibling_does_not_hide_live_violations() {
+    // A live seeded violation next to a stripped test module still fires:
+    // stripping removes exactly the annotated item, nothing after it.
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn query_into(out: &mut Vec<u32>) {
+    let v = data.clone();
+}
+";
+    assert_eq!(rules_fired(src), ["hot-path-alloc"]);
 }

@@ -347,6 +347,7 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     }
     let doc = Json::obj(vec![
         ("tool", Json::str("tir bench")),
+        ("git_rev", Json::str(git_rev())),
         ("queries", Json::Int(queries.len() as u64)),
         ("cardinality", Json::Int(corpus.collection.len() as u64)),
         ("methods", Json::Arr(records)),
@@ -354,6 +355,29 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
     std::fs::write(json_path, format!("{doc}\n")).map_err(|e| format!("{json_path}: {e}"))?;
     eprintln!("wrote {json_path}");
     Ok(())
+}
+
+/// Short git revision of the checkout that produced this run, with a
+/// `-dirty` suffix when the tree has uncommitted changes — so a
+/// `BENCH_*.json` can always be matched to (or ruled out against) the
+/// source it claims to measure. `"unknown"` outside a git checkout.
+fn git_rev() -> String {
+    let git = |args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new("git").args(args).output().ok()?;
+        out.status
+            .success()
+            .then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+    };
+    let Some(rev) = git(&["rev-parse", "--short", "HEAD"]) else {
+        return "unknown".to_string();
+    };
+    // -uno: untracked files (the emitted BENCH_*.json themselves, run
+    // artifacts) do not make a run unattributable; modified tracked
+    // sources do.
+    match git(&["status", "--porcelain", "-uno"]) {
+        Some(st) if st.is_empty() => rev,
+        _ => format!("{rev}-dirty"),
+    }
 }
 
 /// Deterministic xorshift64* — the microharness needs cheap well-spread
@@ -515,6 +539,7 @@ fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
     }
     let doc = Json::obj(vec![
         ("tool", Json::str("tir bench --kernels")),
+        ("git_rev", Json::str(git_rev())),
         ("universe", Json::Int(u64::from(universe))),
         ("cells", Json::Arr(records)),
     ]);
@@ -722,8 +747,11 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), String> {
 
     let report = loadgen::run(&cfg)?;
     println!("{}", report.render());
-    std::fs::write(json_path, format!("{}\n", report.to_json()))
-        .map_err(|e| format!("{json_path}: {e}"))?;
+    let mut doc = report.to_json();
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.push(("git_rev".to_string(), Json::str(git_rev())));
+    }
+    std::fs::write(json_path, format!("{doc}\n")).map_err(|e| format!("{json_path}: {e}"))?;
     eprintln!("wrote {json_path}");
     if report.errors > 0 {
         return Err(format!(

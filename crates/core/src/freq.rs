@@ -56,7 +56,11 @@ impl FreqTable {
         out.extend_from_slice(elems);
         out.sort_unstable();
         out.dedup();
-        out.sort_by_key(|&e| self.get(e));
+        // (freq, elem) keys make the unstable sort a deterministic
+        // total order — same result as a stable by-freq sort over the
+        // id-sorted input, without the stable sort's temp allocation
+        // (this runs per query on the zero-alloc hot path).
+        out.sort_unstable_by_key(|&e| (self.get(e), e));
     }
 
     /// Heap footprint in bytes.

@@ -198,7 +198,11 @@ impl IrHintPerf {
         scratch: &mut QueryScratch,
         out: &mut Vec<ObjectId>,
     ) {
-        let (&first, rest) = plan.split_first().expect("non-empty plan");
+        // An empty plan answers nothing; returning beats panicking a
+        // serving thread if a caller ever stops pre-checking.
+        let Some((&first, rest)) = plan.split_first() else {
+            return;
+        };
         let p = div.postings(first);
         if p.is_empty() {
             return;

@@ -44,6 +44,8 @@ mod plain {
     /// Poison-tolerant acquire (release build: no witness overhead).
     pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
         // analyze:allow(raw-lock): this IS the tracked helper's release form
+        // analyze:allow(panic-reachability): poison policy — a poisoned serving
+        // mutex means the invariants are gone; propagating the panic is correct
         m.lock()
             .expect("serving mutex poisoned by a panicked thread")
     }
@@ -157,6 +159,8 @@ mod tracked {
         let id = std::ptr::from_ref(m) as usize;
         witness_acquire(id, site);
         // analyze:allow(raw-lock): this IS the tracked helper
+        // analyze:allow(panic-reachability): poison policy — a poisoned serving
+        // mutex means the invariants are gone; propagating the panic is correct
         let inner = m
             .lock()
             .expect("serving mutex poisoned by a panicked thread");
@@ -175,6 +179,8 @@ mod tracked {
         // guard released, so the panic cannot poison it.
         let mut violation: Option<String> = None;
         {
+            // analyze:allow(panic-reachability): a poisoned witness registry means a
+            // witness panic unwound mid-update; the debug-build witness must die loudly
             let mut reg = registry()
                 .lock() // analyze:allow(raw-lock): the witness registry cannot recurse through the tracked helper
                 .expect("lock-order witness registry poisoned");
@@ -232,6 +238,8 @@ mod tracked {
         if let Some(msg) = violation {
             // analyze:allow(panic-path): the witness's whole purpose — a debug-build
             // lock-order inversion must abort loudly, not limp on toward a deadlock
+            // analyze:allow(panic-reachability): same — this panic replacing a
+            // deadlock hang is the feature, so its reachability from the workers is intended
             panic!("{msg}");
         }
     }

@@ -3,8 +3,11 @@
 //! ```text
 //! cargo xtask lint     run every check below (the CI gate)
 //! cargo xtask attrs    library crates carry forbid(unsafe_code) + warn(missing_docs)
-//! cargo xtask analyze  tir-analyze: token-aware rules (lock-order, atomic-ordering,
-//!                      raw-lock, panic-path, unguarded-cast, unbounded-channel)
+//! cargo xtask analyze  tir-analyze: token rules (lock-order, atomic-ordering,
+//!                      raw-lock, panic-path, unguarded-cast, unbounded-channel,
+//!                      blocking-under-lock) + call-graph rules (hot-path-alloc,
+//!                      panic-reachability); --json <path> writes the machine-
+//!                      readable report (diffed against ANALYZE_baseline.json in CI)
 //! cargo xtask srclint  alias of analyze (the old substring scanner it replaced)
 //! cargo xtask fmt      cargo fmt --all -- --check
 //! cargo xtask clippy   cargo clippy --workspace --all-targets -- -D warnings
@@ -36,7 +39,8 @@ const HOT_PATH_CRATES: &[&str] = &["hint", "invidx", "core"];
 
 const REQUIRED_ATTRS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
 
-const USAGE: &str = "usage: cargo xtask <lint|attrs|analyze|srclint|fmt|clippy|fsck>";
+const USAGE: &str =
+    "usage: cargo xtask <lint|attrs|analyze [--json <path>]|srclint|fmt|clippy|fsck>";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,7 +51,10 @@ fn main() {
         // `srclint` is the PR 1 name for the source lint; tir-analyze
         // superseded the substring scanner, the alias keeps CI and
         // muscle memory working.
-        "analyze" | "srclint" => analyze(),
+        "analyze" | "srclint" => match parse_json_flag(&args[1..]) {
+            Ok(json) => analyze(json.as_deref()),
+            Err(msg) => Err(msg),
+        },
         "fmt" => fmt(),
         "clippy" => clippy(),
         "fsck" => fsck(),
@@ -65,10 +72,19 @@ fn main() {
 
 fn lint() -> Result<(), String> {
     attrs()?;
-    analyze()?;
+    analyze(None)?;
     fmt()?;
     clippy()?;
     fsck()
+}
+
+/// Parses `[--json <path>]` from an analyze invocation's trailing args.
+fn parse_json_flag(rest: &[String]) -> Result<Option<String>, String> {
+    match rest {
+        [] => Ok(None),
+        [flag, path] if flag == "--json" => Ok(Some(path.clone())),
+        _ => Err(format!("unexpected arguments {rest:?}\n{USAGE}")),
+    }
 }
 
 fn repo_root() -> PathBuf {
@@ -119,14 +135,19 @@ fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs the tir-analyze engine over every library crate's `src/` tree.
-/// The lexer makes matches token-exact (no hits inside strings or
-/// comments); `#[cfg(test)]` items and per-site `analyze:allow`
-/// suppressions are honoured by the engine.
-fn analyze() -> Result<(), String> {
+/// Runs the tir-analyze engine over every library crate's `src/` tree:
+/// the per-file token rules plus the workspace call-graph passes
+/// (`hot-path-alloc`, `panic-reachability`). The lexer makes matches
+/// token-exact (no hits inside strings or comments); `#[cfg(test)]`
+/// items and per-site `analyze:allow` suppressions are honoured by the
+/// engine. With `json`, the machine-readable report (sorted
+/// diagnostics + per-rule allow counts) is written there before the
+/// pass/fail verdict — CI diffs it against `ANALYZE_baseline.json`.
+fn analyze(json: Option<&str>) -> Result<(), String> {
     let root = repo_root();
     let config = tir_analyze::Config {
         cast_crates: Some(HOT_PATH_CRATES.iter().map(|c| c.to_string()).collect()),
+        ..tir_analyze::Config::default()
     };
     let mut analysis = tir_analyze::Analysis::new(config);
     for krate in LIB_CRATES {
@@ -140,23 +161,87 @@ fn analyze() -> Result<(), String> {
             analysis.add_file(krate, &rel.display().to_string(), &text);
         }
     }
-    let files_seen = analysis.files_seen();
-    let diags = analysis.finish();
-    if diags.is_empty() {
+    let report = analysis.finish_report();
+    if let Some(path) = json {
+        std::fs::write(path, report_json(&report)).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("analyze: report written to {path}");
+    }
+    if report.diagnostics.is_empty() {
         println!(
-            "analyze: {files_seen} library sources clean under {} rules {:?}",
+            "analyze: {} library sources clean under {} rules {:?}",
+            report.files,
             tir_analyze::rules::RULE_NAMES.len(),
             tir_analyze::rules::RULE_NAMES
         );
         Ok(())
     } else {
-        let report: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        let lines: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
         Err(format!(
             "{} diagnostic(s):\n  {}",
-            report.len(),
-            report.join("\n  ")
+            lines.len(),
+            lines.join("\n  ")
         ))
     }
+}
+
+/// Renders the analyze report as deterministic JSON: rules in catalog
+/// order, allow counts keyed by rule name (sorted), diagnostics in the
+/// engine's path/line/col order. No dependencies, no HashMap iteration.
+fn report_json(report: &tir_analyze::Report) -> String {
+    let mut s = String::from("{\n  \"tool\": \"cargo xtask analyze\",\n");
+    s.push_str(&format!("  \"files\": {},\n", report.files));
+    let rules: Vec<String> = tir_analyze::rules::RULE_NAMES
+        .iter()
+        .map(|r| json_str(r))
+        .collect();
+    s.push_str(&format!("  \"rules\": [{}],\n", rules.join(", ")));
+    s.push_str("  \"allows\": {\n");
+    let allows: Vec<String> = report
+        .allows
+        .iter()
+        .map(|(rule, n)| format!("    {}: {n}", json_str(rule)))
+        .collect();
+    s.push_str(&allows.join(",\n"));
+    s.push_str("\n  },\n  \"diagnostics\": [");
+    let diags: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            format!(
+                "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(d.rule),
+                json_str(&d.path),
+                d.line,
+                d.col,
+                json_str(&d.message)
+            )
+        })
+        .collect();
+    s.push_str(&diags.join(","));
+    if !diags.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
 }
 
 /// Runs a cargo subtool, treating any failure as a lint failure.
@@ -253,7 +338,7 @@ mod tests {
     fn analyze_passes_on_this_repo() {
         // The workspace gate: every rule silent (with its audited
         // annotations) across all library crates.
-        analyze().expect("tir-analyze must report a clean workspace");
+        analyze(None).expect("tir-analyze must report a clean workspace");
     }
 
     #[test]
