@@ -23,6 +23,7 @@
 //! | `unguarded-cast` | narrowing `as` casts in hot-path crates without a fits-proof annotation |
 //! | `unbounded-channel` | `std::sync::mpsc::channel()` (no backpressure) |
 //! | `blocking-under-lock` | channel/thread/socket/I-O waits or nested acquisitions inside a lock-held region |
+//! | `unsafe-code` | any `unsafe` token; non-suppressible outside the audited mmap wrapper, per-site justified inside it |
 //!
 //! Whole-program rules, judged over the workspace call graph in
 //! [`Analysis::finish`]:
@@ -92,6 +93,10 @@ pub struct Config {
     /// Function names rooting the `panic-reachability` walk: the serve
     /// accept loop and the worker pool's thread body.
     pub serve_roots: Vec<String>,
+    /// Path suffixes of the files allowed to contain (per-site
+    /// justified) `unsafe` — the audited mmap wrapper. Everywhere else
+    /// `unsafe-code` fires non-suppressibly.
+    pub unsafe_audited_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -111,6 +116,7 @@ impl Default for Config {
             scratch_arenas: s(&["QueryScratch"]),
             growth_sinks: s(&["QueryScratch", "Vec", "String"]),
             serve_roots: s(&["accept_loop", "worker_loop"]),
+            unsafe_audited_paths: s(&["persist/src/mmap.rs"]),
         }
     }
 }
@@ -176,6 +182,10 @@ impl Analysis {
         raw.extend(rules::raw_lock::check(&file));
         raw.extend(rules::channel::check(&file));
         raw.extend(rules::blocking_under_lock::check(&file));
+        raw.extend(rules::unsafe_code::check(
+            &file,
+            &self.config.unsafe_audited_paths,
+        ));
         let cast_applies = match &self.config.cast_crates {
             None => true,
             Some(list) => list.iter().any(|c| c == krate),

@@ -12,6 +12,7 @@ pub mod lock_order;
 pub mod panic_path;
 pub mod panic_reach;
 pub mod raw_lock;
+pub mod unsafe_code;
 
 /// Names of every shipped rule, for reporting.
 pub const RULE_NAMES: &[&str] = &[
@@ -24,4 +25,5 @@ pub const RULE_NAMES: &[&str] = &[
     blocking_under_lock::NAME,
     hot_path_alloc::NAME,
     panic_reach::NAME,
+    unsafe_code::NAME,
 ];

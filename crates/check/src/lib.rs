@@ -21,7 +21,10 @@
 //! * **offset monotonicity** — flat postings directories have exact,
 //!   monotone offset arrays and bounds-checked compressed streams;
 //! * **cross-structure agreement** — decoupled dual structures (the
-//!   size-variant irHINT) must describe the same object sets.
+//!   size-variant irHINT) must describe the same object sets;
+//! * **on-disk snapshots** — [`validate_snapshot`] fscks a `tir-persist`
+//!   snapshot file: section CRCs, monotone directories, catalog/postings
+//!   cross-agreement, and META counters.
 //!
 //! Validation never panics on corrupted input: every walk is
 //! bounds-checked, so a validator can safely run over a structure that a
@@ -42,6 +45,9 @@
 mod core_checks;
 mod hint_checks;
 mod invidx_checks;
+mod snapshot_checks;
+
+pub use snapshot_checks::{validate_snapshot, validate_snapshot_file};
 
 use std::fmt;
 

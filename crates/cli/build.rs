@@ -1,0 +1,30 @@
+//! Stamps the binary with the git revision it was built from
+//! (`TIR_BUILD_GIT_REV`), so `tir bench` can warn when the binary is
+//! stale or was built from a dirty tree — benchmark JSON that cannot be
+//! matched to a commit is worthless.
+
+use std::process::Command;
+
+fn git(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    out.status
+        .success()
+        .then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+fn main() {
+    let rev = match git(&["rev-parse", "--short", "HEAD"]) {
+        Some(rev) => match git(&["status", "--porcelain", "-uno"]) {
+            Some(st) if st.is_empty() => rev,
+            _ => format!("{rev}-dirty"),
+        },
+        None => "unknown".to_string(),
+    };
+    println!("cargo:rustc-env=TIR_BUILD_GIT_REV={rev}");
+    // Re-stamp whenever HEAD moves (best effort: outside a git checkout
+    // these paths do not exist and the stamp stays "unknown").
+    if let Some(dir) = git(&["rev-parse", "--git-dir"]) {
+        println!("cargo:rerun-if-changed={dir}/HEAD");
+        println!("cargo:rerun-if-changed={dir}/index");
+    }
+}

@@ -18,14 +18,20 @@ mod io;
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::time::Instant;
 
 use tir_core::prelude::*;
 use tir_core::{RankedQuery, RankedTif};
 use tir_datagen::{workload, SyntheticConfig, WorkloadSpec};
+use tir_persist::{
+    Durability, DurabilityOptions, IndexKind, LoadMode, Persist, Recovered, SnapshotFile, TermLog,
+    SNAPSHOT_NAME,
+};
 use tir_serve::epoch::Validator;
 use tir_serve::{
-    loadgen, spawn_server, Json, LatencyHistogram, LoadgenConfig, PoolConfig, ServerConfig,
+    loadgen, spawn_server, spawn_server_durable, Json, LatencyHistogram, LoadgenConfig, PoolConfig,
+    ServeDict, ServerConfig, ServerHandle,
 };
 
 use crate::io::{read_tsv, write_tsv, Corpus};
@@ -55,12 +61,16 @@ impl Opts {
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {}", args[i]))?;
             i += 1;
-            let value = args
-                .get(i)
-                .ok_or_else(|| format!("--{key} needs a value"))?
-                .clone();
+            // A flag followed by another --flag (or the end of the line)
+            // is a bare switch (`--verify`): present, with no value.
+            let value = match args.get(i) {
+                Some(v) if !v.starts_with("--") => {
+                    i += 1;
+                    v.clone()
+                }
+                _ => String::new(),
+            };
             flags.push((key.to_string(), value));
-            i += 1;
         }
         Ok(Opts { flags })
     }
@@ -97,6 +107,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => cmd_check(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "snapshot" => cmd_snapshot(&opts),
+        "recover" => cmd_recover(&opts),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -106,19 +118,26 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: tir <gen|stats|query|bench|check|serve|loadgen> [--flags]\n\
-     gen     --out FILE [--cardinality N] [--seed K] [--scale S]\n\
-     stats   --input FILE\n\
-     query   --input FILE --from T --to T --elems a,b [--method M] [--topk K]\n\
-     bench   --input FILE [--queries N] [--methods a,b] [--json BENCH_query.json]\n\
-     bench   --kernels BENCH_kernels.json [--universe N]   (microbenchmark\n\
-             the four intersection kernels over a density grid; no corpus)\n\
-     check   --input FILE   (build every index, verify structural invariants)\n\
-     serve   [--input FILE | --scale S [--seed K]] [--method M] [--port P]\n\
-             [--port-file PATH] [--workers N] [--queue-depth N] [--batch N]\n\
-     loadgen --addr HOST:PORT [--requests N] [--threads T] [--seed K]\n\
-             [--write-fraction F] [--insert-fraction F] [--elems N]\n\
-             [--json BENCH_serve.json]\n\
+    "usage: tir <gen|stats|query|bench|check|serve|loadgen|snapshot|recover> [--flags]\n\
+     gen      --out FILE [--cardinality N] [--seed K] [--scale S]\n\
+     stats    --input FILE\n\
+     query    --input FILE --from T --to T --elems a,b [--method M] [--topk K]\n\
+     bench    --input FILE [--queries N] [--methods a,b] [--json BENCH_query.json]\n\
+     bench    --kernels BENCH_kernels.json [--universe N]   (microbenchmark\n\
+              the four intersection kernels over a density grid; no corpus)\n\
+     check    --input FILE   (build every index, verify structural invariants)\n\
+     check    --file SNAPSHOT   (fsck an on-disk snapshot)\n\
+     serve    [--input FILE | --scale S [--seed K]] [--method M] [--port P]\n\
+              [--port-file PATH] [--workers N] [--queue-depth N] [--batch N]\n\
+              [--data-dir DIR [--snapshot-every N]]   (durable: WAL + snapshots;\n\
+              recovers the directory on restart; methods tif, tif-hint-*)\n\
+     loadgen  --addr HOST:PORT [--requests N] [--threads T] [--seed K]\n\
+              [--write-fraction F] [--insert-fraction F] [--elems N]\n\
+              [--durability N] [--json BENCH_serve.json]\n\
+     snapshot --out FILE [--input FILE | --scale S] [--method M] [--epoch N]\n\
+              (write a standalone snapshot file, then fsck it)\n\
+     recover  --data-dir DIR [--verify]   (replay snapshot + WAL, report the\n\
+              epoch reached; --verify adds fsck + brute-force oracle agreement)\n\
      methods: tif, slicing, sharding, tif-hint-bs, tif-hint-ms, hybrid,\n\
               irhint-perf (default), irhint-size, ctif"
         .to_string()
@@ -253,6 +272,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_bench(opts: &Opts) -> Result<(), String> {
+    warn_stale_binary();
     if let Some(path) = opts.get("kernels") {
         return cmd_bench_kernels(opts, path);
     }
@@ -377,6 +397,27 @@ fn git_rev() -> String {
     match git(&["status", "--porcelain", "-uno"]) {
         Some(st) if st.is_empty() => rev,
         _ => format!("{rev}-dirty"),
+    }
+}
+
+/// Compile-time git stamp of this binary (see `build.rs`).
+const BUILT_GIT_REV: &str = env!("TIR_BUILD_GIT_REV");
+
+/// Warns when the running binary cannot be trusted to measure the
+/// current checkout: built from a dirty tree, or built at a commit the
+/// checkout has since moved past.
+fn warn_stale_binary() {
+    let now = git_rev();
+    if BUILT_GIT_REV.ends_with("-dirty") || BUILT_GIT_REV == "unknown" {
+        eprintln!(
+            "warning: binary stamped {BUILT_GIT_REV}; rebuild (cargo xtask build) \
+             before trusting the numbers"
+        );
+    } else if now != "unknown" && now != BUILT_GIT_REV {
+        eprintln!(
+            "warning: binary built at {BUILT_GIT_REV} but the checkout is at {now}; \
+             rebuild (cargo xtask build) before trusting the numbers"
+        );
     }
 }
 
@@ -569,8 +610,35 @@ fn validate_all(coll: &Collection) -> Vec<(&'static str, Vec<tir_check::Violatio
     ]
 }
 
+/// `tir check --file SNAPSHOT`: fsck one on-disk snapshot — open-time
+/// CRC/bounds validation plus the deep content walk in `tir-check`.
+fn cmd_check_file(path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    let violations = tir_check::validate_snapshot(p);
+    if violations.is_empty() {
+        let snap = SnapshotFile::open(p, LoadMode::Heap).map_err(|e| format!("{path}: {e}"))?;
+        let m = snap.meta();
+        println!(
+            "{path}: ok ({} @ epoch {}, {} live, {} postings, {} terms)",
+            m.kind.method_name(),
+            m.epoch,
+            m.live,
+            m.postings,
+            m.dict_len
+        );
+        return Ok(());
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    Err(format!("{path}: {} violation(s)", violations.len()))
+}
+
 fn cmd_check(opts: &Opts) -> Result<(), String> {
     use tir_check::Validate;
+    if let Some(path) = opts.get("file") {
+        return cmd_check_file(path);
+    }
     let corpus = load(opts)?;
     let mut total = 0usize;
     let mut reports = validate_all(&corpus.collection);
@@ -626,8 +694,20 @@ where
     Some(Box::new(|index: &I| index.validate().len()))
 }
 
-/// Boots the serving stack over a concrete index type and blocks until
-/// the accept loop exits (client `SHUTDOWN` or process signal).
+/// Writes the port file (if requested) and blocks until the accept loop
+/// exits (client `SHUTDOWN` or process signal).
+fn run_server(handle: ServerHandle, port_file: Option<&str>) -> Result<(), String> {
+    let addr = handle.addr();
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
+    }
+    eprintln!("serving on {addr} (send SHUTDOWN to stop)");
+    handle.join();
+    eprintln!("server stopped");
+    Ok(())
+}
+
+/// Boots the serving stack over a concrete index type.
 fn serve_index<I>(
     index: I,
     corpus: Corpus,
@@ -641,22 +721,13 @@ where
     let catalog = corpus.collection.objects().to_vec();
     let handle = spawn_server(index, catalog, corpus.dictionary, config, validator)
         .map_err(|e| format!("bind: {e}"))?;
-    let addr = handle.addr();
-    if let Some(path) = port_file {
-        std::fs::write(path, format!("{addr}\n")).map_err(|e| format!("{path}: {e}"))?;
-    }
-    eprintln!("serving on {addr} (send SHUTDOWN to stop)");
-    handle.join();
-    eprintln!("server stopped");
-    Ok(())
+    run_server(handle, port_file)
 }
 
-fn cmd_serve(opts: &Opts) -> Result<(), String> {
-    let corpus = serve_corpus(opts)?;
-    let method = opts.get("method").unwrap_or("irhint-perf");
+fn server_config(opts: &Opts, method: &str) -> Result<ServerConfig, String> {
     let port: u16 = opts.parse_or("port", 0)?;
     let host = opts.get("host").unwrap_or("127.0.0.1");
-    let config = ServerConfig {
+    Ok(ServerConfig {
         addr: format!("{host}:{port}"),
         pool: PoolConfig {
             workers: opts.parse_or("workers", PoolConfig::default().workers)?,
@@ -666,7 +737,166 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         write_queue_depth: opts.parse_or("write-queue", 1024)?,
         max_write_batch: opts.parse_or("write-batch", 256)?,
         method: method.to_string(),
+    })
+}
+
+/// Index kind recorded in the data directory's current snapshot.
+fn snapshot_kind(dir: &Path) -> Result<IndexKind, String> {
+    let path = dir.join(SNAPSHOT_NAME);
+    let snap = SnapshotFile::open(&path, LoadMode::Heap)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(snap.meta().kind)
+}
+
+/// Fscks the data directory's snapshot; any violation refuses the load.
+fn fsck_data_dir(dir: &Path) -> Result<(), String> {
+    let path = dir.join(SNAPSHOT_NAME);
+    let violations = tir_check::validate_snapshot(&path);
+    if violations.is_empty() {
+        return Ok(());
+    }
+    for v in &violations {
+        eprintln!("{}: {v}", path.display());
+    }
+    Err(format!(
+        "{}: {} fsck violation(s); refusing to load",
+        path.display(),
+        violations.len()
+    ))
+}
+
+/// `tir serve --data-dir`: recovers (or initializes) the directory, then
+/// serves with the WAL in front of the applier — every acknowledged
+/// write survives `kill -9`.
+fn serve_durable<I, F>(
+    opts: &Opts,
+    dir: &Path,
+    d_opts: DurabilityOptions,
+    build: F,
+    config: ServerConfig,
+    port_file: Option<&str>,
+    validator: Option<Validator<I>>,
+) -> Result<(), String>
+where
+    I: TemporalIrIndex + Persist + Clone + Send + Sync + 'static,
+    F: FnOnce(&Collection) -> I,
+{
+    let (index, dict, durability) = if Durability::exists(dir) {
+        fsck_data_dir(dir)?;
+        let r: Recovered<I> = Durability::recover(dir, d_opts)
+            .map_err(|e| format!("recover {}: {e}", dir.display()))?;
+        eprintln!(
+            "recovered {} to epoch {} ({} WAL batch(es) replayed{})",
+            dir.display(),
+            r.epoch,
+            r.replayed,
+            if r.truncated_tail {
+                ", torn WAL tail truncated"
+            } else {
+                ""
+            }
+        );
+        (r.index, r.dict, r.durability)
+    } else {
+        let corpus = serve_corpus(opts)?;
+        eprintln!(
+            "building {} over {} objects...",
+            config.method,
+            corpus.collection.len()
+        );
+        let index = build(&corpus.collection);
+        let durability = Durability::create(
+            dir,
+            &index,
+            &corpus.dictionary,
+            corpus.collection.objects(),
+            d_opts,
+        )
+        .map_err(|e| format!("init {}: {e}", dir.display()))?;
+        eprintln!("initialized durable data dir {} at epoch 0", dir.display());
+        (index, corpus.dictionary, durability)
     };
+    let log = TermLog::open(dir).map_err(|e| format!("terms.log: {e}"))?;
+    let handle = spawn_server_durable(
+        index,
+        ServeDict::durable(dict, log),
+        durability,
+        config,
+        validator,
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    run_server(handle, port_file)
+}
+
+fn cmd_serve_durable(opts: &Opts, dir: &Path) -> Result<(), String> {
+    let d_opts = DurabilityOptions {
+        snapshot_every: opts.parse_or(
+            "snapshot-every",
+            DurabilityOptions::default().snapshot_every,
+        )?,
+        ..DurabilityOptions::default()
+    };
+    // An existing directory dictates the method: the snapshot knows what
+    // wrote it, and a conflicting --method is an operator error.
+    let existing = if Durability::exists(dir) {
+        Some(snapshot_kind(dir)?)
+    } else {
+        None
+    };
+    let method = match (existing, opts.get("method")) {
+        (Some(kind), Some(m)) if m != kind.method_name() => {
+            return Err(format!(
+                "{} already holds a {} snapshot; --method {m} conflicts",
+                dir.display(),
+                kind.method_name()
+            ));
+        }
+        (Some(kind), _) => kind.method_name().to_string(),
+        (None, m) => m.unwrap_or("tif").to_string(),
+    };
+    let config = server_config(opts, &method)?;
+    let port_file = opts.get("port-file");
+    match method.as_str() {
+        "tif" => serve_durable(
+            opts,
+            dir,
+            d_opts,
+            Tif::build,
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "tif-hint-bs" => serve_durable(
+            opts,
+            dir,
+            d_opts,
+            |c| TifHint::build(c, TifHintConfig::binary_search()),
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        "tif-hint-ms" => serve_durable(
+            opts,
+            dir,
+            d_opts,
+            |c| TifHint::build(c, TifHintConfig::merge_sort()),
+            config,
+            port_file,
+            checking_validator(),
+        ),
+        other => Err(format!(
+            "method {other} cannot serve durably (supported: tif, tif-hint-bs, tif-hint-ms)"
+        )),
+    }
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    if let Some(dir) = opts.get("data-dir") {
+        return cmd_serve_durable(opts, Path::new(dir));
+    }
+    let corpus = serve_corpus(opts)?;
+    let method = opts.get("method").unwrap_or("irhint-perf");
+    let config = server_config(opts, method)?;
     let port_file = opts.get("port-file");
     eprintln!(
         "building {method} over {} objects...",
@@ -732,7 +962,133 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     }
 }
 
+/// `tir snapshot`: build an index over a corpus and write it as a
+/// standalone snapshot file, then fsck the result — a one-shot exporter
+/// for the `tir check --file` / mmap-load tooling.
+fn cmd_snapshot(opts: &Opts) -> Result<(), String> {
+    let out = opts.require("out")?;
+    let corpus = serve_corpus(opts)?;
+    let method = opts.get("method").unwrap_or("tif");
+    let epoch: u64 = opts.parse_or("epoch", 0)?;
+    let path = Path::new(out);
+    let catalog = corpus.collection.objects();
+    let dict = &corpus.dictionary;
+    let write = |r: std::io::Result<()>| r.map_err(|e| format!("{out}: {e}"));
+    match method {
+        "tif" => write(tir_persist::write_snapshot(
+            path,
+            epoch,
+            dict,
+            catalog,
+            &Tif::build(&corpus.collection),
+        ))?,
+        "tif-hint-bs" => write(tir_persist::write_snapshot(
+            path,
+            epoch,
+            dict,
+            catalog,
+            &TifHint::build(&corpus.collection, TifHintConfig::binary_search()),
+        ))?,
+        "tif-hint-ms" => write(tir_persist::write_snapshot(
+            path,
+            epoch,
+            dict,
+            catalog,
+            &TifHint::build(&corpus.collection, TifHintConfig::merge_sort()),
+        ))?,
+        other => {
+            return Err(format!(
+                "method {other} has no snapshot format (supported: tif, tif-hint-bs, tif-hint-ms)"
+            ));
+        }
+    }
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    eprintln!(
+        "wrote {out} ({method}, {} objects, {} KiB)",
+        corpus.collection.len(),
+        bytes / 1024
+    );
+    cmd_check_file(out)
+}
+
+/// Recovers a data directory outside the server (`tir recover`): report
+/// what last-snapshot + WAL replay reaches, optionally proving the
+/// result against the brute-force oracle rebuilt from the recovered
+/// catalog.
+fn recover_and_report<I>(opts: &Opts, dir: &Path) -> Result<(), String>
+where
+    I: Persist + TemporalIrIndex,
+{
+    let r: Recovered<I> = Durability::recover(dir, DurabilityOptions::default())
+        .map_err(|e| format!("recover {}: {e}", dir.display()))?;
+    println!("data dir    {}", dir.display());
+    println!("method      {}", r.index.name());
+    println!("epoch       {}", r.epoch);
+    println!("replayed    {} WAL batch(es)", r.replayed);
+    println!(
+        "torn tail   {}",
+        if r.truncated_tail { "truncated" } else { "no" }
+    );
+    println!("live        {}", r.durability.live());
+    println!("dictionary  {}", r.dict.len());
+    if opts.get("verify").is_none() {
+        return Ok(());
+    }
+    // Oracle agreement: the recovered index must answer exactly like a
+    // brute-force scan of the recovered catalog, over a query grid
+    // spanning the catalog's domain and element range.
+    let catalog = r.durability.catalog_sorted();
+    let oracle = BruteForce::build(&catalog);
+    let (mut dmin, mut dmax, mut emax) = (u64::MAX, 0u64, 0u32);
+    for o in &catalog {
+        dmin = dmin.min(o.interval.st);
+        dmax = dmax.max(o.interval.end);
+        emax = emax.max(o.desc.iter().copied().max().unwrap_or(0));
+    }
+    if dmin > dmax {
+        (dmin, dmax) = (0, 0);
+    }
+    let span = (dmax - dmin).max(1);
+    let mut checked = 0usize;
+    for k in 0..16u64 {
+        let st = dmin + span * k / 17;
+        let end = (st + span / (1 + k % 5)).min(dmax);
+        let elems: Vec<u32> = (0..=(k as u32 % 3))
+            .map(|j| (k as u32 * 7 + j) % (emax + 1))
+            .collect();
+        let q = TimeTravelQuery::new(st, end, elems);
+        let mut got = r.index.query(&q);
+        got.sort_unstable();
+        if got != oracle.answer(&q) {
+            return Err(format!("oracle divergence on {q:?}"));
+        }
+        checked += 1;
+    }
+    println!("verified    {checked} queries against the brute-force oracle");
+    Ok(())
+}
+
+fn cmd_recover(opts: &Opts) -> Result<(), String> {
+    let dir = Path::new(opts.require("data-dir")?);
+    if !Durability::exists(dir) {
+        return Err(format!("{}: no snapshot found", dir.display()));
+    }
+    if opts.get("verify").is_some() {
+        fsck_data_dir(dir)?;
+        println!("fsck        clean");
+    }
+    match snapshot_kind(dir)? {
+        IndexKind::Tif => recover_and_report::<Tif>(opts, dir),
+        IndexKind::TifHintBs | IndexKind::TifHintMs => recover_and_report::<TifHint>(opts, dir),
+        IndexKind::BruteForce => recover_and_report::<BruteForce>(opts, dir),
+        IndexKind::CompactTemporal => {
+            Err("snapshot holds a bare compact postings structure; nothing to recover into".into())
+        }
+    }
+}
+
 fn cmd_loadgen(opts: &Opts) -> Result<(), String> {
+    warn_stale_binary();
     let mut cfg = LoadgenConfig::new(opts.require("addr")?);
     cfg.requests = opts.parse_or("requests", cfg.requests)?;
     cfg.threads = opts.parse_or("threads", cfg.threads)?;
@@ -740,6 +1096,7 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), String> {
     cfg.insert_fraction = opts.parse_or("insert-fraction", cfg.insert_fraction)?;
     cfg.max_elems = opts.parse_or("elems", cfg.max_elems)?;
     cfg.seed = opts.parse_or("seed", cfg.seed)?;
+    cfg.durability = opts.parse_or("durability", cfg.durability)?;
     if !(0.0..=1.0).contains(&cfg.write_fraction) || !(0.0..=1.0).contains(&cfg.insert_fraction) {
         return Err("--write-fraction and --insert-fraction must be in [0, 1]".into());
     }

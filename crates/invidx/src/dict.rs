@@ -30,6 +30,28 @@ impl Dictionary {
         Self::default()
     }
 
+    /// Rebuilds a dictionary from its flattened parts (the
+    /// snapshot-restore path): `terms[i]` is the string of element id
+    /// `i`, `freq[i]` its document frequency. Fails with a description if
+    /// the tables disagree in length or a term repeats.
+    pub fn from_parts(terms: Vec<String>, freq: Vec<u32>) -> Result<Self, String> {
+        if terms.len() != freq.len() {
+            return Err(format!(
+                "{} terms but {} frequency slots",
+                terms.len(),
+                freq.len()
+            ));
+        }
+        let mut map = HashMap::with_capacity(terms.len());
+        for (i, term) in terms.iter().enumerate() {
+            // analyze:allow(unguarded-cast): term ids are u32 by contract; the dictionary never exceeds u32::MAX entries
+            if map.insert(term.clone(), i as u32).is_some() {
+                return Err(format!("term {term:?} appears twice"));
+            }
+        }
+        Ok(Dictionary { terms, map, freq })
+    }
+
     /// Returns the id of `term`, interning it if new.
     pub fn intern(&mut self, term: &str) -> u32 {
         if let Some(&id) = self.map.get(term) {

@@ -1,0 +1,259 @@
+//! The audited memory-mapping wrapper — **the only module in the
+//! workspace allowed to contain `unsafe`** (the `unsafe-code` rule of
+//! `tir-analyze` rejects the keyword anywhere else).
+//!
+//! On Unix the [`Mmap`] type maps a file read-only with
+//! `mmap(PROT_READ, MAP_PRIVATE)` declared directly against libc (which
+//! `std` already links — no new dependency) and unmaps on drop. On other
+//! platforms, and whenever a caller asks for [`LoadMode::Heap`], the
+//! [`Bytes`] loader falls back to an ordinary buffered read.
+//!
+//! ## Safety argument
+//!
+//! * The mapping is `PROT_READ`/`MAP_PRIVATE`: nothing can write through
+//!   it, and writes by other processes to the underlying file are not
+//!   required to become visible.
+//! * Snapshot files are **immutable once renamed into place** (the
+//!   writer's temp-file → fsync → rename discipline in
+//!   [`crate::snapshot`]); the repo never truncates or rewrites a live
+//!   snapshot, which is the one way a mapped read could fault (SIGBUS).
+//! * The pointer/length pair returned by a successful `mmap` is valid
+//!   for exactly `len` bytes until `munmap`, which only [`Drop`] calls.
+//! * `Mmap` is `Send + Sync` because the mapping is immutable shared
+//!   memory: concurrent `&[u8]` reads are race-free by construction.
+
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+
+/// How a snapshot file should be brought into memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Zero-copy `mmap`; falls back to a heap read on platforms without
+    /// the wrapper.
+    Mmap,
+    /// Ordinary buffered read into a `Vec<u8>`.
+    Heap,
+}
+
+/// A read-only memory-mapped file region.
+#[cfg(unix)]
+pub struct Mmap {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+#[cfg(unix)]
+mod sys {
+    //! Minimal libc surface, declared here so the crate needs no
+    //! external dependency. `std` links libc on every Unix target.
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+#[cfg(unix)]
+impl Mmap {
+    /// Maps `file` read-only. An empty file maps to an empty slice
+    /// without calling `mmap` (which rejects zero lengths).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: fd is a live descriptor borrowed from `file` for the
+        // duration of the call; addr=NULL lets the kernel choose the
+        // placement; PROT_READ + MAP_PRIVATE can alias no writable
+        // memory. The result is checked against MAP_FAILED below.
+        // analyze:allow(unsafe-code): audited FFI call, arguments validated above, result checked below
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// The mapped bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` came from a successful mmap of exactly `len`
+        // bytes, is non-null (the len==0 case returned above), stays
+        // mapped until Drop, and the mapping is immutable (PROT_READ).
+        // analyze:allow(unsafe-code): audited pointer/length pair from a checked mmap, immutable until Drop
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+}
+
+// SAFETY: the region is immutable shared memory for the lifetime of the
+// value; `&Mmap` only ever hands out `&[u8]`, so cross-thread use is
+// data-race-free, and ownership transfer moves only the pointer.
+// analyze:allow(unsafe-code): immutable read-only mapping; no interior mutability
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+// SAFETY: as above — shared `&self` access is read-only.
+// analyze:allow(unsafe-code): immutable read-only mapping; no interior mutability
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` are the exact pair a successful mmap
+            // returned; unmapping happens exactly once (Drop).
+            // analyze:allow(unsafe-code): audited munmap of the pair mmap returned; called once
+            let _ = unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+#[cfg(unix)]
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// File contents, either zero-copy mapped or heap-loaded. Derefs to
+/// `[u8]` so every consumer is agnostic to the mode.
+#[derive(Debug)]
+pub enum Bytes {
+    /// Zero-copy mapping (Unix only).
+    #[cfg(unix)]
+    Mapped(Mmap),
+    /// Heap fallback.
+    Heap(Vec<u8>),
+}
+
+impl Bytes {
+    /// Loads `path` with the requested mode. [`LoadMode::Mmap`] silently
+    /// degrades to a heap read on non-Unix targets.
+    pub fn load(path: &Path, mode: LoadMode) -> io::Result<Bytes> {
+        let mut file = File::open(path)?;
+        #[cfg(unix)]
+        if mode == LoadMode::Mmap {
+            return Ok(Bytes::Mapped(Mmap::map(&file)?));
+        }
+        let _ = mode;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        Ok(Bytes::Heap(buf))
+    }
+
+    /// True if this is a zero-copy mapping.
+    pub fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Bytes::Mapped(_) => true,
+            Bytes::Heap(_) => false,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Bytes::Mapped(m) => m.as_bytes(),
+            Bytes::Heap(v) => v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("tir-persist-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).expect("create scratch file");
+        f.write_all(contents).expect("write scratch file");
+        f.sync_all().expect("sync scratch file");
+        path
+    }
+
+    #[test]
+    fn mapped_and_heap_agree() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let path = scratch_file("agree", &payload);
+        let mapped = Bytes::load(&path, LoadMode::Mmap).expect("map");
+        let heap = Bytes::load(&path, LoadMode::Heap).expect("read");
+        assert_eq!(&*mapped, &payload[..]);
+        assert_eq!(&*heap, &payload[..]);
+        assert!(!heap.is_mapped());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = scratch_file("empty", b"");
+        let mapped = Bytes::load(&path, LoadMode::Mmap).expect("map");
+        assert!(mapped.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let path = std::env::temp_dir().join("tir-persist-mmap-definitely-missing");
+        assert!(Bytes::load(&path, LoadMode::Mmap).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapping_survives_cross_thread_reads() {
+        let payload = vec![7u8; 4096];
+        let path = scratch_file("threads", &payload);
+        let mapped = std::sync::Arc::new(Bytes::load(&path, LoadMode::Mmap).expect("map"));
+        assert!(mapped.is_mapped());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&mapped);
+                std::thread::spawn(move || m.iter().map(|&b| u64::from(b)).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("join"), 7 * 4096);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,244 @@
+//! The dictionary sidecar log (`terms.log`): makes term interning
+//! durable *independently of the WAL*.
+//!
+//! The server interns terms under the dictionary lock while the applier
+//! owns the WAL, so term ids must be durable before any WAL record can
+//! reference them. Each intern appends one record here and fsyncs
+//! *before* the write op is enqueued; a crash can therefore leave terms
+//! that no surviving op references (harmless — they are re-interned
+//! state) but never an op whose term ids are missing.
+//!
+//! Record: `id: u32 ‖ len: u32 ‖ utf-8 bytes ‖ crc32` (CRC over the
+//! first three fields). Recovery replays records with `id ≥` the
+//! snapshot's dictionary length, verifies contiguity, and rewrites the
+//! log compacted (recovery is single-threaded, the one safe moment).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use tir_invidx::Dictionary;
+
+use crate::cols::{put_u32, read_u32};
+use crate::crc::{crc32, Crc32};
+
+/// File name inside the data directory.
+pub const TERMLOG_NAME: &str = "terms.log";
+
+/// Append handle for the dictionary sidecar log.
+#[derive(Debug)]
+pub struct TermLog {
+    file: File,
+    path: PathBuf,
+}
+
+impl TermLog {
+    /// Opens (creating if missing) `terms.log` inside `dir`.
+    pub fn open(dir: &Path) -> io::Result<TermLog> {
+        let path = dir.join(TERMLOG_NAME);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(TermLog { file, path })
+    }
+
+    /// Appends one interned term and fsyncs. Must be called before any
+    /// op referencing `id` is enqueued.
+    pub fn append(&mut self, id: u32, term: &str) -> io::Result<()> {
+        let mut rec = Vec::with_capacity(12 + term.len());
+        put_u32(&mut rec, id);
+        put_u32(&mut rec, term.len() as u32);
+        rec.extend_from_slice(term.as_bytes());
+        let crc = crc32(&rec);
+        put_u32(&mut rec, crc);
+        self.file.write_all(&rec)?;
+        self.file.sync_all()
+    }
+
+    /// Replays the log into `dict`, which already holds the snapshot's
+    /// terms: records with `id <` the current length must match what the
+    /// dictionary has (idempotent re-plays), records at exactly the
+    /// current length extend it, anything else is corruption. A torn
+    /// final record (crash mid-append) is truncated away. Afterwards the
+    /// log is rewritten compacted to the surviving dictionary.
+    pub fn recover(dir: &Path, dict: &mut Dictionary) -> io::Result<bool> {
+        let path = dir.join(TERMLOG_NAME);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let corrupt = |pos: usize, msg: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("terms.log@{pos}: {msg}"),
+            )
+        };
+        let mut pos = 0usize;
+        let mut truncated = false;
+        while pos < bytes.len() {
+            // A record that doesn't fully fit is a torn tail iff it is
+            // the last thing in the file; truncation handles it below.
+            let header_ok = bytes.len() - pos >= 8;
+            let (id, len) = if header_ok {
+                (
+                    read_u32(&bytes, pos).unwrap_or(0),
+                    read_u32(&bytes, pos + 4).unwrap_or(0) as usize,
+                )
+            } else {
+                (0, 0)
+            };
+            let total = 12 + len;
+            if !header_ok || bytes.len() - pos < total {
+                truncated = true;
+                break;
+            }
+            let body = &bytes[pos..pos + 8 + len];
+            let stored = read_u32(&bytes, pos + 8 + len).unwrap_or(0);
+            if crc32(body) != stored {
+                // CRC damage at the tail is a torn append; earlier it is
+                // real corruption.
+                if bytes.len() - pos == total {
+                    truncated = true;
+                    break;
+                }
+                return Err(corrupt(pos, "record CRC mismatch mid-stream".into()));
+            }
+            let term = std::str::from_utf8(&bytes[pos + 8..pos + 8 + len])
+                .map_err(|_| corrupt(pos, "term is not UTF-8".into()))?;
+            let have = dict.len() as u32;
+            if id < have {
+                if dict.term(id) != Some(term) {
+                    return Err(corrupt(
+                        pos,
+                        format!(
+                            "term id {id} is {:?} in the snapshot but {term:?} in the log",
+                            dict.term(id)
+                        ),
+                    ));
+                }
+            } else if id == have {
+                let interned = dict.intern(term);
+                if interned != id {
+                    return Err(corrupt(
+                        pos,
+                        format!("term {term:?} re-interned as {interned}, log says {id}"),
+                    ));
+                }
+            } else {
+                return Err(corrupt(
+                    pos,
+                    format!("term id {id} skips ahead of the {have} known terms"),
+                ));
+            }
+            pos += total;
+        }
+
+        // Rewrite compacted: one record per dictionary entry, clean tail.
+        let tmp = dir.join("terms.log.tmp");
+        let mut f = File::create(&tmp)?;
+        let mut buf = Vec::new();
+        for id in 0..dict.len() as u32 {
+            let term = dict.term(id).unwrap_or("");
+            let start = buf.len();
+            put_u32(&mut buf, id);
+            put_u32(&mut buf, term.len() as u32);
+            buf.extend_from_slice(term.as_bytes());
+            let mut c = Crc32::new();
+            c.update(&buf[start..]);
+            put_u32(&mut buf, c.finish());
+        }
+        f.write_all(&buf)?;
+        f.sync_all()?;
+        fs::rename(&tmp, &path)?;
+        File::open(dir)?.sync_all()?;
+        Ok(truncated)
+    }
+
+    /// The log's path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tir-termlog-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn append_recover_roundtrip() {
+        let dir = scratch_dir("roundtrip");
+        let mut log = TermLog::open(&dir).expect("open");
+        let mut dict = Dictionary::new();
+        for term in ["alpha", "beta", "gamma"] {
+            let id = dict.intern(term);
+            log.append(id, term).expect("append");
+        }
+        drop(log);
+        let mut recovered = Dictionary::new();
+        let truncated = TermLog::recover(&dir, &mut recovered).expect("recover");
+        assert!(!truncated);
+        assert_eq!(recovered.len(), 3);
+        assert_eq!(recovered.lookup("beta"), Some(1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_on_top_of_snapshot_terms_is_idempotent() {
+        let dir = scratch_dir("idempotent");
+        let mut log = TermLog::open(&dir).expect("open");
+        let mut dict = Dictionary::new();
+        for term in ["a", "b", "c"] {
+            let id = dict.intern(term);
+            log.append(id, term).expect("append");
+        }
+        drop(log);
+        // Snapshot already covers "a" and "b": replay verifies them and
+        // extends with "c".
+        let mut snap =
+            Dictionary::from_parts(vec!["a".into(), "b".into()], vec![0, 0]).expect("parts");
+        TermLog::recover(&dir, &mut snap).expect("recover");
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.lookup("c"), Some(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_log_compacted() {
+        let dir = scratch_dir("torn");
+        let mut log = TermLog::open(&dir).expect("open");
+        let mut dict = Dictionary::new();
+        let id = dict.intern("whole");
+        log.append(id, "whole").expect("append");
+        drop(log);
+        let path = dir.join(TERMLOG_NAME);
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        f.write_all(&[9, 0, 0, 0, 50]).expect("garbage"); // half a header
+        drop(f);
+        let mut recovered = Dictionary::new();
+        let truncated = TermLog::recover(&dir, &mut recovered).expect("recover");
+        assert!(truncated);
+        assert_eq!(recovered.len(), 1);
+        // Compaction left a clean log: a second recovery sees no tear.
+        let mut again = Dictionary::new();
+        assert!(!TermLog::recover(&dir, &mut again).expect("recover"));
+        assert_eq!(again.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn divergent_term_is_corruption() {
+        let dir = scratch_dir("diverge");
+        let mut log = TermLog::open(&dir).expect("open");
+        log.append(0, "logged").expect("append");
+        drop(log);
+        let mut snap = Dictionary::from_parts(vec!["different".into()], vec![0]).expect("parts");
+        assert!(TermLog::recover(&dir, &mut snap).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

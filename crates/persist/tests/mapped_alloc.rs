@@ -1,0 +1,111 @@
+//! The mmap-serving acceptance test: a mapped snapshot answers
+//! time-travel queries (a) in exact agreement with the `BruteForce`
+//! oracle and (b) **without a single heap allocation** once the scratch
+//! and output buffers are warmed — postings are read in place from the
+//! mapped columns, never deserialized.
+//!
+//! The proof is a counting global allocator: the query loop runs with
+//! allocation counting on, and the count must not move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tir_core::prelude::*;
+use tir_datagen::SyntheticConfig;
+use tir_invidx::{Dictionary, QueryScratch};
+use tir_persist::{write_snapshot, LoadMode, SnapshotFile};
+
+/// Counts allocations while armed. SeqCst: test-only bookkeeping.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates allocation verbatim to `System`; the wrapper only
+// bumps a counter and never touches the returned memory.
+// analyze:allow(unsafe-code): test-only counting allocator delegating to System
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::SeqCst) {
+            ALLOCS.fetch_add(1, Ordering::SeqCst);
+        }
+        // SAFETY: same contract as the caller's; forwarded unchanged.
+        // analyze:allow(unsafe-code): verbatim delegation to the System allocator
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr/layout come from the paired alloc above.
+        // analyze:allow(unsafe-code): verbatim delegation to the System allocator
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn mapped_queries_allocate_nothing_and_match_oracle() {
+    let mut cfg = SyntheticConfig::default().scaled(0.002);
+    cfg.desc_size = 4;
+    cfg.seed = 101;
+    let coll = tir_datagen::generate(&cfg);
+    let index = Tif::build(&coll);
+    let oracle = BruteForce::build(coll.objects());
+
+    let path = std::env::temp_dir().join(format!("tir-mapped-alloc-{}.tir", std::process::id()));
+    let dict = Dictionary::new();
+    write_snapshot(&path, 1, &dict, coll.objects(), &index).expect("write snapshot");
+
+    let snap = SnapshotFile::open(&path, LoadMode::Mmap).expect("open mapped");
+    assert!(snap.is_mapped(), "snapshot must serve from the mapping");
+    let view = snap.postings().expect("postings view");
+
+    // The query mix: varied extents and element counts.
+    let d = coll.domain();
+    let span = d.end - d.st;
+    let mut queries = Vec::new();
+    for k in 0..32u64 {
+        let st = d.st + (span * k) / 40;
+        let end = (st + span / (2 + k % 9)).min(d.end);
+        let elems: Vec<u32> = (0..(1 + k % 4) as u32)
+            .map(|j| (k as u32 * 3 + j) % 50)
+            .collect();
+        queries.push(TimeTravelQuery::new(st, end, elems));
+    }
+
+    let mut scratch = QueryScratch::default();
+    let mut out = Vec::new();
+
+    // Warm-up: grow the scratch plan/cands and the output to their
+    // high-water marks (growth sinks are caller-owned and reused).
+    for q in &queries {
+        out.clear();
+        view.query_into(q, &mut scratch, &mut out);
+    }
+
+    // Armed pass: identical queries, zero allocations allowed.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for q in &queries {
+        out.clear();
+        view.query_into(q, &mut scratch, &mut out);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "mapped query path allocated {allocs} times — postings must be read in place"
+    );
+
+    // Correctness of the same path against the oracle.
+    for q in &queries {
+        out.clear();
+        view.query_into(q, &mut scratch, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, oracle.answer(q), "mapped view diverged on {q:?}");
+    }
+
+    drop(snap);
+    let _ = std::fs::remove_file(&path);
+}

@@ -68,9 +68,14 @@ pub enum WriteOp {
     Delete(Object),
 }
 
-enum Cmd {
+/// Applier-thread commands. `pub(crate)` so the durable applier
+/// ([`crate::durable`]) can drain the same queue with the same protocol.
+pub(crate) enum Cmd {
     Write(WriteOp),
     Flush(SyncSender<u64>),
+    /// Durable servers write a snapshot now; the in-memory applier treats
+    /// it as a flush barrier (there is nothing more durable to do).
+    Snapshot(SyncSender<u64>),
 }
 
 /// Post-swap validation hook: inspects the about-to-be-published index
@@ -115,14 +120,16 @@ pub struct EpochStats {
     pub max_batch: AtomicU64,
     /// Total structural violations reported by the validator.
     pub violations: AtomicU64,
+    /// Flush barriers served.
+    pub flushes: AtomicU64,
 }
 
 /// The epoch-snapshot store. See the module docs for the protocol.
 pub struct EpochStore<I> {
-    current: Arc<Mutex<Arc<Snapshot<I>>>>,
-    tx: Option<SyncSender<Cmd>>,
-    applier: Option<JoinHandle<()>>,
-    stats: Arc<EpochStats>,
+    pub(crate) current: Arc<Mutex<Arc<Snapshot<I>>>>,
+    pub(crate) tx: Option<SyncSender<Cmd>>,
+    pub(crate) applier: Option<JoinHandle<()>>,
+    pub(crate) stats: Arc<EpochStats>,
 }
 
 impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> EpochStore<I> {
@@ -183,6 +190,20 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> EpochStore<I> {
         let tx = self.tx.as_ref().ok_or(Rejected::Closed)?;
         let (ack_tx, ack_rx) = sync_channel(1);
         tx.send(Cmd::Flush(ack_tx)).map_err(|_| Rejected::Closed)?;
+        let epoch = ack_rx.recv().map_err(|_| Rejected::Closed)?;
+        // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(epoch)
+    }
+
+    /// Snapshot barrier: on a durable store ([`crate::durable`]) this
+    /// forces a durable snapshot and returns the epoch it captured; on an
+    /// in-memory store it degrades to [`EpochStore::flush`].
+    pub fn force_snapshot(&self) -> Result<u64, Rejected> {
+        let tx = self.tx.as_ref().ok_or(Rejected::Closed)?;
+        let (ack_tx, ack_rx) = sync_channel(1);
+        tx.send(Cmd::Snapshot(ack_tx))
+            .map_err(|_| Rejected::Closed)?;
         ack_rx.recv().map_err(|_| Rejected::Closed)
     }
 
@@ -253,7 +274,8 @@ impl<I: TemporalIrIndex + Clone> Applier<I> {
                         self.stats.missed_deletes.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                Cmd::Flush(ack) => acks.push(ack),
+                // In-memory store: a snapshot barrier is just a flush.
+                Cmd::Flush(ack) | Cmd::Snapshot(ack) => acks.push(ack),
             }
         }
         if wrote > 0 {

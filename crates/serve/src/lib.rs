@@ -11,6 +11,11 @@
 //!   insert/delete batches, applies them to its private master copy,
 //!   optionally validates the result (`tir-check` hook), and atomically
 //!   swaps in the next epoch.
+//! * **[`durable`]** — the same store with a write-ahead log in front
+//!   ([`EpochStore::new_durable`](epoch::EpochStore::new_durable),
+//!   `tir-persist`): a batch is acknowledged only after its WAL record is
+//!   fsynced, snapshots land on flush barriers and shutdown, and restart
+//!   recovers to last-snapshot + WAL replay.
 //! * **[`pool`]** — the [`QueryPool`](pool::QueryPool): a worker pool
 //!   with per-shard dispatch (element-hashed), query batching (one
 //!   snapshot grab per batch), and explicit `Overloaded` backpressure
@@ -47,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod epoch;
 pub mod histogram;
 pub mod json;
@@ -56,9 +62,10 @@ pub mod protocol;
 pub mod server;
 pub mod witness;
 
+pub use durable::ServeDict;
 pub use epoch::{EpochConfig, EpochStore, Rejected, Snapshot, WriteOp};
 pub use histogram::LatencyHistogram;
 pub use json::Json;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use pool::{PoolConfig, QueryPool, QueryReply};
-pub use server::{spawn_server, ServerConfig, ServerHandle};
+pub use server::{spawn_server, spawn_server_durable, ServerConfig, ServerHandle};

@@ -68,6 +68,11 @@ pub struct LoadgenConfig {
     pub max_elems: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Durability mode: issue a `FLUSH` barrier after every this many
+    /// writes per worker and report flush latency separately (0 = off).
+    /// Against a `--data-dir` server the flush waits for the WAL fsync,
+    /// so these percentiles are the durability cost on the wire.
+    pub durability: u64,
 }
 
 impl LoadgenConfig {
@@ -81,6 +86,7 @@ impl LoadgenConfig {
             insert_fraction: 0.7,
             max_elems: 3,
             seed: 7,
+            durability: 0,
         }
     }
 }
@@ -112,6 +118,18 @@ pub struct LoadgenReport {
     pub p99_us: f64,
     /// Worst observed latency, microseconds.
     pub max_us: f64,
+    /// `FLUSH` barriers issued (durability mode; 0 when off). Flush
+    /// round-trips are timed into their own histogram and excluded from
+    /// the request percentiles above.
+    pub flushes: u64,
+    /// Median flush-barrier latency, microseconds.
+    pub flush_p50_us: f64,
+    /// 95th-percentile flush-barrier latency, microseconds.
+    pub flush_p95_us: f64,
+    /// 99th-percentile flush-barrier latency, microseconds.
+    pub flush_p99_us: f64,
+    /// Worst observed flush-barrier latency, microseconds.
+    pub flush_max_us: f64,
     /// Serving method reported by the server.
     pub method: String,
     /// Index footprint reported by the server.
@@ -150,6 +168,11 @@ impl LoadgenReport {
             ("p95_us", Json::Num(self.p95_us)),
             ("p99_us", Json::Num(self.p99_us)),
             ("max_us", Json::Num(self.max_us)),
+            ("flushes", Json::Int(self.flushes)),
+            ("flush_p50_us", Json::Num(self.flush_p50_us)),
+            ("flush_p95_us", Json::Num(self.flush_p95_us)),
+            ("flush_p99_us", Json::Num(self.flush_p99_us)),
+            ("flush_max_us", Json::Num(self.flush_max_us)),
             ("size_bytes", Json::Int(self.size_bytes)),
             ("kern_merge", Json::Int(self.kern_merge)),
             ("kern_gallop", Json::Int(self.kern_gallop)),
@@ -161,7 +184,7 @@ impl LoadgenReport {
 
     /// Human-readable multi-line summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} requests in {:.2}s over {} threads against {}\n\
              throughput  {:.0} req/s\n\
              latency     p50 {:.0}µs | p95 {:.0}µs | p99 {:.0}µs | max {:.0}µs\n\
@@ -186,7 +209,18 @@ impl LoadgenReport {
             self.kern_bitmap_probe,
             self.kern_word_and,
             self.elems_scanned
-        )
+        );
+        if self.flushes > 0 {
+            s.push_str(&format!(
+                "\nflushes     {} barriers | p50 {:.0}µs | p95 {:.0}µs | p99 {:.0}µs | max {:.0}µs",
+                self.flushes,
+                self.flush_p50_us,
+                self.flush_p95_us,
+                self.flush_p99_us,
+                self.flush_max_us
+            ));
+        }
+        s
     }
 }
 
@@ -331,11 +365,13 @@ fn discover(addr: &str) -> Result<ServerInfo, String> {
 
 struct ThreadOutcome {
     histogram: LatencyHistogram,
+    flush_histogram: LatencyHistogram,
     ok: u64,
     hits: u64,
     rejected: u64,
     missing: u64,
     errors: u64,
+    flushes: u64,
 }
 
 fn worker(
@@ -349,12 +385,15 @@ fn worker(
     let mut rng = Rng::new(cfg.seed ^ (thread_idx as u64).wrapping_mul(0xA5A5_A5A5));
     let mut out = ThreadOutcome {
         histogram: LatencyHistogram::new(),
+        flush_histogram: LatencyHistogram::new(),
         ok: 0,
         hits: 0,
         rejected: 0,
         missing: 0,
         errors: 0,
+        flushes: 0,
     };
+    let mut writes_since_flush = 0u64;
     let span = info.domain_max.saturating_sub(info.domain_min).max(1);
     let mut my_inserts: Vec<u32> = Vec::new();
     // Window extents from stabbing-ish to 1% of the domain.
@@ -415,6 +454,29 @@ fn worker(
                 return Ok(out);
             }
         }
+
+        // Durability mode: a FLUSH barrier after every N writes. Its
+        // round-trip spans the WAL fsync on a durable server, so it gets
+        // its own histogram and does not pollute the request percentiles.
+        if is_write && cfg.durability > 0 {
+            writes_since_flush += 1;
+            if writes_since_flush >= cfg.durability {
+                writes_since_flush = 0;
+                let t0 = Instant::now();
+                let flushed = conn.call("FLUSH");
+                let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                out.flush_histogram.record(nanos);
+                out.flushes += 1;
+                match flushed {
+                    Ok(Response::Epoch(_)) => {}
+                    Ok(_) => out.errors += 1,
+                    Err(_) => {
+                        out.errors += 1;
+                        return Ok(out);
+                    }
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -447,17 +509,20 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
     }
 
     let mut histogram = LatencyHistogram::new();
-    let (mut ok, mut hits, mut rejected, mut missing, mut errors) = (0, 0, 0, 0, 0);
+    let mut flush_histogram = LatencyHistogram::new();
+    let (mut ok, mut hits, mut rejected, mut missing, mut errors, mut flushes) = (0, 0, 0, 0, 0, 0);
     for join in joins {
         let outcome = join
             .join()
             .map_err(|_| "loadgen thread panicked".to_string())??;
         histogram.merge(&outcome.histogram);
+        flush_histogram.merge(&outcome.flush_histogram);
         ok += outcome.ok;
         hits += outcome.hits;
         rejected += outcome.rejected;
         missing += outcome.missing;
         errors += outcome.errors;
+        flushes += outcome.flushes;
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
     let issued = histogram.count();
@@ -481,6 +546,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         p95_us: histogram.quantile(0.95) as f64 / 1_000.0,
         p99_us: histogram.quantile(0.99) as f64 / 1_000.0,
         max_us: histogram.max() as f64 / 1_000.0,
+        flushes,
+        flush_p50_us: flush_histogram.quantile(0.50) as f64 / 1_000.0,
+        flush_p95_us: flush_histogram.quantile(0.95) as f64 / 1_000.0,
+        flush_p99_us: flush_histogram.quantile(0.99) as f64 / 1_000.0,
+        flush_max_us: flush_histogram.max() as f64 / 1_000.0,
         method: info.method.clone(),
         size_bytes: info.size_bytes,
         threads: cfg.threads,

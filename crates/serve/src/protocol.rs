@@ -7,6 +7,8 @@
 //! request  := QUERY <from> <to> <elem>[,<elem>...]
 //!           | INSERT <id> <from> <to> <elem>[,<elem>...]
 //!           | DELETE <id>
+//!           | FLUSH
+//!           | SNAPSHOT
 //!           | STATS
 //!           | ELEMS <n>
 //!           | SHUTDOWN
@@ -14,6 +16,7 @@
 //!           | OK                      write admitted
 //!           | MISSING                 DELETE of an id that is not live
 //!           | OVERLOADED              backpressure: request shed, retry
+//!           | EPOCH <n>               FLUSH / SNAPSHOT barrier reached
 //!           | STATS <k>=<v>[ <k>=<v>...]
 //!           | ELEMS [<term>...]       sample of dictionary terms
 //!           | BYE                     acknowledges SHUTDOWN
@@ -55,6 +58,12 @@ pub enum Request {
         /// The object id.
         id: ObjectId,
     },
+    /// Write barrier: block until every prior write on any connection is
+    /// applied (and, on a durable server, fsynced), answer the epoch.
+    Flush,
+    /// Force a durable snapshot now (durable servers; others treat it as
+    /// a flush), answer the epoch it captured.
+    Snapshot,
     /// Server counters.
     Stats,
     /// Sample up to `n` dictionary terms (for workload generation).
@@ -77,6 +86,8 @@ pub enum Response {
     Missing,
     /// Backpressure rejection.
     Overloaded,
+    /// Barrier acknowledgment of `FLUSH`/`SNAPSHOT`: the epoch reached.
+    Epoch(u64),
     /// Counter pairs, verbatim `k=v` tokens.
     Stats(Vec<(String, String)>),
     /// Dictionary term sample.
@@ -163,6 +174,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 id: parse_id(rest[0])?,
             })
         }
+        "FLUSH" => {
+            arity(0)?;
+            Ok(Request::Flush)
+        }
+        "SNAPSHOT" => {
+            arity(0)?;
+            Ok(Request::Snapshot)
+        }
         "STATS" => {
             arity(0)?;
             Ok(Request::Stats)
@@ -194,6 +213,7 @@ pub fn format_response(r: &Response) -> String {
         Response::Ok => "OK".into(),
         Response::Missing => "MISSING".into(),
         Response::Overloaded => "OVERLOADED".into(),
+        Response::Epoch(n) => format!("EPOCH {n}"),
         Response::Stats(pairs) => {
             let mut s = "STATS".to_string();
             for (k, v) in pairs {
@@ -242,6 +262,11 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         "OK" => Ok(Response::Ok),
         "MISSING" => Ok(Response::Missing),
         "OVERLOADED" => Ok(Response::Overloaded),
+        "EPOCH" => rest
+            .trim()
+            .parse()
+            .map(Response::Epoch)
+            .map_err(|_| format!("bad EPOCH value '{rest}'")),
         "STATS" => {
             let pairs = rest
                 .split_ascii_whitespace()
@@ -289,6 +314,11 @@ mod tests {
             parse_request("DELETE 8").expect("delete"),
             Request::Delete { id: 8 }
         );
+        assert_eq!(parse_request("FLUSH").expect("flush"), Request::Flush);
+        assert_eq!(
+            parse_request("SNAPSHOT").expect("snapshot"),
+            Request::Snapshot
+        );
         assert_eq!(parse_request("STATS").expect("stats"), Request::Stats);
         assert_eq!(
             parse_request("ELEMS 16").expect("elems"),
@@ -312,6 +342,8 @@ mod tests {
             "DELETE",                  // missing id
             "DELETE x",                // bad id
             "STATS now",               // arity
+            "FLUSH 1",                 // arity
+            "SNAPSHOT now",            // arity
             "ELEMS",                   // arity
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
@@ -326,6 +358,7 @@ mod tests {
             Response::Ok,
             Response::Missing,
             Response::Overloaded,
+            Response::Epoch(42),
             Response::Stats(vec![
                 ("epoch".into(), "7".into()),
                 ("live".into(), "1000".into()),
@@ -344,5 +377,11 @@ mod tests {
     fn hits_count_must_match() {
         assert!(parse_response("HITS 2 1").is_err());
         assert!(parse_response("HITS x").is_err());
+    }
+
+    #[test]
+    fn epoch_value_must_parse() {
+        assert!(parse_response("EPOCH x").is_err());
+        assert!(parse_response("EPOCH").is_err());
     }
 }

@@ -21,7 +21,9 @@ use std::thread::JoinHandle;
 
 use tir_core::{Object, TemporalIrIndex, TimeTravelQuery};
 use tir_invidx::Dictionary;
+use tir_persist::{Durability, Persist, PersistStats};
 
+use crate::durable::ServeDict;
 use crate::epoch::{EpochConfig, EpochStore, Rejected, Validator, WriteOp};
 use crate::pool::{PoolConfig, QueryPool};
 use crate::protocol::{format_response, parse_request, Request, Response};
@@ -57,7 +59,9 @@ impl Default for ServerConfig {
 struct Shared<I> {
     store: Arc<EpochStore<I>>,
     pool: QueryPool<I>,
-    dict: Mutex<Dictionary>,
+    dict: Arc<Mutex<ServeDict>>,
+    /// Durability counters of a `--data-dir` server; `None` in-memory.
+    persist: Option<Arc<PersistStats>>,
     catalog: Mutex<HashMap<u32, Object>>,
     next_id: AtomicU32,
     domain_min: AtomicU64,
@@ -124,6 +128,57 @@ where
             validator,
         },
     ));
+    let dict = Arc::new(Mutex::new(ServeDict::volatile(dict)));
+    finish_spawn(listener, addr, store, dict, None, catalog, config)
+}
+
+/// Builds the serving stack over a recovered (or freshly created)
+/// durable state: writes go through the WAL-backed applier, so an `OK`
+/// on the wire means the batch is fsynced. `dict` should carry the
+/// recovered dictionary plus an open `terms.log`
+/// ([`ServeDict::durable`]); `durability` owns the data directory and
+/// already holds the catalog (its epoch is the serving epoch).
+pub fn spawn_server_durable<I>(
+    index: I,
+    dict: ServeDict,
+    durability: Durability,
+    config: ServerConfig,
+    validator: Option<Validator<I>>,
+) -> std::io::Result<ServerHandle>
+where
+    I: TemporalIrIndex + Persist + Clone + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let catalog = durability.catalog_sorted();
+    let persist = durability.stats();
+    let dict = Arc::new(Mutex::new(dict));
+    let store = Arc::new(EpochStore::new_durable(
+        index,
+        Arc::clone(&dict),
+        durability,
+        EpochConfig {
+            queue_depth: config.write_queue_depth,
+            max_batch: config.max_write_batch,
+            validator,
+        },
+    ));
+    finish_spawn(listener, addr, store, dict, Some(persist), catalog, config)
+}
+
+fn finish_spawn<I>(
+    listener: TcpListener,
+    addr: SocketAddr,
+    store: Arc<EpochStore<I>>,
+    dict: Arc<Mutex<ServeDict>>,
+    persist: Option<Arc<PersistStats>>,
+    catalog: Vec<Object>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle>
+where
+    I: TemporalIrIndex + Clone + Send + Sync + 'static,
+{
     let pool = QueryPool::new(Arc::clone(&store), config.pool);
 
     let mut domain_min = u64::MAX;
@@ -144,7 +199,8 @@ where
     let shared = Arc::new(Shared {
         store,
         pool,
-        dict: Mutex::new(dict),
+        dict,
+        persist,
         catalog: Mutex::new(by_id),
         next_id: AtomicU32::new(next_id),
         domain_min: AtomicU64::new(domain_min),
@@ -231,7 +287,7 @@ where
         Request::Query { from, to, elems } => {
             let resolved: Option<Vec<u32>> = {
                 let dict = lock(&shared.dict);
-                elems.iter().map(|t| dict.lookup(t)).collect()
+                elems.iter().map(|t| dict.dict().lookup(t)).collect()
             };
             match resolved {
                 // An element nothing was ever tagged with ⇒ empty answer.
@@ -253,9 +309,16 @@ where
             to,
             elems,
         } => {
-            let desc: Vec<u32> = {
+            // On a durable server, interning fsyncs new terms to
+            // `terms.log` *before* the op can be enqueued, so no WAL
+            // record can ever reference an unlogged term id.
+            let desc: std::io::Result<Vec<u32>> = {
                 let mut dict = lock(&shared.dict);
                 elems.iter().map(|t| dict.intern(t)).collect()
+            };
+            let desc = match desc {
+                Ok(desc) => desc,
+                Err(e) => return Response::Err(format!("term log append failed: {e}")),
             };
             let object = Object::new(id, from, to, desc);
             // Admission control: the catalog lock spans the liveness
@@ -295,6 +358,16 @@ where
                 Err(Rejected::Closed) => Response::Err("server shutting down".into()),
             }
         }
+        Request::Flush => match shared.store.flush() {
+            Ok(epoch) => Response::Epoch(epoch),
+            Err(Rejected::Overloaded) => Response::Overloaded,
+            Err(Rejected::Closed) => Response::Err("server shutting down".into()),
+        },
+        Request::Snapshot => match shared.store.force_snapshot() {
+            Ok(epoch) => Response::Epoch(epoch),
+            Err(Rejected::Overloaded) => Response::Overloaded,
+            Err(Rejected::Closed) => Response::Err("server shutting down".into()),
+        },
         Request::Stats => {
             let snap = shared.store.snapshot();
             let estats = shared.store.stats();
@@ -343,14 +416,33 @@ where
                     "violations",
                     estats.violations.load(Ordering::Relaxed).to_string(),
                 ),
+                (
+                    "flushes",
+                    estats.flushes.load(Ordering::Relaxed).to_string(),
+                ),
             ]
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect();
+            let mut pairs = pairs;
+            // Durability block: all-SeqCst counters owned by tir-persist.
+            pairs.push(("durable".into(), shared.persist.is_some().to_string()));
+            if let Some(p) = &shared.persist {
+                for (k, v) in [
+                    ("snapshot_epoch", p.snapshot_epoch.load(Ordering::SeqCst)),
+                    ("recovered_epoch", p.recovered_epoch.load(Ordering::SeqCst)),
+                    ("wal_records", p.wal_records.load(Ordering::SeqCst)),
+                    ("wal_bytes", p.wal_bytes.load(Ordering::SeqCst)),
+                    ("wal_fsyncs", p.wal_fsyncs.load(Ordering::SeqCst)),
+                    ("wal_segments", p.wal_segments.load(Ordering::SeqCst)),
+                    ("snapshots", p.snapshots.load(Ordering::SeqCst)),
+                ] {
+                    pairs.push((k.to_string(), v.to_string()));
+                }
+            }
             // Conjunction-planner kernel mix (process-wide totals): lets
             // loadgen and CI spot kernel-selection regressions.
             let kstats = tir_invidx::global_stats();
-            let mut pairs = pairs;
             for (k, v) in [
                 ("kern_merge", kstats.merge_steps),
                 ("kern_gallop", kstats.gallop_steps),
@@ -363,7 +455,8 @@ where
             Response::Stats(pairs)
         }
         Request::Elems { n } => {
-            let dict = lock(&shared.dict);
+            let guard = lock(&shared.dict);
+            let dict = guard.dict();
             let total = dict.len();
             if n == 0 || total == 0 {
                 return Response::Elems(Vec::new());
@@ -469,6 +562,106 @@ mod tests {
 
         assert!(roundtrip(&mut stream, &mut reader, "BOGUS").starts_with("ERR"));
         server.stop();
+    }
+
+    #[test]
+    fn flush_is_a_visibility_barrier_on_the_wire() {
+        let server = example_server();
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "INSERT 8 5 6 a,c"),
+            "OK"
+        );
+        // FLUSH waits for the applier: no polling needed afterwards.
+        let flush = roundtrip(&mut stream, &mut reader, "FLUSH");
+        assert!(flush.starts_with("EPOCH "), "{flush}");
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "QUERY 5 9 a,c"),
+            "HITS 4 1 3 6 8"
+        );
+        // On an in-memory server SNAPSHOT degrades to a flush barrier.
+        assert!(roundtrip(&mut stream, &mut reader, "SNAPSHOT").starts_with("EPOCH "));
+        let stats = roundtrip(&mut stream, &mut reader, "STATS");
+        assert!(stats.contains("durable=false"), "{stats}");
+        server.stop();
+    }
+
+    #[test]
+    fn durable_server_flushes_snapshots_and_recovers() {
+        use tir_persist::{Durability, DurabilityOptions, Recovered, TermLog};
+
+        let dir = std::env::temp_dir().join(format!("tir-serve-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let coll = Collection::running_example();
+        let mut dict = Dictionary::new();
+        for name in ["a", "b", "c"] {
+            dict.intern(name);
+        }
+        let index = BruteForce::build(coll.objects());
+        let durability = Durability::create(
+            &dir,
+            &index,
+            &dict,
+            coll.objects(),
+            DurabilityOptions::default(),
+        )
+        .expect("create data dir");
+        let log = TermLog::open(&dir).expect("term log");
+        let server = spawn_server_durable(
+            index,
+            ServeDict::durable(dict, log),
+            durability,
+            ServerConfig {
+                method: "brute-force".into(),
+                ..Default::default()
+            },
+            None,
+        )
+        .expect("server spawns");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        // A fresh term rides along: it must hit terms.log before the op.
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "INSERT 8 5 6 a,zebra"),
+            "OK"
+        );
+        assert_eq!(roundtrip(&mut stream, &mut reader, "FLUSH"), "EPOCH 1");
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "QUERY 5 9 zebra"),
+            "HITS 1 8"
+        );
+        assert_eq!(roundtrip(&mut stream, &mut reader, "SNAPSHOT"), "EPOCH 1");
+        let stats = roundtrip(&mut stream, &mut reader, "STATS");
+        assert!(stats.contains("durable=true"), "{stats}");
+        assert!(stats.contains("snapshot_epoch=1"), "{stats}");
+        assert!(stats.contains("wal_records=1"), "{stats}");
+
+        // Recover from a copy of the directory (the server still owns
+        // the original): the acknowledged state must all be there.
+        let copy =
+            std::env::temp_dir().join(format!("tir-serve-durable-copy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&copy);
+        std::fs::create_dir_all(&copy).expect("copy dir");
+        for entry in std::fs::read_dir(&dir).expect("read dir") {
+            let entry = entry.expect("entry");
+            std::fs::copy(entry.path(), copy.join(entry.file_name())).expect("copy");
+        }
+        let r: Recovered<BruteForce> =
+            Durability::recover(&copy, DurabilityOptions::default()).expect("recover");
+        assert_eq!(r.epoch, 1);
+        assert_eq!(r.replayed, 0, "the forced snapshot covers the write");
+        assert_eq!(r.dict.lookup("zebra"), Some(3));
+        assert_eq!(
+            r.index
+                .query(&tir_core::TimeTravelQuery::new(5, 9, vec![3])),
+            vec![8]
+        );
+
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&copy);
     }
 
     #[test]
