@@ -1,0 +1,588 @@
+//! Intra-procedural dataflow: per-function def-use chains with a small
+//! taint lattice and guard tracking — the engine's fourth phase, under
+//! the lexer/parser/callgraph stack.
+//!
+//! A binding is **tainted** when its initializer (or any later
+//! assignment to it) contains a call to a configured *taint source*
+//! ([`crate::Config::taint_sources`] — the little-endian decoders
+//! `read_u32`/`read_u64` and the byte-column accessor `get`), or reads
+//! another tainted binding. Taint flows through `let` statements
+//! (including tuple and enum patterns), plain and compound assignments
+//! (`pos += dlen * 4`), and `for` patterns. The def scan runs **twice**,
+//! so loop-carried flows (`prev = end` textually before `end`'s tainting
+//! definition) converge.
+//!
+//! A tainted binding is **validated** once it flows through a check,
+//! judged flow-insensitively at function granularity (robust to loops
+//! and early returns, at the cost of accepting a check that textually
+//! follows the use — the right bias for a lint that must not cry wolf
+//! on `while pos < len { … }` idioms):
+//!
+//! * it appears as an operand of a comparison (`<`, `>`, `==`, `!=`,
+//!   `<=`, `>=`) — bounds checks, CRC compares, monotonicity checks;
+//! * it is the receiver or an argument of a *guard call*
+//!   ([`crate::Config::taint_guards`] — `min`, `clamp`, `checked_add`,
+//!   `is_multiple_of`, …).
+//!
+//! Validation propagates **backward** through the def-use chain:
+//! checking `total` after `let total = HEADER + len` bounds `len` too.
+//! Forward, a binding derived only from validated parents is clean; one
+//! that mixes in a fresh source stays hot.
+//!
+//! [`Dataflow::chain`] renders the def-use provenance for diagnostics:
+//! `` `total` <- `len` <- `read_u32(..)` at line 12 ``.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::FnDef;
+
+/// One tracked binding: where it was tainted and from what.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Line of the (first) tainting definition.
+    pub line: u32,
+    /// The taint-source call in this binding's own defs, if any
+    /// (`("read_u32", 12)`).
+    pub source: Option<(String, u32)>,
+    /// Tainted bindings read by this binding's defs.
+    pub parents: Vec<String>,
+}
+
+/// The per-function dataflow result.
+pub struct Dataflow {
+    bindings: HashMap<String, Binding>,
+    validated: HashSet<String>,
+}
+
+/// Runs the analysis over one function body.
+pub fn analyze(f: &FnDef, sources: &[String], guards: &[String]) -> Dataflow {
+    let mut bindings = HashMap::new();
+    // Two sweeps: the second picks up loop-carried taint (`prev = end`
+    // before `end`'s tainting def) — taint only grows, so this is a
+    // bounded fixpoint for chains of depth one through a loop.
+    for _ in 0..2 {
+        scan_defs(&f.tokens, sources, &mut bindings);
+    }
+    let mut validated = HashSet::new();
+    scan_validations(&f.tokens, guards, &mut validated);
+    // Backward propagation: a validated binding bounds everything that
+    // fed it (`if buf.len() < total` with `total = HEADER + len`).
+    let mut queue: Vec<String> = validated.iter().cloned().collect();
+    while let Some(v) = queue.pop() {
+        if let Some(b) = bindings.get(&v) {
+            for p in b.parents.clone() {
+                if validated.insert(p.clone()) {
+                    queue.push(p);
+                }
+            }
+        }
+    }
+    Dataflow {
+        bindings,
+        validated,
+    }
+}
+
+impl Dataflow {
+    /// Whether `name` is tainted and **not** validated — i.e. an
+    /// attacker-influenced value no check has bounded. The recursion
+    /// follows parents so a binding copied from a validated one is
+    /// clean, while one mixing in a fresh source stays hot.
+    pub fn is_hot(&self, name: &str) -> bool {
+        self.hot_inner(name, &mut HashSet::new())
+    }
+
+    fn hot_inner(&self, name: &str, visiting: &mut HashSet<String>) -> bool {
+        if self.validated.contains(name) {
+            return false;
+        }
+        let Some(b) = self.bindings.get(name) else {
+            return false;
+        };
+        if !visiting.insert(name.to_string()) {
+            return false; // def cycle: nothing new on this path
+        }
+        b.source.is_some() || b.parents.iter().any(|p| self.hot_inner(p, visiting))
+    }
+
+    /// The def-use provenance of `name`, rendered for diagnostics:
+    /// `` `total` <- `len` <- `read_u32(..)` at line 12 ``.
+    pub fn chain(&self, name: &str) -> String {
+        let mut parts = vec![format!("`{name}`")];
+        let mut seen = HashSet::new();
+        let mut cur = name.to_string();
+        while seen.insert(cur.clone()) {
+            let Some(b) = self.bindings.get(&cur) else {
+                break;
+            };
+            if let Some((src, line)) = &b.source {
+                parts.push(format!("`{src}(..)` at line {line}"));
+                break;
+            }
+            // Follow the hot parent when there is one, else any tracked
+            // parent — the chain should end at a source if possible.
+            let next = b
+                .parents
+                .iter()
+                .find(|p| !seen.contains(*p) && self.is_hot(p))
+                .or_else(|| b.parents.iter().find(|p| !seen.contains(*p)));
+            let Some(next) = next else {
+                break;
+            };
+            parts.push(format!("`{next}`"));
+            cur = next.clone();
+        }
+        parts.join(" <- ")
+    }
+}
+
+/// Whether the ident at `m` is a struct-field access (`s.offset`).
+/// Range operands (`lo..hi` — the preceding token is the second `.` of
+/// `..`) are value reads, not field names.
+pub(crate) fn is_field_pos(t: &[Token], m: usize) -> bool {
+    m > 0 && t[m - 1].is_punct('.') && !(m > 1 && t[m - 2].is_punct('.'))
+}
+
+/// A pattern/binding identifier: lowercase or `_`-prefixed, not the
+/// bare discard and not a binding-mode keyword.
+fn binds(tok: &Token) -> bool {
+    if tok.kind != TokenKind::Ident || tok.text == "_" {
+        return false;
+    }
+    if matches!(tok.text.as_str(), "mut" | "ref" | "box" | "self") {
+        return false;
+    }
+    tok.text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// One def-collection sweep: `let PAT [: TY] = RHS`, `x = RHS` /
+/// `x op= RHS`, and `for PAT in RHS {`.
+fn scan_defs(t: &[Token], sources: &[String], bindings: &mut HashMap<String, Binding>) {
+    let mut i = 0;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.is_ident("let")
+            && !(i > 0 && (t[i - 1].is_ident("if") || t[i - 1].is_ident("while")))
+        {
+            // Pattern idents up to the top-level `=` (skipping the type
+            // annotation after a lone `:`); nested tuple/enum patterns
+            // bind at any bracket depth.
+            let mut depth = 0i64;
+            let mut in_type = false;
+            let mut pat: Vec<(String, u32)> = Vec::new();
+            let mut eq = None;
+            let mut j = i + 1;
+            while j < t.len() {
+                let x = &t[j];
+                if x.is_punct('(') || x.is_punct('[') || x.is_punct('<') {
+                    depth += 1;
+                } else if x.is_punct(')') || x.is_punct(']') || x.is_punct('>') {
+                    depth -= 1;
+                } else if x.is_punct('=') && depth <= 0 {
+                    eq = Some(j);
+                    break;
+                } else if x.is_punct(';') && depth <= 0 {
+                    break;
+                } else if x.is_punct(':') && depth <= 0 {
+                    in_type = true;
+                } else if !in_type && binds(x) {
+                    pat.push((x.text.clone(), x.line));
+                }
+                j += 1;
+            }
+            if let Some(eq) = eq {
+                let (source, parents) = scan_rhs(t, eq + 1, false, sources, bindings);
+                if source.is_some() || !parents.is_empty() {
+                    for (name, line) in pat {
+                        merge(bindings, name, line, &source, &parents);
+                    }
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Assignment: `x = RHS` / `x op= RHS` (compound ops lex as two
+        // puncts). Field writes (`s.x = …`) and `==`/`=>` are excluded.
+        if binds(tok) && !(i > 0 && t[i - 1].is_punct('.')) {
+            let mut eq = None;
+            if let Some(n1) = t.get(i + 1) {
+                if n1.is_punct('=') {
+                    let cmp = t
+                        .get(i + 2)
+                        .is_some_and(|x| x.is_punct('=') || x.is_punct('>'));
+                    if !cmp {
+                        eq = Some(i + 2);
+                    }
+                } else if n1.kind == TokenKind::Punct
+                    && "+-*/%&|^".contains(n1.text.as_str())
+                    && t.get(i + 2).is_some_and(|x| x.is_punct('='))
+                    && !t.get(i + 3).is_some_and(|x| x.is_punct('='))
+                {
+                    eq = Some(i + 3);
+                }
+            }
+            if let Some(from) = eq {
+                let (source, parents) = scan_rhs(t, from, false, sources, bindings);
+                if source.is_some() || !parents.is_empty() {
+                    merge(bindings, tok.text.clone(), tok.line, &source, &parents);
+                }
+                i += 1;
+                continue;
+            }
+        }
+        // `for PAT in RHS {`
+        if tok.is_ident("for") {
+            let mut pat: Vec<(String, u32)> = Vec::new();
+            let mut j = i + 1;
+            while j < t.len() && !t[j].is_ident("in") {
+                if binds(&t[j]) {
+                    pat.push((t[j].text.clone(), t[j].line));
+                }
+                j += 1;
+            }
+            if j < t.len() {
+                let (source, parents) = scan_rhs(t, j + 1, true, sources, bindings);
+                if source.is_some() || !parents.is_empty() {
+                    for (name, line) in pat {
+                        merge(bindings, name, line, &source, &parents);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Records a (possibly repeated) tainting def of `name`: sources and
+/// parents union across defs — the flow-insensitive merge.
+fn merge(
+    bindings: &mut HashMap<String, Binding>,
+    name: String,
+    line: u32,
+    source: &Option<(String, u32)>,
+    parents: &[String],
+) {
+    let b = bindings.entry(name.clone()).or_insert(Binding {
+        line,
+        source: None,
+        parents: Vec::new(),
+    });
+    if b.source.is_none() {
+        b.source = source.clone();
+    }
+    for p in parents {
+        if *p != name && !b.parents.contains(p) {
+            b.parents.push(p.clone());
+        }
+    }
+}
+
+/// Scans an initializer from `from` to its terminator (`;` or `else` at
+/// depth 0; the body `{` too when `stop_at_brace` — the `for` form),
+/// returning the first taint-source call and the tainted idents read.
+fn scan_rhs(
+    t: &[Token],
+    from: usize,
+    stop_at_brace: bool,
+    sources: &[String],
+    bindings: &HashMap<String, Binding>,
+) -> (Option<(String, u32)>, Vec<String>) {
+    let mut depth = 0i64;
+    let mut source = None;
+    let mut parents = Vec::new();
+    let mut m = from;
+    while m < t.len() {
+        let tok = &t[m];
+        if tok.is_punct('{') && depth == 0 && stop_at_brace {
+            break;
+        }
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                break;
+            }
+        } else if (tok.is_punct(';') || tok.is_ident("else")) && depth <= 0 {
+            break;
+        } else if tok.kind == TokenKind::Ident {
+            let field = is_field_pos(t, m);
+            let callee = t.get(m + 1).is_some_and(|x| x.is_punct('('));
+            if callee && sources.iter().any(|s| s == &tok.text) {
+                // Method sources (`offs.get(i)`) are calls too — the
+                // `field` position does not exempt them.
+                if source.is_none() {
+                    source = Some((tok.text.clone(), tok.line));
+                }
+            } else if !field
+                && !callee
+                && bindings.contains_key(&tok.text)
+                && !parents.contains(&tok.text)
+            {
+                parents.push(tok.text.clone());
+            }
+        }
+        m += 1;
+    }
+    (source, parents)
+}
+
+/// The flow-insensitive validation sweep: comparison operands and
+/// guard-call receivers/arguments.
+fn scan_validations(t: &[Token], guards: &[String], validated: &mut HashSet<String>) {
+    for k in 0..t.len() {
+        let tok = &t[k];
+        // Guard call: validate the receiver chain and every argument.
+        if tok.kind == TokenKind::Ident
+            && guards.iter().any(|g| g == &tok.text)
+            && t.get(k + 1).is_some_and(|x| x.is_punct('('))
+        {
+            let mut m = k;
+            while m >= 2 && t[m - 1].is_punct('.') && t[m - 2].kind == TokenKind::Ident {
+                validated.insert(t[m - 2].text.clone());
+                m -= 2;
+            }
+            let mut depth = 0i64;
+            let mut a = k + 1;
+            while a < t.len() {
+                let x = &t[a];
+                if x.is_punct('(') {
+                    depth += 1;
+                } else if x.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if x.kind == TokenKind::Ident
+                    && !is_field_pos(t, a)
+                    && !t.get(a + 1).is_some_and(|y| y.is_punct('('))
+                {
+                    validated.insert(x.text.clone());
+                }
+                a += 1;
+            }
+            continue;
+        }
+        if is_comparison(t, k) {
+            window(t, k, Dir::Left, validated);
+            window(t, k, Dir::Right, validated);
+        }
+    }
+}
+
+/// Whether the punct at `k` starts a comparison operator. `<<`/`>>`
+/// shifts, `->`, `=>`, turbofish `::<`, and assignment `=` are excluded;
+/// generic angle brackets are accepted (their operands are type names,
+/// which are not bindings, so over-validation cannot occur in practice).
+///
+/// Compound operators lex as adjacent single puncts, so the `=` arm
+/// demands **column adjacency**: `n >= m` is a comparison, while the
+/// spaced `>` and `=` of `let v: Vec<u8> = …` are a generic close
+/// followed by a plain assignment.
+fn is_comparison(t: &[Token], k: usize) -> bool {
+    let tok = &t[k];
+    if tok.kind != TokenKind::Punct {
+        return false;
+    }
+    let prev = |c: char| k > 0 && t[k - 1].is_punct(c);
+    let next = |c: char| t.get(k + 1).is_some_and(|x| x.is_punct(c));
+    let adj_prev = |c: char| prev(c) && t[k - 1].line == tok.line && t[k - 1].col + 1 == tok.col;
+    match tok.text.as_str() {
+        "<" => !prev('<') && !next('<') && !prev(':'),
+        ">" => !prev('>') && !next('>') && !prev('-') && !prev('='),
+        "=" => {
+            let adj_next_eq = t
+                .get(k + 1)
+                .is_some_and(|x| x.is_punct('=') && x.line == tok.line && x.col == tok.col + 1);
+            // `==` (first token), or the second char of `!=`/`<=`/`>=`.
+            (adj_next_eq && !prev('=') && !prev('!') && !prev('<') && !prev('>'))
+                || adj_prev('!')
+                || adj_prev('<')
+                || adj_prev('>')
+        }
+        _ => false,
+    }
+}
+
+enum Dir {
+    Left,
+    Right,
+}
+
+/// Collects the comparison's operand idents on one side of the operator
+/// at `k`: identifiers (at any nesting depth inside the operand, so CRC
+/// compares validate their call arguments too) up to an expression
+/// boundary — `;`, `,`, `&&`/`||`, a lone `=`, a block brace, or the
+/// bracket enclosing the comparison itself.
+fn window(t: &[Token], k: usize, dir: Dir, validated: &mut HashSet<String>) {
+    let mut depth = 0i64;
+    let mut steps = 0;
+    let mut m = k;
+    loop {
+        match dir {
+            Dir::Left => {
+                if m == 0 {
+                    return;
+                }
+                m -= 1;
+            }
+            Dir::Right => {
+                m += 1;
+                if m >= t.len() {
+                    return;
+                }
+            }
+        }
+        steps += 1;
+        if steps > 64 {
+            return;
+        }
+        let x = &t[m];
+        let (open, close) = match dir {
+            // Walking left, a `)` opens a nested group and a `(` closes
+            // one (or bounds the window); mirrored on the right.
+            Dir::Left => (")]}", "(["),
+            Dir::Right => ("([", ")]}"),
+        };
+        if x.kind == TokenKind::Punct {
+            let c = x.text.chars().next().unwrap_or(' ');
+            if open.contains(c) {
+                depth += 1;
+                continue;
+            }
+            if close.contains(c) || (matches!(dir, Dir::Right) && c == '{') {
+                if depth == 0 {
+                    return;
+                }
+                depth -= 1;
+                continue;
+            }
+            if depth == 0 {
+                if c == ';' || c == ',' || c == '{' {
+                    return;
+                }
+                // A lone `:` to the left is a type ascription (`let v:
+                // Vec<u8> = …`) or a field init — either way the idents
+                // beyond it are not this comparison's operands. `::`
+                // paths continue the window.
+                if matches!(dir, Dir::Left)
+                    && c == ':'
+                    && !(m > 0 && t[m - 1].is_punct(':'))
+                    && !t.get(m + 1).is_some_and(|y| y.is_punct(':'))
+                {
+                    return;
+                }
+                // `&&` / `||` — two adjacent identical puncts.
+                if (c == '&' || c == '|')
+                    && ((m > 0 && t[m - 1].is_punct(c))
+                        || t.get(m + 1).is_some_and(|y| y.is_punct(c)))
+                {
+                    return;
+                }
+                // A lone `=` (assignment) bounds the window; comparison
+                // `=`s continue it.
+                if c == '=' && !is_comparison(t, m) {
+                    return;
+                }
+            }
+            continue;
+        }
+        if x.kind == TokenKind::Ident && !is_field_pos(t, m) && binds(x) {
+            validated.insert(x.text.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_fns;
+    use crate::source::SourceFile;
+
+    fn df(src: &str) -> Dataflow {
+        let fns = parse_fns("snippet", &SourceFile::parse("snippet.rs", src));
+        let s = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        analyze(
+            &fns[0],
+            &s(&["read_u32", "read_u64", "get"]),
+            &s(&["min", "checked_add", "is_multiple_of"]),
+        )
+    }
+
+    #[test]
+    fn source_call_taints_and_comparison_validates() {
+        let d = df(
+            "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    let m = read_u32(b, 4) as usize;\n    if n > b.len() { return; }\n}\n",
+        );
+        assert!(!d.is_hot("n"), "comparison validates n");
+        assert!(d.is_hot("m"), "m never checked");
+        assert!(d.chain("m").contains("read_u32"), "{}", d.chain("m"));
+    }
+
+    #[test]
+    fn backward_propagation_through_derived_total() {
+        let d = df(
+            "fn f(b: &[u8]) {\n    let len = read_u32(b, 0) as usize;\n    let total = 12 + len;\n    if b.len() < total { return; }\n}\n",
+        );
+        assert!(!d.is_hot("len"), "checking total bounds len");
+    }
+
+    #[test]
+    fn loop_carried_assignment_converges() {
+        let d = df(
+            "fn f(b: &[u8]) {\n    let mut prev = 0;\n    loop {\n        let end = read_u32(b, 0);\n        if end < prev { break; }\n        prev = end;\n    }\n}\n",
+        );
+        assert!(!d.is_hot("prev"), "prev validated via the end compare");
+        let b = d.bindings.get("prev").expect("prev tracked");
+        assert!(
+            b.parents.contains(&"end".to_string()),
+            "loop-carried parent"
+        );
+    }
+
+    #[test]
+    fn guard_call_validates_receiver_and_args() {
+        let d = df(
+            "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    let k = read_u32(b, 4) as usize;\n    let v = Vec::with_capacity(n.min(4096));\n    let w = cap.checked_add(k);\n}\n",
+        );
+        assert!(!d.is_hot("n"), "min() receiver");
+        assert!(!d.is_hot("k"), "checked_add argument");
+        assert!(!d.is_hot("v"), "derived from validated only");
+    }
+
+    #[test]
+    fn mixing_validated_parent_with_fresh_source_stays_hot() {
+        let d = df(
+            "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    if n > 4 { return; }\n    let m = n + read_u32(b, 4) as usize;\n}\n",
+        );
+        assert!(d.is_hot("m"), "fresh source in m's def");
+    }
+
+    #[test]
+    fn generic_type_annotation_is_not_a_comparison() {
+        // `let v: Vec<u32> = …` lexes as spaced `>` `=`: the pair must
+        // not read as `>=` and validate the capacity operand.
+        let d = df(
+            "fn f(b: &[u8]) {\n    let count = read_u64(b, 8) as usize;\n    let v: Vec<u32> = Vec::with_capacity(count);\n}\n",
+        );
+        assert!(d.is_hot("count"), "annotation must not validate count");
+        // A real spaced-out comparison still validates.
+        let d = df(
+            "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    if n >= b.len() { return; }\n}\n",
+        );
+        assert!(!d.is_hot("n"));
+    }
+
+    #[test]
+    fn for_and_tuple_patterns_carry_taint() {
+        let d = df(
+            "fn f(b: &[u8]) {\n    let (lo, hi) = (read_u32(b, 0), read_u32(b, 4));\n    for row in lo..hi {\n        touch(row);\n    }\n}\n",
+        );
+        assert!(d.is_hot("lo"));
+        assert!(d.is_hot("row"), "for-pattern inherits range taint");
+    }
+}

@@ -5,10 +5,11 @@
 //! real Rust [`lexer`] (strings, raw strings, char literals, nested
 //! comments, raw identifiers), a lightweight item/function [`parser`]
 //! layered on it, a workspace-wide [`callgraph`] with suffix-based name
-//! resolution, and a [`reach`]ability engine — feeding a rule framework
-//! that produces `path:line:col` diagnostics with per-site
-//! `// analyze:allow(rule-name)` suppressions (see [`source`] for the
-//! exact syntax and extents).
+//! resolution and a [`reach`]ability engine, and an intra-procedural
+//! [`dataflow`] phase (def-use chains, taint, guard tracking) — feeding
+//! a rule framework that produces `path:line:col` diagnostics with
+//! per-site `// analyze:allow(rule-name)` suppressions (see [`source`]
+//! for the exact syntax and extents).
 //!
 //! ## Rule catalog
 //!
@@ -25,13 +26,16 @@
 //! | `blocking-under-lock` | channel/thread/socket/I-O waits or nested acquisitions inside a lock-held region |
 //! | `unsafe-code` | any `unsafe` token; non-suppressible outside the audited mmap wrapper, per-site justified inside it |
 //!
-//! Whole-program rules, judged over the workspace call graph in
-//! [`Analysis::finish`]:
+//! Whole-program rules, judged over the workspace call graph (and the
+//! per-function dataflow results) in [`Analysis::finish`]:
 //!
 //! | rule | fires on |
 //! |------|----------|
 //! | `hot-path-alloc` | allocating APIs reachable from `query_into` / planner kernels, outside declared scratch arenas |
 //! | `panic-reachability` | panicking calls reachable from the serve accept loop / worker pool, with the full call chain |
+//! | `untrusted-length` | disk-decoded lengths/offsets reaching an index, capacity, or arithmetic sink unchecked, with the def-use chain |
+//! | `durability-ordering` | append → fsync → apply/ack order broken in the durable engine; `fs::rename` before data fsync or without a directory fsync |
+//! | `error-swallow` | `let _ =` / `.ok()` discarding an `io::Result` in library code |
 //!
 //! `#[cfg(test)]` items are exempt from every rule. The driver is
 //! `cargo xtask analyze` (part of `cargo xtask lint`); the old
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod parser;
@@ -97,6 +102,43 @@ pub struct Config {
     /// justified) `unsafe` — the audited mmap wrapper. Everywhere else
     /// `unsafe-code` fires non-suppressibly.
     pub unsafe_audited_paths: Vec<String>,
+    /// Crates the `untrusted-length` taint audit applies to (`None` =
+    /// every crate). The workspace gate restricts it to `persist`,
+    /// where byte parsers decode attacker-controllable lengths.
+    pub taint_crates: Option<Vec<String>>,
+    /// Call names that produce untrusted values: the little-endian
+    /// decoders and the byte-column accessor.
+    pub taint_sources: Vec<String>,
+    /// Call names that validate a value they receive or clamp: flowing
+    /// through one marks the receiver chain and arguments validated.
+    pub taint_guards: Vec<String>,
+    /// Function names that are durable entry points: each must order
+    /// append → fsync → apply internally, and callers must ack after
+    /// calling one (`durability-ordering`).
+    pub durable_entries: Vec<String>,
+    /// Call names that append to the WAL.
+    pub durable_appends: Vec<String>,
+    /// Call names that flush to stable storage.
+    pub durable_syncs: Vec<String>,
+    /// Call names that apply ops to the in-memory index.
+    pub durable_applies: Vec<String>,
+    /// Method names that ack a client (checked to follow the durable
+    /// entry call in token order).
+    pub durable_acks: Vec<String>,
+    /// When set, only the named rules run — the `cargo xtask analyze
+    /// --rule <name>` debugging path skips every other rule's pass
+    /// entirely (including the reachability walks). `None` = all rules.
+    pub rule_filter: Option<Vec<String>>,
+}
+
+impl Config {
+    /// Whether `rule` participates in this session (see
+    /// [`Config::rule_filter`]).
+    pub fn rule_enabled(&self, rule: &str) -> bool {
+        self.rule_filter
+            .as_ref()
+            .is_none_or(|f| f.iter().any(|r| r == rule))
+    }
 }
 
 impl Default for Config {
@@ -117,6 +159,26 @@ impl Default for Config {
             growth_sinks: s(&["QueryScratch", "Vec", "String"]),
             serve_roots: s(&["accept_loop", "worker_loop"]),
             unsafe_audited_paths: s(&["persist/src/mmap.rs"]),
+            taint_crates: None,
+            taint_sources: s(&["read_u32", "read_u64", "get"]),
+            taint_guards: s(&[
+                "min",
+                "max",
+                "clamp",
+                "checked_add",
+                "checked_sub",
+                "checked_mul",
+                "saturating_add",
+                "saturating_sub",
+                "saturating_mul",
+                "is_multiple_of",
+            ]),
+            durable_entries: s(&["apply_batch"]),
+            durable_appends: s(&["append"]),
+            durable_syncs: s(&["sync", "sync_all", "sync_data"]),
+            durable_applies: s(&["apply_ops"]),
+            durable_acks: s(&["send"]),
+            rule_filter: None,
         }
     }
 }
@@ -177,20 +239,33 @@ impl Analysis {
         let file = SourceFile::parse(path, text);
 
         let mut raw: Vec<Diagnostic> = Vec::new();
-        raw.extend(rules::panic_path::check(&file));
-        raw.extend(rules::atomic_ordering::check(&file));
-        raw.extend(rules::raw_lock::check(&file));
-        raw.extend(rules::channel::check(&file));
-        raw.extend(rules::blocking_under_lock::check(&file));
-        raw.extend(rules::unsafe_code::check(
-            &file,
-            &self.config.unsafe_audited_paths,
-        ));
+        let on = |rule: &str| self.config.rule_enabled(rule);
+        if on(rules::panic_path::NAME) {
+            raw.extend(rules::panic_path::check(&file));
+        }
+        if on(rules::atomic_ordering::NAME) {
+            raw.extend(rules::atomic_ordering::check(&file));
+        }
+        if on(rules::raw_lock::NAME) {
+            raw.extend(rules::raw_lock::check(&file));
+        }
+        if on(rules::channel::NAME) {
+            raw.extend(rules::channel::check(&file));
+        }
+        if on(rules::blocking_under_lock::NAME) {
+            raw.extend(rules::blocking_under_lock::check(&file));
+        }
+        if on(rules::unsafe_code::NAME) {
+            raw.extend(rules::unsafe_code::check(
+                &file,
+                &self.config.unsafe_audited_paths,
+            ));
+        }
         let cast_applies = match &self.config.cast_crates {
             None => true,
             Some(list) => list.iter().any(|c| c == krate),
         };
-        if cast_applies {
+        if cast_applies && on(rules::cast::NAME) {
             raw.extend(rules::cast::check(&file));
         }
 
@@ -219,23 +294,51 @@ impl Analysis {
         let mut crates: Vec<&String> = self.graphs.keys().collect();
         crates.sort();
         let mut late_diags = Vec::new();
-        for krate in crates {
-            late_diags.extend(self.graphs[krate].check_cycles(krate));
+        if self.config.rule_enabled(rules::lock_order::NAME) {
+            for krate in crates {
+                late_diags.extend(self.graphs[krate].check_cycles(krate));
+            }
         }
 
         let graph = CallGraph::build(std::mem::take(&mut self.fns));
-        late_diags.extend(rules::hot_path_alloc::check(
-            &graph,
-            &self.allows_by_path,
-            &self.config,
-        ));
-        late_diags.extend(rules::panic_reach::check(
-            &graph,
-            &self.allows_by_path,
-            &self.config,
-        ));
+        if self.config.rule_enabled(rules::hot_path_alloc::NAME) {
+            late_diags.extend(rules::hot_path_alloc::check(
+                &graph,
+                &self.allows_by_path,
+                &self.config,
+            ));
+        }
+        if self.config.rule_enabled(rules::panic_reach::NAME) {
+            late_diags.extend(rules::panic_reach::check(
+                &graph,
+                &self.allows_by_path,
+                &self.config,
+            ));
+        }
+        if self.config.rule_enabled(rules::untrusted_length::NAME) {
+            late_diags.extend(rules::untrusted_length::check(
+                &graph,
+                &self.allows_by_path,
+                &self.config,
+            ));
+        }
+        if self.config.rule_enabled(rules::durability_order::NAME) {
+            late_diags.extend(rules::durability_order::check(
+                &graph,
+                &self.allows_by_path,
+                &self.config,
+            ));
+        }
+        if self.config.rule_enabled(rules::error_swallow::NAME) {
+            late_diags.extend(rules::error_swallow::check(&graph, &self.allows_by_path));
+        }
 
         self.diags.extend(late_diags);
+        // Catch-all for per-file passes that piggyback on shared state
+        // (the lock graph emits self-relock diagnostics while being
+        // built): a filtered session reports only the selected rules.
+        let config = &self.config;
+        self.diags.retain(|d| config.rule_enabled(d.rule));
         self.diags.sort_by(|a, b| {
             (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule))
         });

@@ -52,6 +52,11 @@ pub struct FnDef {
     pub col: u32,
     /// Parsed signature parameters.
     pub params: Vec<Param>,
+    /// The declared return type as space-joined token text
+    /// (`io :: Result < ( ) >`); empty for `()`-returning functions.
+    /// The `error-swallow` rule matches on it to recognize discarded
+    /// workspace `io::Result`s.
+    pub ret: String,
     /// The body tokens, including the outer braces. Empty for bodyless
     /// trait-method declarations.
     pub tokens: Vec<Token>,
@@ -267,6 +272,8 @@ fn parse_fn(
     // type are skipped; `->` introduces no braces in this codebase's
     // signatures.
     j = params_close + 1;
+    let sig_start = j;
+    let mut sig_end = t.len();
     let mut paren = 0i64;
     let mut body: Vec<Token> = Vec::new();
     while j < t.len() {
@@ -276,9 +283,11 @@ fn parse_fn(
         } else if tok.is_punct(')') || tok.is_punct(']') {
             paren -= 1;
         } else if tok.is_punct(';') && paren == 0 {
+            sig_end = j;
             j += 1;
             break;
         } else if tok.is_punct('{') && paren == 0 {
+            sig_end = j;
             let open = j;
             let mut braces = 0i64;
             while j < t.len() {
@@ -298,6 +307,7 @@ fn parse_fn(
         }
         j += 1;
     }
+    let ret = return_type(&t[sig_start..sig_end.min(t.len())]);
     Some((
         FnDef {
             krate: krate.to_string(),
@@ -307,10 +317,40 @@ fn parse_fn(
             line: name_tok.line,
             col: name_tok.col,
             params,
+            ret,
             tokens: body,
         },
         j,
     ))
+}
+
+/// The declared return type out of the signature tokens between the
+/// parameter list's `)` and the body `{` (or declaration `;`): the
+/// space-joined text after `->`, stopping at a top-level `where`.
+fn return_type(sig: &[Token]) -> String {
+    let mut start = None;
+    for k in 0..sig.len().saturating_sub(1) {
+        if sig[k].is_punct('-') && sig[k + 1].is_punct('>') {
+            start = Some(k + 2);
+            break;
+        }
+    }
+    let Some(start) = start else {
+        return String::new();
+    };
+    let mut depth = 0i64;
+    let mut out: Vec<&str> = Vec::new();
+    for tok in &sig[start..] {
+        if tok.is_punct('<') || tok.is_punct('(') || tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct('>') || tok.is_punct(')') || tok.is_punct(']') {
+            depth -= 1;
+        } else if tok.is_ident("where") && depth <= 0 {
+            break;
+        }
+        out.push(tok.text.as_str());
+    }
+    out.join(" ")
 }
 
 /// Splits a parameter token slice at top-level commas and extracts

@@ -1,0 +1,242 @@
+//! `durability-ordering`: the durable tier's crash-safety contract,
+//! proven over the call graph instead of trusted to review.
+//!
+//! The persist engine's guarantee is a strict order: an operation is
+//! **appended** to the WAL, the WAL is **fsynced**, only then is the op
+//! **applied** to the in-memory index, and only after that may the
+//! client be **acked**. A snapshot becomes visible by **rename** only
+//! after its sections hit disk, and the directory is fsynced after the
+//! rename. Any reordering silently converts `kill -9` into data loss,
+//! and nothing about the code's shape makes the order obvious — so this
+//! rule re-derives it from the token-ordered call sites and the
+//! workspace call graph on every run:
+//!
+//! 1. every durable entry point ([`crate::Config::durable_entries`],
+//!    `apply_batch`) must contain `append` → `sync` → `apply_ops` calls
+//!    in that token order;
+//! 2. any function calling both a durable entry and an ack `send` must
+//!    ack strictly after the first entry call — no ack-before-fsync
+//!    path;
+//! 3. an fsync must be call-graph-reachable from every durable entry;
+//! 4. in the persist crate, every `fs::rename` must be preceded by a
+//!    call that (transitively) reaches an fsync — the section data — and
+//!    followed by one more fsync — the directory entry.
+//!
+//! Violations print the observed call order or the missing link.
+//! Escapes require a justification: a bare
+//! `analyze:allow(durability-ordering)` still fires.
+
+use std::collections::HashMap;
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::parser::Call;
+use crate::reach::Reach;
+use crate::source::{allow_in, Allow};
+use crate::Config;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "durability-ordering";
+
+/// Runs the rule over the whole-workspace call graph.
+pub fn check(
+    graph: &CallGraph,
+    allows: &HashMap<String, Vec<Allow>>,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let is_sync = |c: &Call| config.durable_syncs.iter().any(|s| s == &c.name);
+    for (id, f) in graph.fns().iter().enumerate() {
+        let calls = graph.calls(id);
+        // Check 1 + 3: the entry point's internal order, and fsync
+        // reachability from it.
+        if config.durable_entries.iter().any(|e| e == &f.name) && !f.tokens.is_empty() {
+            let append = calls
+                .iter()
+                .position(|c| config.durable_appends.iter().any(|a| a == &c.name));
+            let sync = append.and_then(|a| calls[a..].iter().position(is_sync).map(|s| a + s));
+            let apply = calls
+                .iter()
+                .position(|c| config.durable_applies.iter().any(|a| a == &c.name));
+            let problem = match (append, sync, apply) {
+                (None, _, _) => Some("no WAL `append` call".to_string()),
+                (Some(_), None, _) => Some("no fsync after the WAL append".to_string()),
+                (_, _, None) => None, // entry without an apply: nothing to order
+                (Some(_), Some(s), Some(ap)) if ap < s => Some(format!(
+                    "`{}` applies at line {} before the fsync at line {}",
+                    calls[ap].name, calls[ap].line, calls[s].line
+                )),
+                _ => None,
+            };
+            if let Some(problem) = problem {
+                judge(
+                    &mut out,
+                    allows,
+                    &f.path,
+                    f.line,
+                    f.col,
+                    format!(
+                        "durable entry `{}` breaks append -> fsync -> apply: {problem} \
+                         (observed order: {})",
+                        f.qual_name(),
+                        order_of(calls, config)
+                    ),
+                );
+            } else if append.is_some() {
+                // Check 3: some fsync must actually be reachable (the
+                // direct `sync` call above may resolve to a stub).
+                let reach = Reach::compute(graph, &[id], &[]);
+                let reaches_sync = reach
+                    .order()
+                    .iter()
+                    .any(|&r| graph.calls(r).iter().any(is_sync));
+                if !reaches_sync {
+                    judge(
+                        &mut out,
+                        allows,
+                        &f.path,
+                        f.line,
+                        f.col,
+                        format!(
+                            "no fsync is reachable from durable entry `{}`",
+                            f.qual_name()
+                        ),
+                    );
+                }
+            }
+        }
+        // Check 2: ack-after-apply in every caller of a durable entry.
+        let entry_at = calls
+            .iter()
+            .position(|c| config.durable_entries.iter().any(|e| e == &c.name));
+        if let Some(entry_at) = entry_at {
+            for (i, c) in calls.iter().enumerate() {
+                if i < entry_at && c.is_method && config.durable_acks.iter().any(|a| a == &c.name) {
+                    judge(
+                        &mut out,
+                        allows,
+                        &f.path,
+                        c.line,
+                        c.col,
+                        format!(
+                            "client ack `{}` at line {} precedes the durable `{}` call at \
+                             line {}: an acked op must be fsynced first",
+                            c.name, c.line, calls[entry_at].name, calls[entry_at].line
+                        ),
+                    );
+                }
+            }
+        }
+        // Check 4: rename ordering, persist crate only (snapshots and
+        // sidecar logs are the only atomic-publish sites).
+        if f.krate == "persist" {
+            for (i, c) in calls.iter().enumerate() {
+                if c.name != "rename" || c.qual.as_deref() != Some("fs") {
+                    continue;
+                }
+                let data_synced = calls[..i].iter().any(|before| {
+                    is_sync(before) || {
+                        let targets = graph.resolve(before);
+                        !targets.is_empty() && {
+                            let reach = Reach::compute(graph, &targets, &[]);
+                            reach
+                                .order()
+                                .iter()
+                                .any(|&r| graph.calls(r).iter().any(is_sync))
+                        }
+                    }
+                });
+                if !data_synced {
+                    judge(
+                        &mut out,
+                        allows,
+                        &f.path,
+                        c.line,
+                        c.col,
+                        format!(
+                            "`fs::rename` in `{}` is reachable before any fsync of the \
+                             renamed data: a crash can publish an unsynced file",
+                            f.qual_name()
+                        ),
+                    );
+                }
+                let dir_synced = calls[i + 1..].iter().any(is_sync);
+                if !dir_synced {
+                    judge(
+                        &mut out,
+                        allows,
+                        &f.path,
+                        c.line,
+                        c.col,
+                        format!(
+                            "`fs::rename` in `{}` is not followed by a directory fsync: \
+                             a crash can lose the rename itself",
+                            f.qual_name()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders the durability-relevant calls of `calls` in token order, for
+/// the diagnostic ("append (engine.rs:255) -> apply_ops (engine.rs:260)").
+fn order_of(calls: &[Call], config: &Config) -> String {
+    let relevant: Vec<String> = calls
+        .iter()
+        .filter(|c| {
+            config.durable_appends.iter().any(|n| n == &c.name)
+                || config.durable_syncs.iter().any(|n| n == &c.name)
+                || config.durable_applies.iter().any(|n| n == &c.name)
+        })
+        .map(|c| format!("{} (line {})", c.name, c.line))
+        .collect();
+    if relevant.is_empty() {
+        "none of append/fsync/apply present".to_string()
+    } else {
+        relevant.join(" -> ")
+    }
+}
+
+/// The shared allow judgment: justified allows pass, bare allows demand
+/// a justification, everything else fires.
+fn judge(
+    out: &mut Vec<Diagnostic>,
+    allows: &HashMap<String, Vec<Allow>>,
+    path: &str,
+    line: u32,
+    col: u32,
+    message: String,
+) {
+    match allow_in(allows, path, NAME, line) {
+        Some(allow) if !allow.justification.is_empty() => {}
+        Some(_) => out.push(
+            Diagnostic::new(
+                NAME,
+                path,
+                line,
+                col,
+                format!(
+                    "analyze:allow({NAME}) requires a justification: \
+                     `// analyze:allow({NAME}): <why this ordering is still crash-safe>`"
+                ),
+            )
+            .unsuppressible(),
+        ),
+        None => out.push(
+            Diagnostic::new(
+                NAME,
+                path,
+                line,
+                col,
+                format!(
+                    "{message}; restore the order or annotate \
+                     `// analyze:allow({NAME}): <why this ordering is still crash-safe>`"
+                ),
+            )
+            .unsuppressible(),
+        ),
+    }
+}

@@ -1,0 +1,257 @@
+//! `error-swallow`: discarded `io::Result`s are denied in library code.
+//!
+//! `let _ = file.sync_all();` compiles, type-checks, and silently
+//! converts a failed fsync into imagined durability — the exact failure
+//! mode the WAL exists to prevent. This rule flags the two discard
+//! idioms on any call that returns an `io::Result`:
+//!
+//! * `let _ = <expr>;` — fires on the **first** I/O call in the
+//!   initializer (nested closures are separate statements and judged on
+//!   their own);
+//! * `<call>(…).ok()` — the `Result` → `Option` conversion that throws
+//!   the error away regardless of what happens to the `Option`.
+//!
+//! A call "returns an `io::Result`" when its name is a known std I/O
+//! API (`sync_all`, `flush`, `write_all`, `rename`, `spawn`, …) or when
+//! it resolves through the workspace call graph to a function whose
+//! declared return type mentions `io` and `Result` — so discarding a
+//! workspace `fn serve_connection(…) -> io::Result<()>` is caught the
+//! same as discarding std's `sync_all`. Non-I/O discards (`let _ =
+//! handle.join()`, `parse().ok()`) stay silent, as does test code.
+//!
+//! Escapes require a justification, `atomic-ordering` style: a bare
+//! `analyze:allow(error-swallow)` still fires.
+
+use std::collections::HashMap;
+
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{extract_calls, Call};
+use crate::source::{allow_in, Allow};
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "error-swallow";
+
+/// std calls that return `io::Result` (or, for `spawn`, wrap one): no
+/// workspace definition exists to resolve to, so they are judged by
+/// name.
+const IO_CALLS: &[&str] = &[
+    "sync_all",
+    "sync_data",
+    "flush",
+    "write",
+    "write_all",
+    "write_fmt",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "set_len",
+    "set_permissions",
+    "rename",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "create_dir",
+    "create_dir_all",
+    "hard_link",
+    "copy",
+    "connect",
+    "shutdown",
+    "set_nodelay",
+    "set_read_timeout",
+    "set_write_timeout",
+    "spawn",
+];
+
+/// Runs the rule over the whole-workspace call graph.
+pub fn check(graph: &CallGraph, allows: &HashMap<String, Vec<Allow>>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in graph.fns() {
+        let t = &f.tokens;
+        for i in 0..t.len() {
+            // `let _ = <expr> ;`
+            if t[i].is_ident("let")
+                && t.get(i + 1).is_some_and(|x| x.is_ident("_"))
+                && t.get(i + 2).is_some_and(|x| x.is_punct('='))
+            {
+                let rhs = rhs_extent(t, i + 3);
+                let calls = extract_calls(&t[i + 3..rhs]);
+                if let Some(call) = calls
+                    .iter()
+                    .find(|c| !c.is_macro && io_result_call(graph, c))
+                {
+                    judge(
+                        &mut out,
+                        allows,
+                        &f.path,
+                        call,
+                        format!(
+                            "`let _ =` swallows the `io::Result` of `{}`",
+                            call_label(call)
+                        ),
+                    );
+                }
+            }
+            // `<call>(…).ok()`
+            if t[i].is_ident("ok")
+                && i >= 2
+                && t[i - 1].is_punct('.')
+                && t[i - 2].is_punct(')')
+                && t.get(i + 1).is_some_and(|x| x.is_punct('('))
+                && t.get(i + 2).is_some_and(|x| x.is_punct(')'))
+            {
+                if let Some(call) = callee_before(t, i - 2) {
+                    if io_result_call(graph, &call) {
+                        judge(
+                            &mut out,
+                            allows,
+                            &f.path,
+                            &call,
+                            format!(
+                                "`.ok()` discards the `io::Result` error of `{}`",
+                                call_label(&call)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The index just past a discard initializer: its terminating `;` at
+/// depth 0 (brackets of all three kinds tracked).
+fn rhs_extent(t: &[Token], from: usize) -> usize {
+    let mut depth = 0i64;
+    let mut m = from;
+    while m < t.len() {
+        let x = &t[m];
+        if x.is_punct('(') || x.is_punct('[') || x.is_punct('{') {
+            depth += 1;
+        } else if x.is_punct(')') || x.is_punct(']') || x.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return m;
+            }
+        } else if x.is_punct(';') && depth == 0 {
+            return m;
+        }
+        m += 1;
+    }
+    m
+}
+
+/// Reconstructs the call whose argument list closes at `close` (a `)`),
+/// for the `.ok()` receiver: walks back over the balanced group to the
+/// callee ident and rebuilds its qualifier/method context.
+fn callee_before(t: &[Token], close: usize) -> Option<Call> {
+    let mut depth = 0i64;
+    let mut m = close;
+    loop {
+        let x = &t[m];
+        if x.is_punct(')') {
+            depth += 1;
+        } else if x.is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if m == 0 {
+            return None;
+        }
+        m -= 1;
+    }
+    if m == 0 {
+        return None;
+    }
+    let name_tok = &t[m - 1];
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let i = m - 1;
+    let is_method = i > 0 && t[i - 1].is_punct('.');
+    let qual = if !is_method
+        && i >= 3
+        && t[i - 1].is_punct(':')
+        && t[i - 2].is_punct(':')
+        && t[i - 3].kind == TokenKind::Ident
+    {
+        Some(t[i - 3].text.clone())
+    } else {
+        None
+    };
+    Some(Call {
+        name: name_tok.text.clone(),
+        qual,
+        recv_root: None,
+        is_method,
+        is_macro: false,
+        line: name_tok.line,
+        col: name_tok.col,
+    })
+}
+
+/// Whether `call` returns an `io::Result`: a known std I/O API by name,
+/// or a workspace function whose declared return type says so.
+fn io_result_call(graph: &CallGraph, call: &Call) -> bool {
+    if IO_CALLS.iter().any(|n| *n == call.name) {
+        return true;
+    }
+    graph.resolve(call).into_iter().any(|target| {
+        let ret = &graph.fns()[target].ret;
+        ret.contains("Result") && ret.contains("io")
+    })
+}
+
+/// `Owner::name` / `.name` / `name`, for the message.
+fn call_label(call: &Call) -> String {
+    match (&call.qual, call.is_method) {
+        (Some(q), _) => format!("{q}::{}", call.name),
+        (None, true) => format!(".{}()", call.name),
+        (None, false) => call.name.clone(),
+    }
+}
+
+/// The shared allow judgment: justified allows pass, bare allows demand
+/// a justification, everything else fires.
+fn judge(
+    out: &mut Vec<Diagnostic>,
+    allows: &HashMap<String, Vec<Allow>>,
+    path: &str,
+    call: &Call,
+    message: String,
+) {
+    match allow_in(allows, path, NAME, call.line) {
+        Some(allow) if !allow.justification.is_empty() => {}
+        Some(_) => out.push(
+            Diagnostic::new(
+                NAME,
+                path,
+                call.line,
+                call.col,
+                format!(
+                    "analyze:allow({NAME}) requires a justification: \
+                     `// analyze:allow({NAME}): <why this I/O error may be dropped>`"
+                ),
+            )
+            .unsuppressible(),
+        ),
+        None => out.push(
+            Diagnostic::new(
+                NAME,
+                path,
+                call.line,
+                call.col,
+                format!(
+                    "{message}: handle it, propagate with `?`, or annotate \
+                     `// analyze:allow({NAME}): <why this I/O error may be dropped>`"
+                ),
+            )
+            .unsuppressible(),
+        ),
+    }
+}

@@ -7,12 +7,15 @@ pub mod atomic_ordering;
 pub mod blocking_under_lock;
 pub mod cast;
 pub mod channel;
+pub mod durability_order;
+pub mod error_swallow;
 pub mod hot_path_alloc;
 pub mod lock_order;
 pub mod panic_path;
 pub mod panic_reach;
 pub mod raw_lock;
 pub mod unsafe_code;
+pub mod untrusted_length;
 
 /// Names of every shipped rule, for reporting.
 pub const RULE_NAMES: &[&str] = &[
@@ -26,4 +29,7 @@ pub const RULE_NAMES: &[&str] = &[
     hot_path_alloc::NAME,
     panic_reach::NAME,
     unsafe_code::NAME,
+    untrusted_length::NAME,
+    durability_order::NAME,
+    error_swallow::NAME,
 ];

@@ -1,0 +1,242 @@
+//! `untrusted-length`: every length, count, or offset decoded from disk
+//! must be range-checked before it can touch memory.
+//!
+//! The persist crate parses snapshot sections, WAL records, and termlog
+//! entries out of raw bytes an attacker (or a bitflip) controls. A
+//! single unchecked decoded length used as a slice index panics the
+//! recovery path at best and, combined with arithmetic, silently
+//! corrupts offsets at worst. This rule runs the [`crate::dataflow`]
+//! phase over every function of the configured crates
+//! ([`crate::Config::taint_crates`] — `persist` in the workspace gate)
+//! and flags every **hot** binding — tainted by a decoder call
+//! ([`crate::Config::taint_sources`]) and never validated by a
+//! comparison or guard call ([`crate::Config::taint_guards`]) — that
+//! reaches a sink:
+//!
+//! * a slice/array **index or range** operand (`&bytes[pos..pos + n]`);
+//! * a **capacity/length argument** (`Vec::with_capacity`, `reserve`,
+//!   `resize`, `set_len`);
+//! * an **offset-arithmetic operand** (binary `+`, `-`, `*`), where an
+//!   unchecked value wraps or overflows before any later bound check.
+//!
+//! A decoder call appearing *directly inside* a sink
+//! (`&b[read_u32(b, 0) as usize]`) is flagged without any binding.
+//! Diagnostics print the def-use chain (`` `total` <- `len` <-
+//! `read_u32(..)` at line 12 ``) so the unchecked flow is visible at a
+//! glance. Escapes require a justification: a bare
+//! `analyze:allow(untrusted-length)` still fires.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::dataflow::{self, Dataflow};
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::source::{allow_in, Allow};
+use crate::Config;
+
+/// Rule name, as used by `analyze:allow(...)`.
+pub const NAME: &str = "untrusted-length";
+
+/// Calls whose argument sizes an allocation or a length change.
+const CAPACITY_SINKS: &[&str] = &[
+    "with_capacity",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "set_len",
+];
+
+/// Runs the rule over every function of the taint-audited crates.
+pub fn check(
+    graph: &CallGraph,
+    allows: &HashMap<String, Vec<Allow>>,
+    config: &Config,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in graph.fns() {
+        if let Some(crates) = &config.taint_crates {
+            if !crates.iter().any(|c| c == &f.krate) {
+                continue;
+            }
+        }
+        let df = dataflow::analyze(f, &config.taint_sources, &config.taint_guards);
+        let mut fired: HashSet<(u32, u32, String)> = HashSet::new();
+        let t = &f.tokens;
+        for k in 0..t.len() {
+            let tok = &t[k];
+            // Index/range sink: `[` after a value (`x[`, `)[`, `][`).
+            if tok.is_punct('[') && k > 0 && value_end(&t[k - 1]) {
+                sink_operands(t, k, ']', config, &df, |name, line, col, direct| {
+                    judge(
+                        &mut out,
+                        &mut fired,
+                        allows,
+                        &f.path,
+                        name,
+                        line,
+                        col,
+                        "a slice index/range",
+                        direct,
+                        &df,
+                    );
+                });
+            }
+            // Capacity sink: `with_capacity(…)`, `reserve(…)`, ….
+            if tok.kind == TokenKind::Ident
+                && CAPACITY_SINKS.iter().any(|s| *s == tok.text)
+                && t.get(k + 1).is_some_and(|x| x.is_punct('('))
+            {
+                let what = format!("a `{}` argument", tok.text);
+                sink_operands(t, k + 1, ')', config, &df, |name, line, col, direct| {
+                    judge(
+                        &mut out, &mut fired, allows, &f.path, name, line, col, &what, direct, &df,
+                    );
+                });
+            }
+            // Offset-arithmetic sink: binary `+`, `-`, `*` with a hot
+            // ident operand. `->`, compound assignment, and unary forms
+            // are excluded by requiring a value on the left and no `=`
+            // or `>` on the right.
+            if tok.kind == TokenKind::Punct
+                && matches!(tok.text.as_str(), "+" | "-" | "*")
+                && k > 0
+                && value_end(&t[k - 1])
+                && !t
+                    .get(k + 1)
+                    .is_some_and(|x| x.is_punct('=') || x.is_punct('>'))
+            {
+                for side in [k - 1, k + 1] {
+                    let Some(x) = t.get(side) else { continue };
+                    if x.kind == TokenKind::Ident
+                        && !dataflow::is_field_pos(t, side)
+                        && df.is_hot(&x.text)
+                    {
+                        judge(
+                            &mut out,
+                            &mut fired,
+                            allows,
+                            &f.path,
+                            Some(x.text.as_str()),
+                            x.line,
+                            x.col,
+                            "an offset-arithmetic operand",
+                            None,
+                            &df,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Whether `tok` can end a value expression (making a following `[` an
+/// index rather than an array literal or attribute).
+fn value_end(tok: &Token) -> bool {
+    matches!(tok.kind, TokenKind::Ident | TokenKind::Number)
+        || tok.is_punct(')')
+        || tok.is_punct(']')
+}
+
+/// Walks the bracketed group opening at `open` (to the matching
+/// `close_ch`), reporting every hot ident operand and every taint-source
+/// call used directly in the sink. Idents guarded *at the sink site*
+/// (`n.min(4096)`) are validated globally by the dataflow pass already,
+/// so no special case is needed here.
+fn sink_operands(
+    t: &[Token],
+    open: usize,
+    close_ch: char,
+    config: &Config,
+    df: &Dataflow,
+    mut report: impl FnMut(Option<&str>, u32, u32, Option<&str>),
+) {
+    let open_ch = t[open].text.chars().next().unwrap_or('(');
+    let mut depth = 0i64;
+    let mut m = open;
+    while m < t.len() {
+        let x = &t[m];
+        if x.is_punct(open_ch) {
+            depth += 1;
+        } else if x.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return;
+            }
+        } else if x.kind == TokenKind::Ident {
+            let field = dataflow::is_field_pos(t, m);
+            let callee = t.get(m + 1).is_some_and(|y| y.is_punct('('));
+            if callee && config.taint_sources.iter().any(|s| s == &x.text) {
+                report(None, x.line, x.col, Some(x.text.as_str()));
+            } else if !field && !callee && df.is_hot(&x.text) {
+                report(Some(x.text.as_str()), x.line, x.col, None);
+            }
+        }
+        m += 1;
+    }
+}
+
+/// The shared allow judgment: justified allows pass, bare allows demand
+/// a justification, everything else is a full diagnostic with the
+/// def-use chain.
+#[allow(clippy::too_many_arguments)]
+fn judge(
+    out: &mut Vec<Diagnostic>,
+    fired: &mut HashSet<(u32, u32, String)>,
+    allows: &HashMap<String, Vec<Allow>>,
+    path: &str,
+    name: Option<&str>,
+    line: u32,
+    col: u32,
+    sink: &str,
+    direct_source: Option<&str>,
+    df: &Dataflow,
+) {
+    let key = (
+        line,
+        col,
+        name.or(direct_source).unwrap_or_default().to_string(),
+    );
+    if !fired.insert(key) {
+        return;
+    }
+    match allow_in(allows, path, NAME, line) {
+        Some(allow) if !allow.justification.is_empty() => {}
+        Some(_) => out.push(
+            Diagnostic::new(
+                NAME,
+                path,
+                line,
+                col,
+                format!(
+                    "analyze:allow({NAME}) requires a justification: \
+                     `// analyze:allow({NAME}): <why this value needs no range check>`"
+                ),
+            )
+            .unsuppressible(),
+        ),
+        None => {
+            let flow = match (name, direct_source) {
+                (Some(n), _) => format!("untrusted value {} reaches", df.chain(n)),
+                (None, Some(src)) => format!("decoded value `{src}(..)` used directly as"),
+                (None, None) => "untrusted value reaches".to_string(),
+            };
+            out.push(
+                Diagnostic::new(
+                    NAME,
+                    path,
+                    line,
+                    col,
+                    format!(
+                        "{flow} {sink} without a range check: compare it against a bound \
+                         (or clamp via a guard call) before use, or annotate \
+                         `// analyze:allow({NAME}): <why this value needs no range check>`"
+                    ),
+                )
+                .unsuppressible(),
+            );
+        }
+    }
+}

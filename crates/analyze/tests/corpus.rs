@@ -628,6 +628,403 @@ mod tests {
     assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
 }
 
+// ----------------------------------------------------------- untrusted-length
+
+/// Runs the engine over `src` as the `persist` crate — the scope the
+/// workspace gate applies the taint audit and the rename-ordering
+/// checks to.
+fn persist_diags(src: &str) -> Vec<tir_analyze::Diagnostic> {
+    let mut a = Analysis::new(Config::default());
+    a.add_file("persist", "persist/x.rs", src);
+    a.finish()
+}
+
+#[test]
+fn untrusted_length_fires_on_index_sink_with_def_use_chain() {
+    let src = "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    let v = &b[..n];\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["untrusted-length"]);
+    let msg = &diags[0].message;
+    assert!(msg.contains("`n` <- `read_u32(..)` at line 2"), "{msg}");
+    assert!(msg.contains("slice index/range"), "{msg}");
+}
+
+#[test]
+fn untrusted_length_fires_on_capacity_sink() {
+    let src = "fn f(b: &[u8]) {\n    let count = read_u64(b, 8) as usize;\n    let v: Vec<u32> = Vec::with_capacity(count);\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["untrusted-length"]);
+    assert!(
+        diags[0].message.contains("`with_capacity` argument"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn untrusted_length_fires_on_offset_arithmetic() {
+    let src = "fn f(b: &[u8], pos: usize) -> usize {\n    let dlen = read_u32(b, pos) as usize;\n    pos + dlen * 4\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["untrusted-length"]);
+    assert!(
+        diags[0].message.contains("offset-arithmetic operand"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn untrusted_length_fires_on_decoder_directly_in_sink() {
+    let src = "fn f(b: &[u8]) {\n    let v = &b[read_u32(b, 0) as usize..];\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["untrusted-length"]);
+    assert!(
+        diags[0].message.contains("`read_u32(..)` used directly"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn untrusted_length_silent_on_bounds_checked_value() {
+    let src = "fn f(b: &[u8]) -> Option<&[u8]> {\n    let n = read_u32(b, 0) as usize;\n    if n > b.len() {\n        return None;\n    }\n    Some(&b[..n])\n}\n";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn untrusted_length_silent_on_guard_clamped_value() {
+    let src = "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    let v: Vec<u32> = Vec::with_capacity(n.min(4096));\n}\n";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn untrusted_length_backward_validation_through_derived_total() {
+    // Checking the derived `total` bounds the raw `len` it was built
+    // from: the later index on `len` is safe.
+    let src = "fn f(b: &[u8]) -> Option<&[u8]> {\n    let len = read_u32(b, 0) as usize;\n    let total = 12 + len;\n    if b.len() < total {\n        return None;\n    }\n    Some(&b[12..12 + len])\n}\n";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn untrusted_length_justified_allow_silences_bare_allow_fires() {
+    let justified = "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    let v = &b[..n]; // analyze:allow(untrusted-length): section CRC verified before any field decode\n}\n";
+    assert!(rules_fired(justified).is_empty());
+    let bare = "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    let v = &b[..n]; // analyze:allow(untrusted-length)\n}\n";
+    let diags = analyze_snippet(bare);
+    assert_eq!(rules_fired(bare), ["untrusted-length"]);
+    assert!(
+        diags[0].message.contains("justification"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn untrusted_length_scoped_to_configured_crates() {
+    let src = "fn f(b: &[u8]) {\n    let n = read_u32(b, 0) as usize;\n    let v = &b[..n];\n}\n";
+    let mut a = Analysis::new(Config {
+        taint_crates: Some(vec!["persist".into()]),
+        ..Config::default()
+    });
+    a.add_file("serve", "serve/lib.rs", src);
+    a.add_file("persist", "persist/lib.rs", src);
+    let diags = a.finish();
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].path, "persist/lib.rs");
+}
+
+// --------------------------------------------------------- durability-ordering
+
+#[test]
+fn durability_fires_on_apply_before_fsync_with_observed_order() {
+    let src = "\
+impl Durability {
+    fn apply_batch(&mut self) {
+        self.wal.append(epoch, ops);
+        apply_ops(index, ops);
+        self.wal.sync();
+    }
+}
+";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["durability-ordering"]);
+    let msg = &diags[0].message;
+    assert!(
+        msg.contains("applies at line 4 before the fsync at line 5"),
+        "{msg}"
+    );
+    assert!(
+        msg.contains("append (line 3) -> apply_ops (line 4) -> sync (line 5)"),
+        "observed call order printed: {msg}"
+    );
+}
+
+#[test]
+fn durability_fires_on_missing_wal_append() {
+    let src = "fn apply_batch(&mut self) {\n    apply_ops(index, ops);\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["durability-ordering"]);
+    assert!(
+        diags[0].message.contains("no WAL `append` call"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn durability_fires_on_ack_before_fsync_path() {
+    let src = "\
+fn drain(tx: &Sender<u64>, eng: &mut Engine) {
+    tx.send(epoch);
+    eng.apply_batch(index, ops);
+}
+";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["durability-ordering"]);
+    let msg = &diags[0].message;
+    assert!(
+        msg.contains("`send` at line 2 precedes the durable `apply_batch` call at line 3"),
+        "{msg}"
+    );
+}
+
+#[test]
+fn durability_silent_on_correct_engine_shape() {
+    let src = "\
+impl Durability {
+    fn apply_batch(&mut self) {
+        self.wal.append(epoch, ops);
+        self.wal.sync();
+        apply_ops(index, ops);
+    }
+}
+fn drain(tx: &Sender<u64>, eng: &mut Engine) {
+    eng.apply_batch(index, ops);
+    tx.send(epoch);
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn durability_fires_on_unsynced_rename_in_persist() {
+    let src = "\
+fn publish(tmp: &Path, dst: &Path) {
+    write_stuff(tmp);
+    fs::rename(tmp, dst);
+}
+";
+    let diags = persist_diags(src);
+    let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    assert_eq!(diags.len(), 2, "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("before any fsync")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("directory fsync")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn durability_silent_on_fsync_rename_fsync() {
+    // The data fsync may be transitive: `finish` reaches a sync through
+    // the call graph, the directory fsync follows the rename directly.
+    let src = "\
+fn finish(f: &File) {
+    f.sync_all();
+}
+fn publish(f: &File, d: &File, tmp: &Path, dst: &Path) {
+    finish(f);
+    fs::rename(tmp, dst);
+    d.sync_all();
+}
+";
+    assert!(persist_diags(src).is_empty(), "{:?}", persist_diags(src));
+}
+
+#[test]
+fn durability_rename_checks_scoped_to_persist_crate() {
+    // The same unsynced rename outside the persist crate is not a
+    // durability site (tmp-file juggling in tests/tools).
+    let src = "fn publish(tmp: &Path, dst: &Path) {\n    fs::rename(tmp, dst);\n}\n";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn durability_justified_allow_silences_bare_allow_fires() {
+    let justified = "fn apply_batch(&mut self) { // analyze:allow(durability-ordering): recovery replay — the WAL being replayed is already durable\n    apply_ops(index, ops);\n}\n";
+    assert!(rules_fired(justified).is_empty());
+    let bare = "fn apply_batch(&mut self) { // analyze:allow(durability-ordering)\n    apply_ops(index, ops);\n}\n";
+    let diags = analyze_snippet(bare);
+    assert_eq!(rules_fired(bare), ["durability-ordering"]);
+    assert!(
+        diags[0].message.contains("justification"),
+        "{}",
+        diags[0].message
+    );
+}
+
+// --------------------------------------------------------------- error-swallow
+
+#[test]
+fn error_swallow_fires_on_discarded_fsync() {
+    let src = "fn f(file: &File) {\n    let _ = file.sync_all();\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["error-swallow"]);
+    assert!(
+        diags[0].message.contains("swallows the `io::Result`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn error_swallow_fires_on_ok_discard() {
+    let src = "fn f(file: &File) {\n    file.sync_all().ok();\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["error-swallow"]);
+    assert!(
+        diags[0].message.contains("`.ok()` discards"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn error_swallow_resolves_workspace_io_results() {
+    // `persist_marker` is no std API: only its declared return type says
+    // io::Result, through the workspace call graph.
+    let src = "\
+fn persist_marker(dir: &Path) -> io::Result<()> {
+    Ok(())
+}
+fn f(dir: &Path) {
+    let _ = persist_marker(dir);
+}
+";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["error-swallow"]);
+    assert!(
+        diags[0].message.contains("persist_marker"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn error_swallow_silent_on_non_io_discards() {
+    for src in [
+        "fn f(h: JoinHandle<()>) {\n    let _ = h.join();\n}\n",
+        "fn f(s: &str) -> Option<u32> {\n    s.parse().ok()\n}\n",
+        "fn f(tx: &Sender<u32>) {\n    let _ = tx.send(1);\n}\n",
+    ] {
+        assert!(rules_fired(src).is_empty(), "{src}");
+    }
+}
+
+#[test]
+fn error_swallow_silent_in_test_modules() {
+    let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t(f: &File) {\n        let _ = f.sync_all();\n        f.flush().ok();\n    }\n}\n";
+    assert!(rules_fired(src).is_empty());
+}
+
+#[test]
+fn error_swallow_justified_allow_silences_bare_allow_fires() {
+    let justified = "fn f(file: &File) {\n    let _ = file.sync_all(); // analyze:allow(error-swallow): best-effort flush on the abort path, error returned right after\n}\n";
+    assert!(rules_fired(justified).is_empty());
+    let bare =
+        "fn f(file: &File) {\n    let _ = file.sync_all(); // analyze:allow(error-swallow)\n}\n";
+    let diags = analyze_snippet(bare);
+    assert_eq!(rules_fired(bare), ["error-swallow"]);
+    assert!(
+        diags[0].message.contains("justification"),
+        "{}",
+        diags[0].message
+    );
+}
+
+// ----------------------------- cross-phase suppression extents (fn items vs
+// the dataflow and reach tiers; trailing vs own-line; nested cfg(test))
+
+#[test]
+fn fn_item_allow_suppresses_dataflow_rule_in_whole_body() {
+    // An own-line allow above a fn item extends through the closing
+    // brace: dataflow diagnostics attributed anywhere inside are covered.
+    let src = "\
+// analyze:allow(untrusted-length): fuzz harness — lengths bounded by the generator
+fn f(b: &[u8]) {
+    let n = read_u32(b, 0) as usize;
+    let v = &b[..n];
+    let w: Vec<u32> = Vec::with_capacity(n);
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn fn_item_allow_suppresses_reach_rule_in_whole_body() {
+    // panic-reachability attributes its diagnostic to the panic site,
+    // so the allow sits on the fn item owning that site and must cover
+    // every line of its body.
+    let src = "\
+fn worker_loop(x: Option<u32>) {
+    helper(x);
+}
+// analyze:allow(panic-reachability): poison propagation — invariants are gone, die loudly
+fn helper(x: Option<u32>) {
+    x.expect(\"boot invariant\");
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn fn_item_allow_suppresses_error_swallow_in_whole_body() {
+    let src = "\
+// analyze:allow(error-swallow): teardown path — the process exits right after
+fn shutdown(file: &File, sock: &TcpStream) {
+    let _ = file.sync_all();
+    let _ = sock.shutdown(Shutdown::Both);
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
+#[test]
+fn trailing_allow_on_fn_line_does_not_cover_the_body() {
+    // The trailing form covers exactly its own line; a dataflow
+    // diagnostic attributed to a body line still fires.
+    let src = "fn f(b: &[u8]) { // analyze:allow(untrusted-length): signature line only\n    let n = read_u32(b, 0) as usize;\n    let v = &b[..n];\n}\n";
+    let diags = analyze_snippet(src);
+    assert_eq!(rules_fired(src), ["untrusted-length"]);
+    assert_eq!(diags[0].line, 3, "{diags:?}");
+}
+
+#[test]
+fn nested_cfg_test_invisible_to_dataflow_rules() {
+    let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn t(b: &[u8]) {
+        let n = read_u32(b, 0) as usize;
+        let v = &b[..n];
+    }
+    mod nested {
+        fn apply_batch(&mut self) {
+            apply_ops(index, ops);
+        }
+        fn u(f: &File) {
+            let _ = f.sync_all();
+        }
+    }
+}
+";
+    assert!(rules_fired(src).is_empty(), "{:?}", analyze_snippet(src));
+}
+
 #[test]
 fn cfg_test_sibling_does_not_hide_live_violations() {
     // A live seeded violation next to a stripped test module still fires:

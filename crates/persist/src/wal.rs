@@ -260,6 +260,7 @@ impl Wal {
         if let Err(e) = kill::fire(KillPoint::MidWalAppend) {
             let cut = rec.len() / 2;
             self.active.write_all(&rec[..cut])?;
+            // analyze:allow(error-swallow): simulated crash path — the kill error is returned either way; the sync only makes the torn prefix durable for the recovery test
             let _ = self.active.sync_all();
             return Err(e);
         }

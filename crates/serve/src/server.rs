@@ -88,6 +88,7 @@ impl ServerHandle {
     /// Connections already open finish serving their clients.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // analyze:allow(error-swallow): the connect exists only to wake accept(); if it fails the loop is already unblocked or gone
         let _ = TcpStream::connect(self.addr); // unblock accept()
         if let Some(h) = self.accept.take() {
             let _ = h.join();
@@ -234,6 +235,7 @@ where
         let conn_shared = Arc::clone(shared);
         // Connection threads are detached: they exit when the client
         // hangs up, and a stopping server only stops *accepting*.
+        // analyze:allow(error-swallow): per-connection best effort — a failed spawn or a client that hung up mid-request must not take down the accept loop
         let _ = std::thread::Builder::new()
             .name("tir-conn".into())
             .spawn(move || {
@@ -478,6 +480,7 @@ where
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
+            // analyze:allow(error-swallow): the connect exists only to wake accept(); if it fails the loop is already unblocked or gone
             let _ = TcpStream::connect(shared.addr); // unblock accept()
             Response::Bye
         }
