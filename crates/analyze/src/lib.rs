@@ -158,7 +158,7 @@ impl Default for Config {
             scratch_arenas: s(&["QueryScratch"]),
             growth_sinks: s(&["QueryScratch", "Vec", "String"]),
             serve_roots: s(&["accept_loop", "worker_loop"]),
-            unsafe_audited_paths: s(&["persist/src/mmap.rs"]),
+            unsafe_audited_paths: s(&["persist/src/mmap.rs", "invidx/src/simd.rs"]),
             taint_crates: None,
             taint_sources: s(&["read_u32", "read_u64", "get"]),
             taint_guards: s(&[

@@ -1,9 +1,10 @@
-//! `unsafe-code`: library crates are `#![forbid(unsafe_code)]` with one
-//! audited exception — the mmap wrapper in `tir-persist`. This rule
-//! makes that exception checkable: any `unsafe` token outside the
-//! configured audited files is a **non-suppressible** diagnostic (an
-//! inline allow cannot widen the audit surface), and even inside an
-//! audited file every site needs a per-site
+//! `unsafe-code`: library crates are `#![forbid(unsafe_code)]` with a
+//! short audited exception list — the mmap wrapper in `tir-persist` and
+//! the SIMD intrinsics module in `tir-invidx`. This rule makes those
+//! exceptions checkable: any `unsafe` token outside the configured
+//! audited files is a **non-suppressible** diagnostic (an inline allow
+//! cannot widen the audit surface), and even inside an audited file
+//! every site needs a per-site
 //! `// analyze:allow(unsafe-code): why this is sound` justification.
 
 use crate::diag::Diagnostic;
@@ -13,7 +14,8 @@ use crate::source::SourceFile;
 pub const NAME: &str = "unsafe-code";
 
 /// Runs the rule over one file. `audited_paths` are path suffixes of
-/// the files allowed to contain justified `unsafe` (the mmap wrapper).
+/// the files allowed to contain justified `unsafe` (the mmap wrapper
+/// and the SIMD intrinsics module).
 pub fn check(file: &SourceFile, audited_paths: &[String]) -> Vec<Diagnostic> {
     let audited = audited_paths
         .iter()
@@ -37,8 +39,8 @@ pub fn check(file: &SourceFile, audited_paths: &[String]) -> Vec<Diagnostic> {
                 &file.path,
                 tok.line,
                 tok.col,
-                "unsafe outside the audited mmap wrapper; library crates are \
-                 forbid(unsafe_code)",
+                "unsafe outside the audited exception list; library crates \
+                 are forbid(unsafe_code)",
             )
             .unsuppressible()
         };

@@ -1,9 +1,10 @@
 //! Validators for the inverted-index substrate (`tir-invidx`).
 
 use crate::{fail, Validate, Violation};
+use tir_invidx::compress::BLOCK_LEN;
 use tir_invidx::{
-    live, raw, CompactInverted, CompactTemporalInverted, CompressedPostings, Dictionary,
-    HybridPostings, InvertedIndex, PlanStats, PostingContainer,
+    live, raw, BlockPostings, CompactInverted, CompactTemporalInverted, CompressedPostings,
+    Dictionary, HybridPostings, InvertedIndex, PlanStats, PostingContainer,
 };
 
 impl Validate for Dictionary {
@@ -239,14 +240,15 @@ impl Validate for HybridPostings {
                         }
                     }
                     // Inserts promote eagerly, so a live set at or above
-                    // the density threshold must already be dense.
+                    // the density threshold must already have left the
+                    // sparse form (for the bitmap or run container).
                     if u64::from(counted) * den >= u64::from(universe) && counted > 0 {
                         fail(
                             &mut out,
                             &path,
                             format!(
                                 "sparse at {counted} live of universe {universe} \
-                                 (threshold 1/{den}): should be dense"
+                                 (threshold 1/{den}): should be dense or runs"
                             ),
                         );
                     }
@@ -315,6 +317,77 @@ impl Validate for HybridPostings {
                         }
                     }
                 }
+                PostingContainer::Runs(r) => {
+                    let runs = r.runs();
+                    for &(s, l) in runs {
+                        if s > l {
+                            fail(&mut out, &path, format!("run ({s}, {l}) has start > last"));
+                        }
+                    }
+                    if !runs
+                        .windows(2)
+                        .all(|w| u64::from(w[0].1) + 1 < u64::from(w[1].0))
+                    {
+                        fail(
+                            &mut out,
+                            &path,
+                            "runs not strictly ascending with gaps (adjacent runs \
+                             should have merged)"
+                                .into(),
+                        );
+                    }
+                    let stored: u64 = runs.iter().map(|&(s, l)| u64::from(l - s) + 1).sum();
+                    if stored != u64::from(r.present_count()) {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "cached stored count {}, runs cover {stored}",
+                                r.present_count()
+                            ),
+                        );
+                    }
+                    let del = r.deleted();
+                    if !del.windows(2).all(|w| w[0] < w[1]) {
+                        fail(
+                            &mut out,
+                            &path,
+                            "deleted overlay not strictly ascending".into(),
+                        );
+                    }
+                    for &dd in del {
+                        let i = runs.partition_point(|&(s, _)| s <= dd);
+                        if i == 0 || runs[i - 1].1 < dd {
+                            fail(
+                                &mut out,
+                                &path,
+                                format!("deleted id {dd} outside every run"),
+                            );
+                            break;
+                        }
+                    }
+                    if !runs.is_empty() && !r.run_rule_holds() {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!(
+                                "run rule broken: {} runs for {} stored ids \
+                                 (should have demoted)",
+                                runs.len(),
+                                r.present_count()
+                            ),
+                        );
+                    }
+                    if let Some(&(_, last)) = runs.last() {
+                        if last >= universe && universe > 0 {
+                            fail(
+                                &mut out,
+                                &path,
+                                format!("run id {last} outside universe {universe}"),
+                            );
+                        }
+                    }
+                }
             }
         });
         out
@@ -337,6 +410,7 @@ impl Validate for PlanStats {
         }
         for (kernel, steps, scanned) in [
             ("merge", self.merge_steps, self.merge_scanned),
+            ("simd_merge", self.simd_merge_steps, self.simd_merge_scanned),
             ("gallop", self.gallop_steps, self.gallop_scanned),
             (
                 "bitmap_probe",
@@ -344,6 +418,11 @@ impl Validate for PlanStats {
                 self.bitmap_probe_scanned,
             ),
             ("word_and", self.word_and_steps, self.word_and_scanned),
+            (
+                "run_intersect",
+                self.run_intersect_steps,
+                self.run_intersect_scanned,
+            ),
         ] {
             if steps == 0 && scanned != 0 {
                 fail(
@@ -426,6 +505,134 @@ impl Validate for CompressedPostings {
     }
 }
 
+impl Validate for BlockPostings {
+    fn validate(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let blocks = self.num_blocks();
+        let want_blocks = self.len().div_ceil(BLOCK_LEN);
+        if blocks != want_blocks {
+            fail(
+                &mut out,
+                "blocks/layout",
+                format!(
+                    "{} postings want {want_blocks} blocks, have {blocks}",
+                    self.len()
+                ),
+            );
+            return out;
+        }
+        let (ctrl, data) = self.raw_streams();
+        let (mut ci, mut pos) = (0usize, 0usize);
+        let mut prev_last: Option<u32> = None;
+        for b in 0..blocks {
+            let path = format!("blocks/block{b}");
+            let count = BLOCK_LEN.min(self.len() - b * BLOCK_LEN);
+            let (co, dofs) = self.block_offsets(b);
+            if co != ci || dofs != pos {
+                fail(
+                    &mut out,
+                    &path,
+                    format!("offsets ({co}, {dofs}) do not resume the stream at ({ci}, {pos})"),
+                );
+                return out;
+            }
+            let first = self.block_first(b);
+            if let Some(p) = prev_last {
+                if first <= p {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!("first id {first} not above previous block's last {p}"),
+                    );
+                }
+            }
+            // Bounds-checked stream-vbyte walk: the production decoder
+            // indexes unchecked, so a validator must never reuse it on
+            // possibly corrupt bytes.
+            let mut acc = u64::from(first);
+            let mut decoded = 0usize;
+            while decoded < count - 1 {
+                let Some(&c) = ctrl.get(ci) else {
+                    fail(
+                        &mut out,
+                        &path,
+                        format!("control stream truncated after {decoded} deltas"),
+                    );
+                    return out;
+                };
+                ci += 1;
+                let mut lane = 0usize;
+                while lane < 4 && decoded < count - 1 {
+                    let nbytes = ((c >> (2 * lane)) & 3) as usize + 1;
+                    let Some(bytes) = data.get(pos..pos + nbytes) else {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("data stream truncated after {decoded} deltas"),
+                        );
+                        return out;
+                    };
+                    let mut v = 0u64;
+                    for (shift, &byte) in bytes.iter().enumerate() {
+                        v |= u64::from(byte) << (8 * shift);
+                    }
+                    pos += nbytes;
+                    if v == 0 {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("zero delta at value {decoded}: ids not strictly ascending"),
+                        );
+                    }
+                    acc += v;
+                    if acc > u64::from(u32::MAX) {
+                        fail(
+                            &mut out,
+                            &path,
+                            format!("value {decoded} decodes to {acc}, beyond the u32 id space"),
+                        );
+                        return out;
+                    }
+                    decoded += 1;
+                    lane += 1;
+                }
+            }
+            if acc != u64::from(self.block_last(b)) {
+                fail(
+                    &mut out,
+                    &path,
+                    format!(
+                        "skip bound says last {}, stream decodes {acc}",
+                        self.block_last(b)
+                    ),
+                );
+            }
+            prev_last = Some(self.block_last(b));
+        }
+        if ci != ctrl.len() {
+            fail(
+                &mut out,
+                "blocks/stream",
+                format!("{} trailing control bytes", ctrl.len() - ci),
+            );
+        }
+        // A default-constructed (never encoded) empty list has no pad;
+        // every encoded stream ends in exactly 16 zero pad bytes.
+        if (blocks > 0 || !data.is_empty()) && data.len() != pos + 16 {
+            fail(
+                &mut out,
+                "blocks/stream",
+                format!(
+                    "data stream is {} bytes, want {} consumed + 16 pad",
+                    data.len(),
+                    pos
+                ),
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +656,10 @@ mod tests {
 
         let cp = CompressedPostings::encode(&[1, 5, 1000]);
         assert!(cp.validate().is_empty());
+
+        let ids: Vec<u32> = (0..300u32).map(|i| i * 3).collect();
+        let bp = BlockPostings::encode(&ids);
+        assert!(bp.validate().is_empty());
     }
 
     #[test]
@@ -458,5 +669,7 @@ mod tests {
         assert!(CompactInverted::new().validate().is_empty());
         assert!(CompactTemporalInverted::new().validate().is_empty());
         assert!(CompressedPostings::encode(&[]).validate().is_empty());
+        assert!(BlockPostings::encode(&[]).validate().is_empty());
+        assert!(BlockPostings::default().validate().is_empty());
     }
 }

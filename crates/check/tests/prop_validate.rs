@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use tir_check::Validate;
 use tir_core::prelude::*;
 use tir_hint::{Hint, HintConfig, IntervalRecord};
-use tir_invidx::{ContainerConfig, HybridPostings, Kernel, PlanStats};
+use tir_invidx::{BlockPostings, ContainerConfig, HybridPostings, Kernel, PlanStats};
 
 const DOMAIN: u64 = 2000;
 const DICT: u32 = 10;
@@ -159,14 +159,16 @@ proptest! {
     }
 
     #[test]
-    fn corrupted_hybrid_deleted_bit_reports_a_violation(hole in 50u32..100) {
-        // 50 live of universe 100 is dense under the default 1/32
-        // threshold, and every id in [50, 100) is a guaranteed hole the
-        // corruption hook can set a stray deleted bit in.
-        let ids: Vec<u32> = (0..50).chain(std::iter::once(hole)).collect();
+    fn corrupted_hybrid_deleted_bit_reports_a_violation(hole in 100u32..200) {
+        // 51 live evens of universe 200 are dense under the default 1/32
+        // threshold without forming runs, and every odd-aligned id in
+        // [100, 200) is a guaranteed hole the corruption hook can set a
+        // stray deleted bit in.
+        let hole = hole | 1;
+        let ids: Vec<u32> = (0..50).map(|i| i * 2).chain(std::iter::once(hole)).collect();
         let mut h = HybridPostings::from_lists(
             std::iter::once((0u32, ids.as_slice())),
-            100,
+            200,
             ContainerConfig::default(),
         );
         prop_assert!(h.get(0).is_some_and(|c| c.is_dense()));
@@ -178,17 +180,48 @@ proptest! {
     }
 
     #[test]
+    fn run_containers_validate_and_catch_corruption(n in 16u32..64, start in 0u32..20) {
+        let ids: Vec<u32> = (start..start + n).collect();
+        // Universe large enough that density (1/64) never wins the form
+        // choice — clustered-but-sparse is the run container's regime.
+        let mut h = HybridPostings::from_lists(
+            std::iter::once((0u32, ids.as_slice())),
+            10_000,
+            ContainerConfig::default(),
+        );
+        prop_assert!(h.get(0).is_some_and(|c| c.is_runs()));
+        h.tombstone(0, start + 3);
+        prop_assert!(h.validate().is_empty());
+        h.testing_corrupt_deleted_outside();
+        let v = h.validate();
+        prop_assert!(!v.is_empty(), "deleted id outside every run went unnoticed");
+    }
+
+    #[test]
+    fn block_postings_validate_and_catch_corruption(
+        ids in prop::collection::btree_set(0u32..100_000, 1..400),
+    ) {
+        let ids: Vec<u32> = ids.into_iter().collect();
+        let mut bp = BlockPostings::encode(&ids);
+        prop_assert!(bp.validate().is_empty(), "violations: {:?}", bp.validate());
+        bp.testing_corrupt_skip_bound();
+        prop_assert!(!bp.validate().is_empty(), "skip-bound desync went unnoticed");
+    }
+
+    #[test]
     fn plan_stats_validate_and_catch_desync(
-        notes in prop::collection::vec((0u8..4, 0u64..1000), 0..32),
+        notes in prop::collection::vec((0u8..6, 0u64..1000), 0..32),
         bump in 1u64..100,
     ) {
         let mut stats = PlanStats::default();
         for &(k, scanned) in &notes {
             let kernel = match k {
                 0 => Kernel::Merge,
-                1 => Kernel::Gallop,
-                2 => Kernel::BitmapProbe,
-                _ => Kernel::WordAnd,
+                1 => Kernel::SimdMerge,
+                2 => Kernel::Gallop,
+                3 => Kernel::BitmapProbe,
+                4 => Kernel::WordAnd,
+                _ => Kernel::RunIntersect,
             };
             stats.note(kernel, scanned);
         }

@@ -169,6 +169,7 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
     let scale: f64 = opts.parse_or("scale", 0.01)?;
     let mut cfg = SyntheticConfig::default().scaled(scale);
     cfg.cardinality = opts.parse_or("cardinality", cfg.cardinality)?;
+    cfg.dict_size = opts.parse_or("dict", cfg.dict_size)?;
     cfg.seed = opts.parse_or("seed", cfg.seed)?;
     let coll = tir_datagen::generate(&cfg);
     let file = File::create(out).map_err(|e| format!("{out}: {e}"))?;
@@ -339,6 +340,9 @@ fn cmd_bench(opts: &Opts) -> Result<(), String> {
                 hist = pass;
             }
         }
+        if std::env::var_os("TIR_BENCH_DEBUG").is_some() {
+            eprintln!("{method}: {:?}", tir_invidx::global_stats());
+        }
         let qps = queries.len() as f64 / best.max(1e-9);
         let (p50, p95, p99) = (
             hist.quantile(0.50) as f64 / 1_000.0,
@@ -452,6 +456,24 @@ fn sample_ids(rng: &mut KernelRng, universe: u32, per_mille: u64) -> Vec<u32> {
     ids
 }
 
+/// Sorted id set over `[0, universe)` clustered into runs of roughly
+/// `run_len` consecutive ids, spaced so the overall density is about
+/// `per_mille / 1000` (the run-container's natural habitat).
+fn sample_runs(rng: &mut KernelRng, universe: u32, per_mille: u64, run_len: u32) -> Vec<u32> {
+    let period = (u64::from(run_len) * 1000 / per_mille.max(1)).max(u64::from(run_len) * 2);
+    let mut ids = Vec::new();
+    let mut start = rng.next_u64() % period;
+    while start < u64::from(universe) {
+        let len = u64::from(run_len / 2) + rng.next_u64() % u64::from(run_len);
+        let end = (start + len).min(u64::from(universe));
+        for id in start..end {
+            ids.push(id as u32);
+        }
+        start += period;
+    }
+    ids
+}
+
 /// Names the kernel a one-step plan ran on (for the planner rows of the
 /// microharness, where the cost model — not the caller — picks).
 fn chosen_kernel(stats: &PlanStats) -> &'static str {
@@ -459,8 +481,12 @@ fn chosen_kernel(stats: &PlanStats) -> &'static str {
         "word-and"
     } else if stats.bitmap_probe_steps > 0 {
         "bitmap-probe"
+    } else if stats.run_intersect_steps > 0 {
+        "run-intersect"
     } else if stats.gallop_steps > 0 {
         "gallop"
+    } else if stats.simd_merge_steps > 0 {
+        "simd-merge"
     } else {
         "merge"
     }
@@ -470,15 +496,20 @@ fn chosen_kernel(stats: &PlanStats) -> &'static str {
 /// over a candidate-density × postings-density grid (synthetic ids, no
 /// corpus needed) and write per-cell ns/element to `PATH`.
 ///
-/// Three timings per cell: the raw `merge` and `gallop` array kernels,
-/// and `planner` — a [`QueryScratch::intersect`] against a dense
-/// [`PostingContainer`], labeled with whichever kernel the cost model
-/// picked (bitmap-probe at sparse candidate densities, word-AND at dense
-/// ones). CI runs this as a smoke test; the JSON makes kernel-mix
-/// regressions diffable.
+/// Seven timings per cell: the raw scalar `merge` and `gallop` array
+/// kernels, their dispatched vector counterparts `simd-merge` and
+/// `simd-gallop` (which fall back to scalar below `SIMD_MIN_LEN` or
+/// without CPU support — the `TIR_SIMD` env var caps dispatch), `blocks`
+/// (stream-vbyte block decode + merge with skip bounds), and two
+/// `planner:*` rows — a [`QueryScratch::intersect`] against a
+/// [`PostingContainer`] built from the Bernoulli sample and one built
+/// from a clustered run-shaped sample, each labeled with whichever
+/// kernel the cost model picked. CI runs this as a smoke test; the JSON
+/// makes kernel-mix regressions diffable.
 fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
     use tir_invidx::{
-        intersect_gallop_into, intersect_merge_into, ContainerConfig, PostingContainer,
+        intersect_gallop_into, intersect_merge_into, BlockPostings, ContainerConfig,
+        PostingContainer,
     };
     let universe: u32 = opts.parse_or("universe", 1u32 << 20)?;
     if universe == 0 {
@@ -496,8 +527,12 @@ fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
         let cands = sample_ids(&mut rng, universe, cand_pm);
         for post_pm in [1u64, 8, 64, 256] {
             let postings = sample_ids(&mut rng, universe, post_pm);
+            let clustered = sample_runs(&mut rng, universe, post_pm, 64);
             let container =
                 PostingContainer::from_sorted(&postings, universe, ContainerConfig::default());
+            let run_container =
+                PostingContainer::from_sorted(&clustered, universe, ContainerConfig::default());
+            let blocks = BlockPostings::encode(&postings);
             let work = (cands.len() + postings.len()).max(1);
             let cell_reps = if reps > 0 {
                 reps
@@ -507,8 +542,11 @@ fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
             };
 
             let mut out = Vec::new();
+            let mut blk = Vec::new();
             let mut scratch = QueryScratch::default();
-            let mut measured: Vec<(&'static str, u64, u64)> = Vec::new(); // (kernel, ns/call, scanned/call)
+            // (kernel, ns/call, scanned/call, |postings| for the row)
+            let mut measured: Vec<(String, u64, u64, u64)> = Vec::new();
+            let clamp = |ns: u128| ns.min(u128::from(u64::MAX)) as u64;
 
             let t0 = Instant::now();
             for _ in 0..cell_reps {
@@ -518,9 +556,26 @@ fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
             }
             let per_call = t0.elapsed().as_nanos() / u128::from(cell_reps);
             measured.push((
-                "merge",
-                per_call.min(u128::from(u64::MAX)) as u64,
+                "merge".into(),
+                clamp(per_call),
                 work as u64,
+                postings.len() as u64,
+            ));
+
+            let t0 = Instant::now();
+            for _ in 0..cell_reps {
+                out.clear();
+                // Forced: the grid exists to measure the vector kernel even
+                // in cells below the production dispatch gate.
+                tir_invidx::simd::merge_into_forced(&cands, &postings, &mut out);
+                std::hint::black_box(out.len());
+            }
+            let per_call = t0.elapsed().as_nanos() / u128::from(cell_reps);
+            measured.push((
+                "simd-merge".into(),
+                clamp(per_call),
+                work as u64,
+                postings.len() as u64,
             ));
 
             let t0 = Instant::now();
@@ -531,36 +586,87 @@ fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
             }
             let per_call = t0.elapsed().as_nanos() / u128::from(cell_reps);
             measured.push((
-                "gallop",
-                per_call.min(u128::from(u64::MAX)) as u64,
+                "gallop".into(),
+                clamp(per_call),
                 cands.len() as u64,
+                postings.len() as u64,
             ));
 
             let t0 = Instant::now();
             for _ in 0..cell_reps {
-                scratch.reset();
-                scratch.cands.extend_from_slice(&cands);
-                scratch.intersect(tir_invidx::Postings::Container(&container));
                 out.clear();
-                scratch.take_into(&mut out);
+                tir_invidx::simd::gallop_into_forced(&cands, &postings, &mut out);
                 std::hint::black_box(out.len());
             }
             let per_call = t0.elapsed().as_nanos() / u128::from(cell_reps);
-            let stats = scratch.last_stats();
             measured.push((
-                chosen_kernel(&stats),
-                per_call.min(u128::from(u64::MAX)) as u64,
-                stats.scanned.max(1),
+                "simd-gallop".into(),
+                clamp(per_call),
+                cands.len() as u64,
+                postings.len() as u64,
             ));
 
-            for (kernel, ns_call, scanned) in measured {
+            let t0 = Instant::now();
+            for _ in 0..cell_reps {
+                out.clear();
+                tir_invidx::intersect_gallop_rev_into(&cands, &postings, &mut out);
+                std::hint::black_box(out.len());
+            }
+            let per_call = t0.elapsed().as_nanos() / u128::from(cell_reps);
+            measured.push((
+                "gallop-rev".into(),
+                clamp(per_call),
+                postings.len() as u64,
+                postings.len() as u64,
+            ));
+
+            let mut block_scanned = 1u64;
+            let t0 = Instant::now();
+            for _ in 0..cell_reps {
+                out.clear();
+                let st = blocks.intersect_into(&cands, &mut out, &mut blk);
+                block_scanned = st.scanned.max(1);
+                std::hint::black_box(out.len());
+            }
+            let per_call = t0.elapsed().as_nanos() / u128::from(cell_reps);
+            measured.push((
+                "blocks".into(),
+                clamp(per_call),
+                block_scanned,
+                postings.len() as u64,
+            ));
+
+            for (label_container, n_post) in [
+                (&container, postings.len()),
+                (&run_container, clustered.len()),
+            ] {
+                let t0 = Instant::now();
+                for _ in 0..cell_reps {
+                    scratch.reset();
+                    scratch.cands.extend_from_slice(&cands);
+                    scratch.intersect(tir_invidx::Postings::Container(label_container));
+                    out.clear();
+                    scratch.take_into(&mut out);
+                    std::hint::black_box(out.len());
+                }
+                let per_call = t0.elapsed().as_nanos() / u128::from(cell_reps);
+                let stats = scratch.last_stats();
+                measured.push((
+                    format!("planner:{}", chosen_kernel(&stats)),
+                    clamp(per_call),
+                    stats.scanned.max(1),
+                    n_post as u64,
+                ));
+            }
+
+            for (kernel, ns_call, scanned, n_post) in measured {
                 let ns_elem = ns_call as f64 / scanned as f64;
                 println!(
                     "{:<8} {:<8} {:>10} {:>10} {:<22} {:>12} {:>12.2}",
                     cand_pm,
                     post_pm,
                     cands.len(),
-                    postings.len(),
+                    n_post,
                     kernel,
                     ns_call,
                     ns_elem
@@ -569,7 +675,7 @@ fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
                     ("cands_per_mille", Json::Int(cand_pm)),
                     ("postings_per_mille", Json::Int(post_pm)),
                     ("cands", Json::Int(cands.len() as u64)),
-                    ("postings", Json::Int(postings.len() as u64)),
+                    ("postings", Json::Int(n_post)),
                     ("kernel", Json::str(kernel)),
                     ("reps", Json::Int(u64::from(cell_reps))),
                     ("ns_per_call", Json::Int(ns_call)),
@@ -581,6 +687,10 @@ fn cmd_bench_kernels(opts: &Opts, json_path: &str) -> Result<(), String> {
     let doc = Json::obj(vec![
         ("tool", Json::str("tir bench --kernels")),
         ("git_rev", Json::str(git_rev())),
+        (
+            "simd_level",
+            Json::str(format!("{:?}", tir_invidx::simd::level())),
+        ),
         ("universe", Json::Int(u64::from(universe))),
         ("cells", Json::Arr(records)),
     ]);

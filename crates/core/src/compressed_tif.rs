@@ -2,9 +2,13 @@
 //!
 //! Section 7 of the paper leaves inverted-file compression as future
 //! work; this index explores it: the bulk of every postings list is held
-//! delta/varint-compressed and immutable, while updates go to a small
-//! uncompressed overlay (LSM-style). Queries consult both sides; deletes
-//! tombstone overlay entries directly and blacklist base entries.
+//! delta-compressed and immutable — id lists as stream-vbyte blocks with
+//! uncompressed skip bounds, temporal triples as varint streams — while
+//! updates go to a small uncompressed overlay (LSM-style). Queries
+//! consult both sides, skipping base blocks whose bounds cannot meet the
+//! candidate set and decoding the rest block-at-a-time into the scratch
+//! buffer; deletes tombstone overlay entries directly and blacklist base
+//! entries.
 
 use std::collections::{HashMap, HashSet};
 
@@ -13,16 +17,16 @@ use crate::freq::FreqTable;
 use crate::index_trait::TemporalIrIndex;
 use crate::postings::TemporalList;
 use crate::types::{Object, ObjectId, TimeTravelQuery};
-use tir_invidx::compress::{CompressedPostings, CompressedTemporalPostings};
+use tir_invidx::compress::{BlockPostings, CompressedTemporalPostings};
 use tir_invidx::intersect_merge_into;
 use tir_invidx::planner::{Kernel, QueryScratch};
 
 /// The compressed temporal inverted file.
 #[derive(Debug, Clone, Default)]
 pub struct CompressedTif {
-    /// Immutable compressed lists: ids for intersections, temporal
-    /// triples for the first-element filter.
-    base_ids: HashMap<u32, CompressedPostings>,
+    /// Immutable compressed lists: block-coded ids for intersections,
+    /// temporal triples for the first-element filter.
+    base_ids: HashMap<u32, BlockPostings>,
     base_temporal: HashMap<u32, CompressedTemporalPostings>,
     /// Dynamic uncompressed overlay.
     overlay: HashMap<u32, TemporalList>,
@@ -46,7 +50,7 @@ impl CompressedTif {
         let mut base_ids = HashMap::with_capacity(per_elem.len());
         let mut base_temporal = HashMap::with_capacity(per_elem.len());
         for (e, (ids, sts, ends)) in per_elem {
-            base_ids.insert(e, CompressedPostings::encode(&ids));
+            base_ids.insert(e, BlockPostings::encode(&ids));
             base_temporal.insert(e, CompressedTemporalPostings::encode(&ids, &sts, &ends));
         }
         CompressedTif {
@@ -112,10 +116,13 @@ impl TemporalIrIndex for CompressedTif {
         scratch.cands.sort_unstable();
         scratch.cands.dedup();
 
-        // Remaining elements: streaming intersection against base ids,
-        // merged with the overlay hits. The compressed stream decodes
-        // sequentially, so these steps are charged as merge scans.
+        // Remaining elements: block-at-a-time intersection against the
+        // base ids, merged with the overlay hits. Blocks whose skip
+        // bounds cannot meet the candidates are never decoded; decoded
+        // blocks land in the scratch decode buffer and go through the
+        // dispatched merge kernel.
         let mut hits = scratch.take_aux();
+        let mut blk = scratch.take_blk();
         for pi in 1..scratch.plan.len() {
             if scratch.cands.is_empty() {
                 break;
@@ -123,9 +130,15 @@ impl TemporalIrIndex for CompressedTif {
             let e = scratch.plan[pi];
             hits.clear();
             if let Some(base) = self.base_ids.get(&e) {
-                base.intersect_into(&scratch.cands, &mut hits);
+                let st = base.intersect_into(&scratch.cands, &mut hits, &mut blk);
                 hits.retain(|id| !self.dead.contains(id));
-                scratch.note(Kernel::Merge, (scratch.cands.len() + base.len()) as u64);
+                let k = if st.vector {
+                    Kernel::SimdMerge
+                } else {
+                    Kernel::Merge
+                };
+                scratch.note(k, st.scanned);
+                scratch.note_blocks(st.blocks_decoded);
             }
             if let Some(over) = self.overlay.get(&e) {
                 intersect_merge_into(&scratch.cands, &over.ids, &mut hits);
@@ -135,6 +148,7 @@ impl TemporalIrIndex for CompressedTif {
             hits.dedup();
             std::mem::swap(&mut scratch.cands, &mut hits);
         }
+        scratch.put_blk(blk);
         scratch.put_aux(hits);
         scratch.take_into(out);
     }
@@ -166,7 +180,7 @@ impl TemporalIrIndex for CompressedTif {
             let in_base = self
                 .base_ids
                 .get(o.desc.first().unwrap_or(&u32::MAX))
-                .map(|c| c.iter().any(|id| id == o.id))
+                .map(|c| c.contains(o.id))
                 .unwrap_or(false);
             if in_base && self.dead.insert(o.id) {
                 for &e in &o.desc {

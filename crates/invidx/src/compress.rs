@@ -1,10 +1,19 @@
-//! Compressed postings lists: delta + LEB128 varint encoding.
+//! Compressed postings lists: delta + LEB128 varint encoding, plus
+//! stream-vbyte [`BlockPostings`] with per-block skip bounds.
 //!
 //! The paper leaves inverted-file compression as future work (Section 7);
-//! this module provides the standard technique so the IR-first indexes
+//! this module provides the standard techniques so the IR-first indexes
 //! can trade CPU for space. Lists are immutable once encoded — dynamic
 //! updates go to an uncompressed overlay (see `tir-core`'s
-//! `CompressedTif`).
+//! `CompressedTif`). [`CompressedPostings`] is the byte-at-a-time varint
+//! form; [`BlockPostings`] re-arranges the same deltas into the
+//! stream-vbyte layout (control bytes and data bytes in separate
+//! streams, [`BLOCK_LEN`] ids per block with its first/last id kept
+//! uncompressed) so blocks decode through the SSSE3 kernel in
+//! [`crate::simd`] and blocks that cannot intersect the candidate set
+//! are skipped without decoding at all.
+
+use crate::simd;
 
 /// Appends `v` as a LEB128 varint.
 #[inline]
@@ -161,6 +170,288 @@ impl Iterator for CompressedIter<'_> {
     }
 }
 
+/// Ids per [`BlockPostings`] block (the final block may be shorter).
+/// 128 ids is 32 control bytes — deep enough to amortize the vector
+/// decode, small enough that skip bounds prune effectively.
+pub const BLOCK_LEN: usize = 128;
+
+/// Costs of one [`BlockPostings::intersect_into`] call, reported back so
+/// the caller can feed the planner's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockStats {
+    /// Blocks actually decoded (skipped blocks cost nothing).
+    pub blocks_decoded: u64,
+    /// Candidates plus decoded ids scanned by the merge kernel.
+    pub scanned: u64,
+    /// True if any block went through the vector merge kernel.
+    pub vector: bool,
+}
+
+/// Stream-vbyte block-compressed postings: strictly ascending clean ids
+/// (no tombstones — deletions live in the caller's overlay), cut into
+/// [`BLOCK_LEN`]-id blocks. Each block keeps its first and last id
+/// uncompressed, so intersection skips whole blocks by range without
+/// touching their bytes, and the remaining deltas decode through
+/// [`crate::simd::svb_decode_into`] — one control byte per 4 deltas, a
+/// `pshufb`-driven expand, and an in-register prefix sum.
+#[derive(Debug, Clone, Default)]
+pub struct BlockPostings {
+    firsts: Vec<u32>,
+    lasts: Vec<u32>,
+    ctrl_offs: Vec<u32>,
+    data_offs: Vec<u32>,
+    ctrl: Vec<u8>,
+    data: Vec<u8>,
+    len: u32,
+}
+
+/// Encodes the deltas of a strictly ascending chunk (`ids[1..] -
+/// ids[..]`) in stream-vbyte layout: per delta a 2-bit byte-length code
+/// packed 4-per-control-byte, the little-endian value bytes appended to
+/// `data`. Unused lanes of a final partial control byte encode length 1
+/// and consume no data bytes on decode.
+fn svb_encode_deltas(ids: &[u32], ctrl: &mut Vec<u8>, data: &mut Vec<u8>) {
+    let mut i = 1usize;
+    while i < ids.len() {
+        let mut c = 0u8;
+        let mut lane = 0usize;
+        while lane < 4 && i < ids.len() {
+            let v = ids[i] - ids[i - 1];
+            let nbytes = 4 - (v.leading_zeros() / 8).min(3) as usize;
+            // analyze:allow(unguarded-cast): nbytes - 1 is 0..=3, two bits
+            c |= ((nbytes - 1) as u8) << (2 * lane);
+            data.extend_from_slice(&v.to_le_bytes()[..nbytes]);
+            i += 1;
+            lane += 1;
+        }
+        ctrl.push(c);
+    }
+}
+
+impl BlockPostings {
+    /// Encodes a sorted, duplicate-free, tombstone-free id list.
+    pub fn encode(ids: &[u32]) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly ascending"
+        );
+        let mut bp = BlockPostings {
+            // analyze:allow(unguarded-cast): posting count is bounded by the u32 id space
+            len: ids.len() as u32,
+            ..BlockPostings::default()
+        };
+        for chunk in ids.chunks(BLOCK_LEN) {
+            bp.firsts.push(chunk[0]);
+            bp.lasts.push(*chunk.last().expect("chunks are non-empty"));
+            // analyze:allow(unguarded-cast): stream length <= 5 bytes per u32 posting
+            bp.ctrl_offs.push(bp.ctrl.len() as u32);
+            // analyze:allow(unguarded-cast): stream length <= 5 bytes per u32 posting
+            bp.data_offs.push(bp.data.len() as u32);
+            svb_encode_deltas(chunk, &mut bp.ctrl, &mut bp.data);
+        }
+        // Terminal padding: the vector decoder loads 16 data bytes at a
+        // time, so the last groups of the last block stay in bounds and
+        // every block decodes fully vectorized.
+        bp.data.resize(bp.data.len() + 16, 0);
+        bp
+    }
+
+    /// Number of encoded postings.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True if no posting is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.firsts.len()
+    }
+
+    /// First id of block `b`.
+    #[inline]
+    pub fn block_first(&self, b: usize) -> u32 {
+        self.firsts[b]
+    }
+
+    /// Last id of block `b`.
+    #[inline]
+    pub fn block_last(&self, b: usize) -> u32 {
+        self.lasts[b]
+    }
+
+    /// Ids stored in block `b`.
+    #[inline]
+    fn block_len(&self, b: usize) -> usize {
+        if b + 1 == self.num_blocks() {
+            self.len as usize - b * BLOCK_LEN
+        } else {
+            BLOCK_LEN
+        }
+    }
+
+    /// Decodes block `b` into `out` (cleared first); returns the id
+    /// count. Decoding reads the shared suffix of the control/data
+    /// streams and stops after the block's ids — the terminal padding
+    /// keeps the vector loads of the last block in bounds.
+    pub fn decode_block_into(&self, b: usize, out: &mut Vec<u32>) -> usize {
+        let count = self.block_len(b);
+        out.clear();
+        out.resize(count, 0);
+        simd::svb_decode_into(
+            self.firsts[b],
+            &self.ctrl[self.ctrl_offs[b] as usize..],
+            &self.data[self.data_offs[b] as usize..],
+            out,
+        );
+        count
+    }
+
+    /// Scalar walk of one block's ids in ascending order, no scratch
+    /// allocation; stops early when `f` returns false. Point probes and
+    /// full scans share this so neither touches the heap.
+    fn walk_block(&self, b: usize, mut f: impl FnMut(u32) -> bool) {
+        let count = self.block_len(b);
+        let mut acc = self.firsts[b];
+        if !f(acc) {
+            return;
+        }
+        let ctrl = &self.ctrl[self.ctrl_offs[b] as usize..];
+        let data = &self.data[self.data_offs[b] as usize..];
+        let mut pos = 0usize;
+        for j in 0..count - 1 {
+            let nbytes = ((ctrl[j / 4] >> (2 * (j % 4))) & 3) as usize + 1;
+            let mut v = 0u32;
+            for (sh, &byte) in data[pos..pos + nbytes].iter().enumerate() {
+                v |= u32::from(byte) << (8 * sh);
+            }
+            pos += nbytes;
+            acc = acc.wrapping_add(v);
+            if !f(acc) {
+                return;
+            }
+        }
+    }
+
+    /// True if `id` is encoded. Binary-searches the block bounds, then
+    /// walks at most one block without decoding it into a buffer.
+    pub fn contains(&self, id: u32) -> bool {
+        let b = self.lasts.partition_point(|&l| l < id);
+        if b == self.num_blocks() || self.firsts[b] > id {
+            return false;
+        }
+        if self.firsts[b] == id || self.lasts[b] == id {
+            return true;
+        }
+        let mut found = false;
+        self.walk_block(b, |v| {
+            if v >= id {
+                found = v == id;
+                false
+            } else {
+                true
+            }
+        });
+        found
+    }
+
+    /// Block-at-a-time intersection with a sorted clean candidate set:
+    /// appends every candidate present in this list to `out`, skipping
+    /// blocks whose `[first, last]` range cannot meet the remaining
+    /// candidates *without decoding them*; decoded blocks go through the
+    /// dispatched merge kernel. `blk` is the caller's reusable decode
+    /// buffer (see `QueryScratch::take_blk`).
+    pub fn intersect_into(
+        &self,
+        cands: &[u32],
+        out: &mut Vec<u32>,
+        blk: &mut Vec<u32>,
+    ) -> BlockStats {
+        let mut st = BlockStats::default();
+        let Some(&last_cand) = cands.last() else {
+            return st;
+        };
+        let mut ci = 0usize;
+        // First block that can hold the smallest candidate.
+        let mut b = self.lasts.partition_point(|&l| l < cands[0]);
+        while b < self.num_blocks() && ci < cands.len() {
+            let (first, last) = (self.firsts[b], self.lasts[b]);
+            if first > last_cand {
+                break;
+            }
+            if last < cands[ci] {
+                b += 1;
+                continue;
+            }
+            let count = self.decode_block_into(b, blk);
+            let ce = ci + cands[ci..].partition_point(|&c| c <= last);
+            let window = &cands[ci..ce];
+            // A candidate window much wider than the block reverses the
+            // roles: iterate the decoded ids, gallop through the window.
+            if count.saturating_mul(crate::kernels::GALLOP_RATIO) < window.len() {
+                crate::kernels::intersect_gallop_rev_into(window, blk, out);
+                st.scanned += count as u64;
+            } else {
+                st.vector |= simd::merge_into(window, blk, out);
+                st.scanned += (ce - ci + count) as u64;
+            }
+            st.blocks_decoded += 1;
+            ci = ce;
+            b += 1;
+        }
+        st
+    }
+
+    /// Calls `f(id)` for every encoded id, ascending (validators and
+    /// introspection; queries use [`BlockPostings::intersect_into`]).
+    pub fn for_each(&self, mut f: impl FnMut(u32)) {
+        for b in 0..self.num_blocks() {
+            self.walk_block(b, |id| {
+                f(id);
+                true
+            });
+        }
+    }
+
+    /// The raw control/data streams (introspection for validators,
+    /// which re-walk them with bounds checking — the production decoder
+    /// indexes unchecked and must never see possibly corrupt bytes).
+    pub fn raw_streams(&self) -> (&[u8], &[u8]) {
+        (&self.ctrl, &self.data)
+    }
+
+    /// Stream start offsets `(ctrl, data)` of block `b` (introspection
+    /// for validators).
+    pub fn block_offsets(&self, b: usize) -> (usize, usize) {
+        (self.ctrl_offs[b] as usize, self.data_offs[b] as usize)
+    }
+
+    /// Deliberately desyncs the first block's skip bound — used by
+    /// `tir-check`'s property tests to prove the validator notices.
+    #[cfg(feature = "testing")]
+    pub fn testing_corrupt_skip_bound(&mut self) {
+        if let Some(l) = self.lasts.first_mut() {
+            *l += 1;
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.ctrl.capacity()
+            + self.data.capacity()
+            + (self.firsts.capacity()
+                + self.lasts.capacity()
+                + self.ctrl_offs.capacity()
+                + self.data_offs.capacity())
+                * 4
+            + std::mem::size_of::<Self>()
+    }
+}
+
 /// A compressed *temporal* postings list: `(id delta, st, end - st)`
 /// varint triples, id-sorted.
 #[derive(Debug, Clone, Default)]
@@ -283,6 +574,73 @@ mod tests {
             got,
             vec![(5, 100, 200), (9, 0, 7), (1000, 1 << 40, (1 << 40) + 3)]
         );
+    }
+
+    #[test]
+    fn block_roundtrip_and_bounds() {
+        let ids: Vec<u32> = (0..300u32).map(|i| i * 7 + (i % 3)).collect();
+        let bp = BlockPostings::encode(&ids);
+        assert_eq!(bp.len(), 300);
+        assert_eq!(bp.num_blocks(), 3);
+        let mut got = Vec::new();
+        bp.for_each(|id| got.push(id));
+        assert_eq!(got, ids);
+        assert_eq!(bp.block_first(0), ids[0]);
+        assert_eq!(bp.block_last(0), ids[127]);
+        assert_eq!(bp.block_first(2), ids[256]);
+        assert_eq!(bp.block_last(2), ids[299]);
+        assert!(bp.contains(ids[200]));
+        assert!(!bp.contains(ids[200] + 1), "gap ids are absent");
+        assert!(!bp.contains(ids[299] + 1), "past the last block");
+    }
+
+    #[test]
+    fn block_intersection_skips_blocks() {
+        // 8 blocks of evens; candidates confined to one block's range.
+        let ids: Vec<u32> = (0..1024u32).map(|i| i * 2).collect();
+        let bp = BlockPostings::encode(&ids);
+        assert_eq!(bp.num_blocks(), 8);
+        let cands: Vec<u32> = (600..700u32).collect();
+        let (mut out, mut blk) = (Vec::new(), Vec::new());
+        let st = bp.intersect_into(&cands, &mut out, &mut blk);
+        let want: Vec<u32> = (600..700).filter(|c| c % 2 == 0).collect();
+        assert_eq!(out, want);
+        assert_eq!(st.blocks_decoded, 1, "other 7 blocks skip by range");
+        assert!(st.scanned > 0);
+    }
+
+    #[test]
+    fn block_empty_and_single() {
+        let bp = BlockPostings::encode(&[]);
+        assert!(bp.is_empty());
+        assert_eq!(bp.num_blocks(), 0);
+        assert!(!bp.contains(0));
+        let (mut out, mut blk) = (Vec::new(), Vec::new());
+        let st = bp.intersect_into(&[1, 2, 3], &mut out, &mut blk);
+        assert!(out.is_empty() && st.blocks_decoded == 0);
+
+        let bp = BlockPostings::encode(&[42]);
+        assert_eq!(bp.len(), 1);
+        assert!(bp.contains(42) && !bp.contains(41));
+        let st = bp.intersect_into(&[41, 42, 43], &mut out, &mut blk);
+        assert_eq!(out, vec![42]);
+        assert_eq!(st.blocks_decoded, 1);
+    }
+
+    #[test]
+    fn block_matches_varint_form_on_large_deltas() {
+        let ids: Vec<u32> = (0..500u32)
+            .scan(3u32, |acc, i| {
+                *acc = acc.wrapping_add(1 + i * 8191 % 100_000);
+                Some(*acc)
+            })
+            .collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        let bp = BlockPostings::encode(&ids);
+        let cp = CompressedPostings::encode(&ids);
+        let mut got = Vec::new();
+        bp.for_each(|id| got.push(id));
+        assert_eq!(got, cp.iter().collect::<Vec<_>>());
     }
 
     #[test]

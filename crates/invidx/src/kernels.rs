@@ -102,15 +102,59 @@ pub fn intersect_gallop_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>
     }
 }
 
-/// Ratio above which [`intersect_adaptive_into`] switches from merging to
-/// galloping.
-pub const GALLOP_RATIO: usize = 16;
+/// Reversed gallop for the opposite skew — postings much smaller than
+/// the candidate set: iterates the postings (skipping tombstones) and
+/// gallops through `cands`. `O(|postings| * log |cands|)` where a merge
+/// would scan `|cands| + |postings|`; at a 40:1 cands:postings ratio
+/// that is ~3x less work.
+#[inline]
+pub fn intersect_gallop_rev_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
+    debug_assert_sorted!(cands);
+    debug_assert_sorted!(postings, raw);
+    let mut lo = 0usize;
+    for &p in postings {
+        if !live(p) {
+            continue;
+        }
+        let c = raw(p);
+        // Gallop to find the first candidate >= c.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < cands.len() && cands[hi] < c {
+            lo = hi + 1;
+            hi = lo + step;
+            step <<= 1;
+        }
+        let hi = hi.min(cands.len());
+        let idx = lo + cands[lo..hi].partition_point(|&x| x < c);
+        if idx < cands.len() && cands[idx] == c {
+            out.push(c);
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= cands.len() {
+            break;
+        }
+    }
+}
 
-/// Picks merge or gallop based on the size ratio of the inputs.
+/// Ratio above which [`intersect_adaptive_into`] switches from merging to
+/// galloping. Retuned 16 → 8 on the vectorized-kernel density grid: the
+/// 8-lane gallop probe already beats both merge forms at an 8:1
+/// postings:cands ratio ((1‰,8‰): 8.0µs vs 10.8µs scalar merge; (8‰,64‰):
+/// 106µs vs 133µs vector merge) and ties at 4:1, where the old scalar
+/// crossover sat near 16:1 (BENCH_kernels.json).
+pub const GALLOP_RATIO: usize = 8;
+
+/// Picks merge or gallop (either direction) based on the size ratio of
+/// the inputs.
 #[inline]
 pub fn intersect_adaptive_into(cands: &[u32], postings: &[u32], out: &mut Vec<u32>) {
     if cands.len().saturating_mul(GALLOP_RATIO) < postings.len() {
         intersect_gallop_into(cands, postings, out);
+    } else if postings.len().saturating_mul(GALLOP_RATIO) < cands.len() {
+        intersect_gallop_rev_into(cands, postings, out);
     } else {
         intersect_merge_into(cands, postings, out);
     }
@@ -149,6 +193,82 @@ pub fn mark_hits(cands: &[u32], postings: &[u32], hits: &mut [bool]) {
     }
 }
 
+/// Galloping variant of [`mark_hits`] for candidate sets much smaller
+/// than the postings run: per candidate, an exponential search through
+/// `postings` replaces the zipper's element-by-element scan —
+/// `O(|cands| * log |postings|)` against `O(|cands| + |postings|)`. On
+/// the slicing benchmark this is the dominant mark shape (slice
+/// sub-lists run to tens of thousands of ids against a few hundred
+/// surviving candidates).
+#[inline]
+pub fn mark_hits_gallop(cands: &[u32], postings: &[u32], hits: &mut [bool]) {
+    debug_assert_eq!(cands.len(), hits.len());
+    debug_assert_sorted!(cands);
+    debug_assert_sorted!(postings, raw);
+    let mut lo = 0usize;
+    for (i, &c) in cands.iter().enumerate() {
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < postings.len() && raw(postings[hi]) < c {
+            lo = hi + 1;
+            hi = lo + step;
+            step <<= 1;
+        }
+        let hi = hi.min(postings.len());
+        let idx = lo + postings[lo..hi].partition_point(|&p| raw(p) < c);
+        if idx < postings.len() && raw(postings[idx]) == c {
+            if live(postings[idx]) {
+                hits[i] = true;
+            }
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= postings.len() {
+            break;
+        }
+    }
+}
+
+/// Reversed-gallop variant of [`mark_hits`] for postings much smaller
+/// than the candidate set: iterates the live postings and gallops
+/// through `cands`, marking matches by index —
+/// `O(|postings| * log |cands|)` against the merge's full
+/// `O(|cands| + |postings|)` scan. Same marking semantics: per call,
+/// the first occurrence of each matching candidate value is marked per
+/// matching posting.
+#[inline]
+pub fn mark_hits_gallop_rev(cands: &[u32], postings: &[u32], hits: &mut [bool]) {
+    debug_assert_eq!(cands.len(), hits.len());
+    debug_assert_sorted!(cands);
+    debug_assert_sorted!(postings, raw);
+    let mut lo = 0usize;
+    for &p in postings {
+        if !live(p) {
+            continue;
+        }
+        let c = raw(p);
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < cands.len() && cands[hi] < c {
+            lo = hi + 1;
+            hi = lo + step;
+            step <<= 1;
+        }
+        let hi = hi.min(cands.len());
+        let idx = lo + cands[lo..hi].partition_point(|&x| x < c);
+        if idx < cands.len() && cands[idx] == c {
+            hits[idx] = true;
+            lo = idx + 1;
+        } else {
+            lo = idx;
+        }
+        if lo >= cands.len() {
+            break;
+        }
+    }
+}
+
 /// Merges many sorted id runs into one sorted, deduplicated vector.
 /// Tombstoned entries are dropped.
 pub fn kway_merge_dedup(runs: &[&[u32]]) -> Vec<u32> {
@@ -170,6 +290,7 @@ mod tests {
         for f in [
             intersect_merge_into as fn(&[u32], &[u32], &mut Vec<u32>),
             intersect_gallop_into,
+            intersect_gallop_rev_into,
             intersect_adaptive_into,
         ] {
             let mut out = Vec::new();
@@ -190,6 +311,19 @@ mod tests {
     fn skips_tombstones() {
         let postings = [1, 2 | TOMBSTONE, 3, 7 | TOMBSTONE];
         check_all(&[1, 2, 3, 7], &postings, &[1, 3]);
+    }
+
+    #[test]
+    fn reversed_gallop_handles_large_candidate_sets() {
+        let cands: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        let postings = [0u32, 2999 * 3, (5000 * 3) | TOMBSTONE, 9999 * 3, 30_001];
+        let mut out = Vec::new();
+        intersect_gallop_rev_into(&cands, &postings, &mut out);
+        assert_eq!(out, vec![0, 2999 * 3, 9999 * 3]);
+        // The adaptive dispatch picks it at this skew and must agree.
+        let mut adaptive = Vec::new();
+        intersect_adaptive_into(&cands, &postings, &mut adaptive);
+        assert_eq!(adaptive, out);
     }
 
     #[test]

@@ -10,14 +10,22 @@
 //!   low-overhead per-division indexes used inside irHINT partitions;
 //! * [`kernels`] — merge / galloping / adaptive sorted-set intersection
 //!   primitives, tombstone-aware;
-//! * [`container`] — hybrid array/bitmap posting containers chosen by
-//!   density at build/compaction time;
+//! * [`simd`] — runtime-dispatched SSE2/SSSE3/AVX2 variants of the hot
+//!   kernels (the one audited `unsafe` module in this crate; scalar
+//!   fallbacks always available, `TIR_SIMD=off` forces them);
+//! * [`container`] — hybrid array/bitmap/run posting containers chosen
+//!   by density and run structure at build/compaction time;
 //! * [`planner`] — the cost-based conjunction planner and reusable
 //!   [`QueryScratch`] arena with per-query kernel counters;
-//! * [`compress`] — delta/varint compressed postings (the paper's
+//! * [`compress`] — delta/varint compressed postings and stream-vbyte
+//!   [`BlockPostings`] with per-block skip bounds (the paper's
 //!   compression future-work direction).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`, so the audited [`simd`] module can locally
+// allow intrinsics — the same carve-out `tir-persist` uses for its mmap
+// wrapper. The `unsafe-code` analyze rule pins the allowlist to exactly
+// these two files.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compact;
@@ -28,15 +36,18 @@ pub mod kernels;
 pub mod plain;
 pub mod planner;
 pub mod sigfile;
+pub mod simd;
 
 pub use compact::{CompactInverted, CompactTemporalInverted, TemporalPostings};
-pub use compress::{CompressedPostings, CompressedTemporalPostings};
-pub use container::{ContainerConfig, DenseBits, HybridPostings, PostingContainer};
+pub use compress::{BlockPostings, CompressedPostings, CompressedTemporalPostings};
+pub use container::{ContainerConfig, DenseBits, HybridPostings, PostingContainer, RunSet};
 pub use dict::Dictionary;
 pub use kernels::{
-    contains_sorted, intersect_adaptive_into, intersect_gallop_into, intersect_merge_into,
-    kway_merge_dedup, live, mark_hits, raw, TOMBSTONE,
+    contains_sorted, intersect_adaptive_into, intersect_gallop_into, intersect_gallop_rev_into,
+    intersect_merge_into, kway_merge_dedup, live, mark_hits, mark_hits_gallop,
+    mark_hits_gallop_rev, raw, TOMBSTONE,
 };
 pub use plain::InvertedIndex;
 pub use planner::{global_stats, Kernel, PlanStats, Postings, QueryScratch};
 pub use sigfile::{Signature, SignatureFile};
+pub use simd::SimdLevel;

@@ -22,49 +22,68 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::container::{DenseBits, PostingContainer};
-use crate::kernels::{
-    intersect_gallop_into, intersect_merge_into, live, mark_hits, raw, GALLOP_RATIO,
-};
+use crate::compress::BlockPostings;
+use crate::container::{DenseBits, PostingContainer, RunSet};
+use crate::kernels::{live, mark_hits, raw, GALLOP_RATIO};
+use crate::simd;
 
 /// The kernel a conjunction step ran on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Kernel {
-    /// Linear zipper merge of two sorted arrays.
+    /// Linear zipper merge of two sorted arrays (scalar).
     Merge,
-    /// Exponential-search (galloping) intersection or binary-search probe.
+    /// SSE2 block-wise merge of two sorted arrays.
+    SimdMerge,
+    /// Exponential-search (galloping) intersection or binary-search
+    /// probe (scalar or AVX2 — same cost shape, one counter).
     Gallop,
     /// O(1) membership tests against a bitmap.
     BitmapProbe,
     /// 64-bit word-at-a-time AND of two bitmaps.
     WordAnd,
+    /// Range-at-a-time intersection against a run container.
+    RunIntersect,
 }
 
 /// Per-query planner counters: how many steps each kernel won and how
 /// many elements (or words) each scanned. `scanned` is maintained as the
-/// running total, so `merge_scanned + gallop_scanned +
-/// bitmap_probe_scanned + word_and_scanned == scanned` is an invariant
-/// `tir-check` can audit.
+/// running total, so `merge_scanned + simd_merge_scanned +
+/// gallop_scanned + bitmap_probe_scanned + word_and_scanned +
+/// run_intersect_scanned == scanned` is an invariant `tir-check` can
+/// audit. `blocks_decoded` counts compressed blocks materialized for
+/// block-at-a-time intersection and is deliberately *not* part of that
+/// sum — it is a unit of decode work, not of elements scanned (those
+/// are counted by the kernel the decoded block fed).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanStats {
-    /// Steps answered by the merge kernel.
+    /// Steps answered by the scalar merge kernel.
     pub merge_steps: u64,
+    /// Steps answered by the SSE2 block merge kernel.
+    pub simd_merge_steps: u64,
     /// Steps answered by the gallop / binary-search kernel.
     pub gallop_steps: u64,
     /// Steps answered by bitmap probing.
     pub bitmap_probe_steps: u64,
     /// Steps answered by word-AND.
     pub word_and_steps: u64,
-    /// Elements scanned by merge steps.
+    /// Steps answered by run-range intersection.
+    pub run_intersect_steps: u64,
+    /// Elements scanned by scalar merge steps.
     pub merge_scanned: u64,
+    /// Elements scanned by SSE2 block merge steps.
+    pub simd_merge_scanned: u64,
     /// Elements scanned by gallop steps.
     pub gallop_scanned: u64,
     /// Elements probed by bitmap steps.
     pub bitmap_probe_scanned: u64,
     /// Words scanned by word-AND steps (plus bitmap build costs).
     pub word_and_scanned: u64,
+    /// Runs plus candidates touched by run-intersect steps.
+    pub run_intersect_scanned: u64,
     /// Total elements scanned over all kernels.
     pub scanned: u64,
+    /// Compressed posting blocks decoded for block-at-a-time steps.
+    pub blocks_decoded: u64,
 }
 
 impl PlanStats {
@@ -75,6 +94,10 @@ impl PlanStats {
             Kernel::Merge => {
                 self.merge_steps += 1;
                 self.merge_scanned += scanned;
+            }
+            Kernel::SimdMerge => {
+                self.simd_merge_steps += 1;
+                self.simd_merge_scanned += scanned;
             }
             Kernel::Gallop => {
                 self.gallop_steps += 1;
@@ -88,48 +111,80 @@ impl PlanStats {
                 self.word_and_steps += 1;
                 self.word_and_scanned += scanned;
             }
+            Kernel::RunIntersect => {
+                self.run_intersect_steps += 1;
+                self.run_intersect_scanned += scanned;
+            }
         }
         self.scanned += scanned;
     }
 
+    /// Records compressed posting blocks decoded outside any single
+    /// kernel step (the elements they produced are counted by the
+    /// kernel that consumed them).
+    #[inline]
+    pub fn note_blocks(&mut self, blocks: u64) {
+        self.blocks_decoded += blocks;
+    }
+
     /// Total steps over all kernels.
     pub fn steps(&self) -> u64 {
-        self.merge_steps + self.gallop_steps + self.bitmap_probe_steps + self.word_and_steps
+        self.merge_steps
+            + self.simd_merge_steps
+            + self.gallop_steps
+            + self.bitmap_probe_steps
+            + self.word_and_steps
+            + self.run_intersect_steps
     }
 
     /// Sum of the per-kernel scanned counters — must equal
     /// [`PlanStats::scanned`].
     pub fn kernel_scanned_sum(&self) -> u64 {
-        self.merge_scanned + self.gallop_scanned + self.bitmap_probe_scanned + self.word_and_scanned
+        self.merge_scanned
+            + self.simd_merge_scanned
+            + self.gallop_scanned
+            + self.bitmap_probe_scanned
+            + self.word_and_scanned
+            + self.run_intersect_scanned
     }
 
     fn is_zero(&self) -> bool {
-        self.steps() == 0 && self.scanned == 0
+        self.steps() == 0 && self.scanned == 0 && self.blocks_decoded == 0
     }
 }
 
 struct GlobalCounters {
     merge_steps: AtomicU64,
+    simd_merge_steps: AtomicU64,
     gallop_steps: AtomicU64,
     bitmap_probe_steps: AtomicU64,
     word_and_steps: AtomicU64,
+    run_intersect_steps: AtomicU64,
     merge_scanned: AtomicU64,
+    simd_merge_scanned: AtomicU64,
     gallop_scanned: AtomicU64,
     bitmap_probe_scanned: AtomicU64,
     word_and_scanned: AtomicU64,
+    run_intersect_scanned: AtomicU64,
     scanned: AtomicU64,
+    blocks_decoded: AtomicU64,
 }
 
 static GLOBAL: GlobalCounters = GlobalCounters {
     merge_steps: AtomicU64::new(0),
+    simd_merge_steps: AtomicU64::new(0),
     gallop_steps: AtomicU64::new(0),
     bitmap_probe_steps: AtomicU64::new(0),
     word_and_steps: AtomicU64::new(0),
+    run_intersect_steps: AtomicU64::new(0),
     merge_scanned: AtomicU64::new(0),
+    simd_merge_scanned: AtomicU64::new(0),
     gallop_scanned: AtomicU64::new(0),
     bitmap_probe_scanned: AtomicU64::new(0),
     word_and_scanned: AtomicU64::new(0),
+    run_intersect_scanned: AtomicU64::new(0),
     scanned: AtomicU64::new(0),
+    blocks_decoded: AtomicU64::new(0),
 };
 
 fn flush_global(s: &PlanStats) {
@@ -140,6 +195,10 @@ fn flush_global(s: &PlanStats) {
     GLOBAL
         .merge_steps
         .fetch_add(s.merge_steps, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .simd_merge_steps
+        .fetch_add(s.simd_merge_steps, Ordering::Relaxed);
     // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
     GLOBAL
         .gallop_steps
@@ -154,8 +213,16 @@ fn flush_global(s: &PlanStats) {
         .fetch_add(s.word_and_steps, Ordering::Relaxed);
     // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
     GLOBAL
+        .run_intersect_steps
+        .fetch_add(s.run_intersect_steps, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
         .merge_scanned
         .fetch_add(s.merge_scanned, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .simd_merge_scanned
+        .fetch_add(s.simd_merge_scanned, Ordering::Relaxed);
     // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
     GLOBAL
         .gallop_scanned
@@ -169,7 +236,15 @@ fn flush_global(s: &PlanStats) {
         .word_and_scanned
         .fetch_add(s.word_and_scanned, Ordering::Relaxed);
     // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .run_intersect_scanned
+        .fetch_add(s.run_intersect_scanned, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
     GLOBAL.scanned.fetch_add(s.scanned, Ordering::Relaxed);
+    // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
+    GLOBAL
+        .blocks_decoded
+        .fetch_add(s.blocks_decoded, Ordering::Relaxed);
 }
 
 /// Process-wide accumulated planner counters (every query answered since
@@ -179,14 +254,19 @@ pub fn global_stats() -> PlanStats {
     // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
     PlanStats {
         merge_steps: GLOBAL.merge_steps.load(Ordering::Relaxed),
+        simd_merge_steps: GLOBAL.simd_merge_steps.load(Ordering::Relaxed),
         gallop_steps: GLOBAL.gallop_steps.load(Ordering::Relaxed),
         bitmap_probe_steps: GLOBAL.bitmap_probe_steps.load(Ordering::Relaxed),
         word_and_steps: GLOBAL.word_and_steps.load(Ordering::Relaxed),
+        run_intersect_steps: GLOBAL.run_intersect_steps.load(Ordering::Relaxed),
         merge_scanned: GLOBAL.merge_scanned.load(Ordering::Relaxed),
+        simd_merge_scanned: GLOBAL.simd_merge_scanned.load(Ordering::Relaxed),
         gallop_scanned: GLOBAL.gallop_scanned.load(Ordering::Relaxed),
         bitmap_probe_scanned: GLOBAL.bitmap_probe_scanned.load(Ordering::Relaxed),
         word_and_scanned: GLOBAL.word_and_scanned.load(Ordering::Relaxed),
+        run_intersect_scanned: GLOBAL.run_intersect_scanned.load(Ordering::Relaxed),
         scanned: GLOBAL.scanned.load(Ordering::Relaxed),
+        blocks_decoded: GLOBAL.blocks_decoded.load(Ordering::Relaxed),
     }
 }
 
@@ -195,8 +275,11 @@ pub fn global_stats() -> PlanStats {
 pub enum Postings<'a> {
     /// A raw-id-sorted slice, bit-31 tombstones allowed.
     Ids(&'a [u32]),
-    /// A hybrid container (array or bitmap form).
+    /// A hybrid container (array, bitmap, or run form).
     Container(&'a PostingContainer),
+    /// Stream-vbyte block-compressed postings, decoded (and skipped)
+    /// block-at-a-time.
+    Blocks(&'a BlockPostings),
 }
 
 /// The candidate set becomes worth materializing as a bitmap once it
@@ -228,6 +311,7 @@ pub struct QueryScratch {
     bits_count: u64,
     loaded: Vec<u32>,
     hits: Vec<bool>,
+    blk: Vec<u32>,
     probe_bits: bool,
     stats: PlanStats,
     last: PlanStats,
@@ -287,6 +371,8 @@ impl QueryScratch {
             Postings::Ids(ids) => self.intersect_ids(ids),
             Postings::Container(PostingContainer::Sparse { ids, .. }) => self.intersect_ids(ids),
             Postings::Container(PostingContainer::Dense(d)) => self.intersect_dense(d),
+            Postings::Container(PostingContainer::Runs(r)) => self.intersect_runs(r),
+            Postings::Blocks(bp) => self.intersect_blocks(bp),
         }
     }
 
@@ -308,12 +394,24 @@ impl QueryScratch {
         }
         self.next.clear();
         if self.cands.len().saturating_mul(GALLOP_RATIO) < ids.len() {
-            intersect_gallop_into(&self.cands, ids, &mut self.next);
+            // Scalar and AVX2 gallop share one counter: same cost shape.
+            simd::gallop_into(&self.cands, ids, &mut self.next);
             self.stats.note(Kernel::Gallop, self.cands.len() as u64);
+        } else if ids.len().saturating_mul(GALLOP_RATIO) < self.cands.len() {
+            // Opposite skew: iterate the small postings side, gallop
+            // through the candidates. Same counter as forward gallop —
+            // the scanned side is the one iterated.
+            crate::kernels::intersect_gallop_rev_into(&self.cands, ids, &mut self.next);
+            self.stats.note(Kernel::Gallop, ids.len() as u64);
         } else {
-            intersect_merge_into(&self.cands, ids, &mut self.next);
+            let vector = simd::merge_into(&self.cands, ids, &mut self.next);
+            let kernel = if vector {
+                Kernel::SimdMerge
+            } else {
+                Kernel::Merge
+            };
             self.stats
-                .note(Kernel::Merge, (self.cands.len() + ids.len()) as u64);
+                .note(kernel, (self.cands.len() + ids.len()) as u64);
         }
         std::mem::swap(&mut self.cands, &mut self.next);
     }
@@ -324,17 +422,11 @@ impl QueryScratch {
             // Word-AND with the incoming bitmap; ids beyond its universe
             // cannot match, so the tail of the candidate bitmap clears.
             let keep = self.bits_words.min(words.len());
-            let mut count = 0u64;
-            for (b, (&p, &del)) in self
-                .bits
-                .iter_mut()
-                .zip(words.iter().zip(d.deleted_words()))
-                .take(keep)
-            {
-                let v = *b & p & !del;
-                *b = v;
-                count += u64::from(v.count_ones());
-            }
+            let count = simd::and_words(
+                &mut self.bits[..keep],
+                &words[..keep],
+                &d.deleted_words()[..keep],
+            );
             for w in keep..self.bits_words {
                 self.bits[w] = 0;
             }
@@ -357,17 +449,7 @@ impl QueryScratch {
                     self.bits[c as usize / 64] |= 1u64 << (c % 64);
                 }
             }
-            let mut count = 0u64;
-            for (b, (&p, &del)) in self
-                .bits
-                .iter_mut()
-                .zip(words.iter().zip(d.deleted_words()))
-                .take(w)
-            {
-                let v = *b & p & !del;
-                *b = v;
-                count += u64::from(v.count_ones());
-            }
+            let count = simd::and_words(&mut self.bits[..w], words, d.deleted_words());
             self.bits_words = w;
             self.bits_count = count;
             self.bits_live = true;
@@ -383,6 +465,158 @@ impl QueryScratch {
             self.stats
                 .note(Kernel::BitmapProbe, self.cands.len() as u64);
             std::mem::swap(&mut self.cands, &mut self.next);
+        }
+    }
+
+    // Outlined: keeps the Ids/Dense fast paths tight inside
+    // `intersect`'s inlined dispatch.
+    #[inline(never)]
+    fn intersect_runs(&mut self, r: &RunSet) {
+        let runs = r.runs();
+        let del = r.deleted();
+        if self.bits_live {
+            // The run set is a bitmap in disguise: clear the candidate
+            // bits in the gaps between runs (and past the last run),
+            // then knock out the tombstoned ids.
+            let mut prev = 0u64;
+            for &(s, l) in runs {
+                self.clear_bit_range(prev, u64::from(s));
+                prev = u64::from(l) + 1;
+            }
+            self.clear_bit_range(prev, self.bits_words as u64 * 64);
+            for &d in del {
+                let w = d as usize / 64;
+                if w < self.bits_words {
+                    self.bits[w] &= !(1u64 << (d % 64));
+                }
+            }
+            let mut count = 0u64;
+            for &w in &self.bits[..self.bits_words] {
+                count += u64::from(w.count_ones());
+            }
+            self.bits_count = count;
+            self.stats.note(
+                Kernel::RunIntersect,
+                (self.bits_words + runs.len() + del.len()) as u64,
+            );
+            return;
+        }
+        // Array candidates: two regimes, mirroring merge-vs-gallop on
+        // sorted arrays. A candidate set much smaller than the run list
+        // probes the runs per candidate (O(cands log runs) with a moving
+        // lower bound) — walking every run would cost O(runs log cands)
+        // and dominates tiny-candidate queries against long run lists.
+        self.next.clear();
+        let mut di = 0usize;
+        if self.cands.len().saturating_mul(GALLOP_RATIO) < runs.len() {
+            let mut lo = 0usize;
+            for ci in 0..self.cands.len() {
+                let c = self.cands[ci];
+                lo += runs[lo..].partition_point(|&(_, l)| l < c);
+                if lo == runs.len() {
+                    break;
+                }
+                if runs[lo].0 <= c {
+                    while di < del.len() && del[di] < c {
+                        di += 1;
+                    }
+                    if di >= del.len() || del[di] != c {
+                        self.next.push(c);
+                    }
+                }
+            }
+            self.stats
+                .note(Kernel::RunIntersect, self.cands.len() as u64);
+        } else {
+            // Comparable sizes: one cursor walk over both — O(runs +
+            // candidates), no per-id probes.
+            let mut ci = 0usize;
+            for &(s, l) in runs {
+                ci += self.cands[ci..].partition_point(|&c| c < s);
+                while ci < self.cands.len() && self.cands[ci] <= l {
+                    let c = self.cands[ci];
+                    while di < del.len() && del[di] < c {
+                        di += 1;
+                    }
+                    if di >= del.len() || del[di] != c {
+                        self.next.push(c);
+                    }
+                    ci += 1;
+                }
+                if ci == self.cands.len() {
+                    break;
+                }
+            }
+            self.stats
+                .note(Kernel::RunIntersect, (runs.len() + self.cands.len()) as u64);
+        }
+        std::mem::swap(&mut self.cands, &mut self.next);
+    }
+
+    #[inline(never)]
+    fn intersect_blocks(&mut self, bp: &BlockPostings) {
+        if self.bits_live {
+            // Downshift block-at-a-time: blocks whose first id is past
+            // the bitmap's live words can never match, so decoding stops
+            // there; everything decoded is probed like a sorted array.
+            self.cands.clear();
+            let limit = self.bits_words as u64 * 64;
+            let mut blocks = 0u64;
+            let mut scanned = 0u64;
+            for b in 0..bp.num_blocks() {
+                if u64::from(bp.block_first(b)) >= limit {
+                    break;
+                }
+                self.blk.clear();
+                bp.decode_block_into(b, &mut self.blk);
+                blocks += 1;
+                scanned += self.blk.len() as u64;
+                for &p in &self.blk {
+                    let r = raw(p);
+                    let w = r as usize / 64;
+                    if live(p) && w < self.bits_words && (self.bits[w] >> (r % 64)) & 1 == 1 {
+                        self.cands.push(r);
+                    }
+                }
+            }
+            self.zero_bits();
+            self.bits_live = false;
+            self.stats.note(Kernel::BitmapProbe, scanned);
+            self.stats.note_blocks(blocks);
+            return;
+        }
+        self.next.clear();
+        let st = bp.intersect_into(&self.cands, &mut self.next, &mut self.blk);
+        let kernel = if st.vector {
+            Kernel::SimdMerge
+        } else {
+            Kernel::Merge
+        };
+        self.stats.note(kernel, st.scanned);
+        self.stats.note_blocks(st.blocks_decoded);
+        std::mem::swap(&mut self.cands, &mut self.next);
+    }
+
+    /// Clears candidate-bitmap bits in `[start, end)` (clamped to the
+    /// live words).
+    fn clear_bit_range(&mut self, start: u64, end: u64) {
+        let limit = self.bits_words as u64 * 64;
+        let (start, end) = (start.min(limit), end.min(limit));
+        if start >= end {
+            return;
+        }
+        let (sw, sb) = ((start / 64) as usize, start % 64);
+        let (ew, eb) = ((end / 64) as usize, end % 64);
+        if sw == ew {
+            self.bits[sw] &= !(((1u64 << eb) - 1) & !((1u64 << sb) - 1));
+            return;
+        }
+        self.bits[sw] &= (1u64 << sb) - 1;
+        for w in &mut self.bits[sw + 1..ew] {
+            *w = 0;
+        }
+        if eb > 0 {
+            self.bits[ew] &= !((1u64 << eb) - 1);
         }
     }
 
@@ -510,9 +744,22 @@ impl QueryScratch {
     /// marked by several runs — e.g. slice-replicated sub-lists — and is
     /// still emitted once by [`QueryScratch::finish_mark`].
     pub fn mark(&mut self, cands: &[u32], postings: &[u32]) {
-        mark_hits(cands, postings, &mut self.hits);
-        self.stats
-            .note(Kernel::Merge, (cands.len() + postings.len()) as u64);
+        if postings.len().saturating_mul(GALLOP_RATIO) < cands.len() {
+            // Skewed round: iterate the small postings side, gallop
+            // through the candidates (same dispatch as intersect_ids).
+            crate::kernels::mark_hits_gallop_rev(cands, postings, &mut self.hits);
+            self.stats.note(Kernel::Gallop, postings.len() as u64);
+        } else if cands.len().saturating_mul(GALLOP_RATIO) < postings.len() {
+            // Opposite skew — few surviving candidates against a long
+            // sub-list (the dominant slicing shape: ~10^2 cands vs 10^4
+            // postings): gallop through the postings per candidate.
+            crate::kernels::mark_hits_gallop(cands, postings, &mut self.hits);
+            self.stats.note(Kernel::Gallop, cands.len() as u64);
+        } else {
+            mark_hits(cands, postings, &mut self.hits);
+            self.stats
+                .note(Kernel::Merge, (cands.len() + postings.len()) as u64);
+        }
     }
 
     /// Ends a merge-marking round: compacts `cands` in place (preserving
@@ -542,6 +789,28 @@ impl QueryScratch {
     pub fn put_aux(&mut self, mut aux: Vec<u32>) {
         aux.clear();
         self.next = aux;
+    }
+
+    /// Takes the block-decode buffer for call sites that stream
+    /// [`BlockPostings`] themselves (e.g. cTIF's overlay union). Give it
+    /// back with [`QueryScratch::put_blk`].
+    pub fn take_blk(&mut self) -> Vec<u32> {
+        let mut blk = std::mem::take(&mut self.blk);
+        blk.clear();
+        blk
+    }
+
+    /// Returns the buffer taken with [`QueryScratch::take_blk`].
+    pub fn put_blk(&mut self, mut blk: Vec<u32>) {
+        blk.clear();
+        self.blk = blk;
+    }
+
+    /// Records compressed blocks decoded by an external streaming loop
+    /// (see [`QueryScratch::note`] for the matching element counts).
+    #[inline]
+    pub fn note_blocks(&mut self, blocks: u64) {
+        self.stats.note_blocks(blocks);
     }
 
     /// Ends a probe round, clearing the candidate index so the next
@@ -574,11 +843,17 @@ impl Drop for QueryScratch {
 pub fn intersect_ids_into(cands: &[u32], ids: &[u32], out: &mut Vec<u32>) -> Kernel {
     let mut stats = PlanStats::default();
     let kernel = if cands.len().saturating_mul(GALLOP_RATIO) < ids.len() {
-        intersect_gallop_into(cands, ids, out);
+        simd::gallop_into(cands, ids, out);
         stats.note(Kernel::Gallop, cands.len() as u64);
         Kernel::Gallop
+    } else if ids.len().saturating_mul(GALLOP_RATIO) < cands.len() {
+        crate::kernels::intersect_gallop_rev_into(cands, ids, out);
+        stats.note(Kernel::Gallop, ids.len() as u64);
+        Kernel::Gallop
+    } else if simd::merge_into(cands, ids, out) {
+        stats.note(Kernel::SimdMerge, (cands.len() + ids.len()) as u64);
+        Kernel::SimdMerge
     } else {
-        intersect_merge_into(cands, ids, out);
         stats.note(Kernel::Merge, (cands.len() + ids.len()) as u64);
         Kernel::Merge
     };
@@ -623,65 +898,171 @@ mod tests {
     #[test]
     fn dense_probe_and_word_and() {
         let cfg = ContainerConfig { density_den: 4 };
-        let dense_ids: Vec<u32> = (0..128).collect();
-        let c = PostingContainer::from_sorted(&dense_ids, 128, cfg);
+        // Evens: singleton runs fail the run rule, density picks bitmap.
+        let dense_ids: Vec<u32> = (0..128).map(|i| i * 2).collect();
+        let c = PostingContainer::from_sorted(&dense_ids, 256, cfg);
         assert!(c.is_dense());
 
         // Sparse candidates: bitmap-probe.
         let mut s = QueryScratch::default();
-        let got = seq(&mut s, &[2, 500], &[Postings::Container(&c)]);
+        let got = seq(&mut s, &[2, 3, 500], &[Postings::Container(&c)]);
         assert_eq!(got, vec![2]);
         assert_eq!(s.last_stats().bitmap_probe_steps, 1);
 
         // Dense candidates: word-AND, result extracted ascending.
-        let cands: Vec<u32> = (0..128).filter(|i| i % 2 == 0).collect();
+        let cands: Vec<u32> = (0..64).map(|i| i * 4).collect();
         let got = seq(&mut s, &cands, &[Postings::Container(&c)]);
         assert_eq!(got, cands);
         assert_eq!(s.last_stats().word_and_steps, 1);
 
         // Word-AND chains across consecutive dense steps, then
         // downshifts cleanly on a sparse side.
-        let evens = PostingContainer::from_sorted(&cands, 128, cfg);
+        let fours = PostingContainer::from_sorted(&cands, 256, cfg);
+        assert!(fours.is_dense());
         let got = seq(
             &mut s,
-            &(0..128).collect::<Vec<_>>(),
+            &(0..256).collect::<Vec<_>>(),
             &[
                 Postings::Container(&c),
-                Postings::Container(&evens),
-                Postings::Ids(&[4, 5, 6, 200]),
+                Postings::Container(&fours),
+                Postings::Ids(&[4, 5, 6, 8, 500]),
             ],
         );
-        assert_eq!(got, vec![4, 6]);
+        assert_eq!(got, vec![4, 8]);
         let st = s.last_stats();
         assert_eq!(st.word_and_steps, 2);
         assert_eq!(st.bitmap_probe_steps, 1);
+        assert_eq!(st.kernel_scanned_sum(), st.scanned);
+    }
+
+    #[test]
+    fn runs_intersect_in_array_and_bitmap_mode() {
+        let cfg = ContainerConfig { density_den: 4 };
+        let run_ids: Vec<u32> = (100..=140)
+            .map(|i| if i == 120 { i | TOMBSTONE } else { i })
+            .collect();
+        let rc = PostingContainer::from_sorted(&run_ids, 256, cfg);
+        assert!(rc.is_runs());
+
+        // Array candidates: cursor walk over the runs.
+        let mut s = QueryScratch::default();
+        let got = seq(
+            &mut s,
+            &[50, 100, 120, 140, 200],
+            &[Postings::Container(&rc)],
+        );
+        assert_eq!(got, vec![100, 140], "ends kept, tombstone dropped");
+        assert_eq!(s.last_stats().run_intersect_steps, 1);
+
+        // Bitmap candidates (after a word-AND step): gap clearing.
+        let dense_ids: Vec<u32> = (0..128).map(|i| i * 2).collect();
+        let dc = PostingContainer::from_sorted(&dense_ids, 256, cfg);
+        assert!(dc.is_dense());
+        let seed: Vec<u32> = (0..256).collect();
+        let got = seq(
+            &mut s,
+            &seed,
+            &[Postings::Container(&dc), Postings::Container(&rc)],
+        );
+        let want: Vec<u32> = (100..=140).filter(|i| i % 2 == 0 && *i != 120).collect();
+        assert_eq!(got, want);
+        let st = s.last_stats();
+        assert_eq!(st.word_and_steps, 1);
+        assert_eq!(st.run_intersect_steps, 1);
+        assert_eq!(st.kernel_scanned_sum(), st.scanned);
+    }
+
+    #[test]
+    fn blocks_intersect_in_array_and_bitmap_mode() {
+        // 8 blocks of evens over [0, 2048).
+        let ids: Vec<u32> = (0..1024).map(|i| i * 2).collect();
+        let bp = BlockPostings::encode(&ids);
+        assert_eq!(bp.num_blocks(), 8);
+
+        // Array candidates confined to one block: the rest skip.
+        let mut s = QueryScratch::default();
+        let cands: Vec<u32> = (600..700).collect();
+        let got = seq(&mut s, &cands, &[Postings::Blocks(&bp)]);
+        let want: Vec<u32> = (600..700).filter(|c| c % 2 == 0).collect();
+        assert_eq!(got, want);
+        let st = s.last_stats();
+        assert_eq!(st.blocks_decoded, 1);
+        assert_eq!(st.steps(), 1);
+        assert_eq!(st.kernel_scanned_sum(), st.scanned);
+
+        // Bitmap candidates: decoding stops at the bitmap's last word.
+        let cfg = ContainerConfig { density_den: 4 };
+        let dense_ids: Vec<u32> = (0..128).map(|i| i * 2).collect();
+        let dc = PostingContainer::from_sorted(&dense_ids, 256, cfg);
+        let seed: Vec<u32> = (0..256).collect();
+        let got = seq(
+            &mut s,
+            &seed,
+            &[Postings::Container(&dc), Postings::Blocks(&bp)],
+        );
+        assert_eq!(got, dense_ids, "evens in [0, 256) survive both sides");
+        let st = s.last_stats();
+        assert!(
+            st.blocks_decoded < bp.num_blocks() as u64,
+            "blocks past the bitmap universe stay undecoded"
+        );
+        assert_eq!(st.kernel_scanned_sum(), st.scanned);
+    }
+
+    #[test]
+    fn large_arrays_dispatch_to_the_vector_merge() {
+        // Both sides must clear SIMD_MERGE_MIN or the wrapper (correctly)
+        // routes to scalar.
+        let n = crate::simd::SIMD_MERGE_MIN as u32 + 77;
+        let a: Vec<u32> = (0..n).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..n).map(|i| i * 2).collect();
+        let mut want = Vec::new();
+        crate::kernels::intersect_merge_into(&a, &b, &mut want);
+        let mut s = QueryScratch::default();
+        let got = seq(&mut s, &a, &[Postings::Ids(&b)]);
+        assert_eq!(got, want);
+        let st = s.last_stats();
+        if simd::level() >= crate::simd::SimdLevel::Sse2 {
+            assert_eq!(st.simd_merge_steps, 1, "big merge takes the SSE2 path");
+        } else {
+            assert_eq!(st.merge_steps, 1, "scalar fallback under TIR_SIMD=off");
+        }
+        assert_eq!(st.kernel_scanned_sum(), st.scanned);
     }
 
     #[test]
     fn tombstones_respected_on_every_path() {
         let cfg = ContainerConfig { density_den: 4 };
         let ids: Vec<u32> = (0..64)
-            .map(|i| if i == 10 { i | TOMBSTONE } else { i })
+            .map(|i| {
+                let id = i * 2;
+                if id == 20 {
+                    id | TOMBSTONE
+                } else {
+                    id
+                }
+            })
             .collect();
-        let c = PostingContainer::from_sorted(&ids, 64, cfg);
+        let c = PostingContainer::from_sorted(&ids, 128, cfg);
+        assert!(c.is_dense());
         let mut s = QueryScratch::default();
         // probe path
         assert_eq!(
-            seq(&mut s, &[9, 10, 11], &[Postings::Container(&c)]),
-            vec![9, 11]
+            seq(&mut s, &[18, 20, 22], &[Postings::Container(&c)]),
+            vec![18, 22]
         );
         // word-AND path
-        let all: Vec<u32> = (0..64).collect();
+        let all: Vec<u32> = (0..64).map(|i| i * 2).collect();
         let got = seq(&mut s, &all, &[Postings::Container(&c)]);
-        assert!(!got.contains(&10) && got.len() == 63);
+        assert!(!got.contains(&20) && got.len() == 63);
         // downshift path skips tombstoned array entries
-        let arr = [9u32, 10 | TOMBSTONE, 11];
+        let arr = [18u32, 20 | TOMBSTONE, 22];
         let got = seq(
             &mut s,
             &all,
             &[Postings::Container(&c), Postings::Ids(&arr)],
         );
-        assert_eq!(got, vec![9, 11]);
+        assert_eq!(got, vec![18, 22]);
     }
 
     #[test]

@@ -137,14 +137,20 @@ pub struct LoadgenReport {
     /// Threads used.
     pub threads: usize,
     /// Conjunction-planner kernel mix over the run (post-run minus
-    /// pre-run server counters): merge steps.
+    /// pre-run server counters): scalar merge steps.
     pub kern_merge: u64,
+    /// Vectorized merge steps during the run.
+    pub kern_simd_merge: u64,
     /// Gallop / binary-search steps during the run.
     pub kern_gallop: u64,
     /// Bitmap-probe steps during the run.
     pub kern_bitmap_probe: u64,
     /// Word-AND steps during the run.
     pub kern_word_and: u64,
+    /// Run-container intersection steps during the run.
+    pub kern_run_intersect: u64,
+    /// Compressed posting blocks decoded during the run.
+    pub blocks_decoded: u64,
     /// Elements scanned by intersection kernels during the run.
     pub elems_scanned: u64,
 }
@@ -175,9 +181,12 @@ impl LoadgenReport {
             ("flush_max_us", Json::Num(self.flush_max_us)),
             ("size_bytes", Json::Int(self.size_bytes)),
             ("kern_merge", Json::Int(self.kern_merge)),
+            ("kern_simd_merge", Json::Int(self.kern_simd_merge)),
             ("kern_gallop", Json::Int(self.kern_gallop)),
             ("kern_bitmap_probe", Json::Int(self.kern_bitmap_probe)),
             ("kern_word_and", Json::Int(self.kern_word_and)),
+            ("kern_run_intersect", Json::Int(self.kern_run_intersect)),
+            ("blocks_decoded", Json::Int(self.blocks_decoded)),
             ("elems_scanned", Json::Int(self.elems_scanned)),
         ])
     }
@@ -189,7 +198,8 @@ impl LoadgenReport {
              throughput  {:.0} req/s\n\
              latency     p50 {:.0}µs | p95 {:.0}µs | p99 {:.0}µs | max {:.0}µs\n\
              outcomes    ok {} | hits {} | rejected {} | missing {} | errors {}\n\
-             kernels     merge {} | gallop {} | bitmap-probe {} | word-AND {} | scanned {}",
+             kernels     merge {} | simd-merge {} | gallop {} | bitmap-probe {} | word-AND {} \
+             | run {} | blocks {} | scanned {}",
             self.requests,
             self.elapsed_s,
             self.threads,
@@ -205,9 +215,12 @@ impl LoadgenReport {
             self.missing,
             self.errors,
             self.kern_merge,
+            self.kern_simd_merge,
             self.kern_gallop,
             self.kern_bitmap_probe,
             self.kern_word_and,
+            self.kern_run_intersect,
+            self.blocks_decoded,
             self.elems_scanned
         );
         if self.flushes > 0 {
@@ -266,9 +279,12 @@ impl Connection {
 #[derive(Debug, Clone, Copy, Default)]
 struct KernelCounters {
     merge: u64,
+    simd_merge: u64,
     gallop: u64,
     bitmap_probe: u64,
     word_and: u64,
+    run_intersect: u64,
+    blocks_decoded: u64,
     scanned: u64,
 }
 
@@ -283,9 +299,12 @@ impl KernelCounters {
         };
         KernelCounters {
             merge: get("kern_merge"),
+            simd_merge: get("kern_simd_merge"),
             gallop: get("kern_gallop"),
             bitmap_probe: get("kern_bitmap_probe"),
             word_and: get("kern_word_and"),
+            run_intersect: get("kern_run_intersect"),
+            blocks_decoded: get("blocks_decoded"),
             scanned: get("elems_scanned"),
         }
     }
@@ -295,9 +314,12 @@ impl KernelCounters {
     fn since(&self, earlier: &KernelCounters) -> KernelCounters {
         KernelCounters {
             merge: self.merge.saturating_sub(earlier.merge),
+            simd_merge: self.simd_merge.saturating_sub(earlier.simd_merge),
             gallop: self.gallop.saturating_sub(earlier.gallop),
             bitmap_probe: self.bitmap_probe.saturating_sub(earlier.bitmap_probe),
             word_and: self.word_and.saturating_sub(earlier.word_and),
+            run_intersect: self.run_intersect.saturating_sub(earlier.run_intersect),
+            blocks_decoded: self.blocks_decoded.saturating_sub(earlier.blocks_decoded),
             scanned: self.scanned.saturating_sub(earlier.scanned),
         }
     }
@@ -555,9 +577,12 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         size_bytes: info.size_bytes,
         threads: cfg.threads,
         kern_merge: kernels.merge,
+        kern_simd_merge: kernels.simd_merge,
         kern_gallop: kernels.gallop,
         kern_bitmap_probe: kernels.bitmap_probe,
         kern_word_and: kernels.word_and,
+        kern_run_intersect: kernels.run_intersect,
+        blocks_decoded: kernels.blocks_decoded,
         elems_scanned: kernels.scanned,
     })
 }

@@ -447,9 +447,12 @@ where
             let kstats = tir_invidx::global_stats();
             for (k, v) in [
                 ("kern_merge", kstats.merge_steps),
+                ("kern_simd_merge", kstats.simd_merge_steps),
                 ("kern_gallop", kstats.gallop_steps),
                 ("kern_bitmap_probe", kstats.bitmap_probe_steps),
                 ("kern_word_and", kstats.word_and_steps),
+                ("kern_run_intersect", kstats.run_intersect_steps),
+                ("blocks_decoded", kstats.blocks_decoded),
                 ("elems_scanned", kstats.scanned),
             ] {
                 pairs.push((k.to_string(), v.to_string()));

@@ -162,10 +162,12 @@ fn repo_root() -> PathBuf {
 }
 
 /// Every library crate root must opt into the workspace safety posture.
-/// `persist` is the one audited exception: its mmap wrapper needs
-/// `unsafe`, so the crate carries `deny(unsafe_code)` (overridden only
-/// inside that module) and the `unsafe-code` analyze rule enforces the
-/// containment per token.
+/// `persist` and `invidx` are the audited exceptions: the mmap wrapper
+/// and the SIMD kernel module need `unsafe`, so those crates carry
+/// `deny(unsafe_code)` (overridden only inside the audited module) and
+/// the `unsafe-code` analyze rule enforces the containment per token.
+const UNSAFE_AUDITED_CRATES: &[&str] = &["persist", "invidx"];
+
 fn attrs() -> Result<(), String> {
     let root = repo_root();
     let mut missing = Vec::new();
@@ -174,11 +176,12 @@ fn attrs() -> Result<(), String> {
         let text =
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         for attr in REQUIRED_ATTRS {
-            let attr = if *krate == "persist" && *attr == "#![forbid(unsafe_code)]" {
-                "#![deny(unsafe_code)]"
-            } else {
-                attr
-            };
+            let attr =
+                if UNSAFE_AUDITED_CRATES.contains(krate) && *attr == "#![forbid(unsafe_code)]" {
+                    "#![deny(unsafe_code)]"
+                } else {
+                    attr
+                };
             if !text.contains(attr) {
                 missing.push(format!("{} lacks {attr}", path.display()));
             }
