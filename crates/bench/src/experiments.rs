@@ -642,6 +642,9 @@ pub fn serve(o: &Opts) {
                                 Ok(()) => break,
                                 Err(Rejected::Overloaded) => std::thread::yield_now(),
                                 Err(Rejected::Closed) => return,
+                                Err(Rejected::Degraded) => {
+                                    panic!("in-memory store degraded")
+                                }
                             }
                         }
                         applied.fetch_add(1, Ordering::Relaxed);
@@ -673,6 +676,9 @@ pub fn serve(o: &Opts) {
                                 }
                                 Err(Rejected::Overloaded) => rejected += 1,
                                 Err(Rejected::Closed) => break,
+                                Err(Rejected::Degraded) => {
+                                    panic!("in-memory store degraded")
+                                }
                             }
                         }
                         (hist, rejected)

@@ -45,8 +45,10 @@
 mod core_checks;
 mod hint_checks;
 mod invidx_checks;
+mod oracle_checks;
 mod snapshot_checks;
 
+pub use oracle_checks::{diff_against_oracle, oracle_query_grid};
 pub use snapshot_checks::{validate_snapshot, validate_snapshot_file};
 
 use std::fmt;

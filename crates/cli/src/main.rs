@@ -9,11 +9,13 @@
 //! tir check   --input data.tsv
 //! tir serve   [--input data.tsv | --scale S] [--method M] [--port P]
 //! tir loadgen --addr host:port [--requests N] [--threads T]
+//! tir chaos   [--schedules N] [--seed K]
 //! ```
 //!
 //! TSV format: `start<TAB>end<TAB>elem1,elem2,...` per object; `#` lines
 //! are comments.
 
+mod chaos;
 mod io;
 
 use std::fs::File;
@@ -107,6 +109,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "check" => cmd_check(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "chaos" => chaos::cmd_chaos(&opts),
         "snapshot" => cmd_snapshot(&opts),
         "recover" => cmd_recover(&opts),
         "--help" | "-h" | "help" => {
@@ -118,7 +121,7 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: tir <gen|stats|query|bench|check|serve|loadgen|snapshot|recover> [--flags]\n\
+    "usage: tir <gen|stats|query|bench|check|serve|loadgen|chaos|snapshot|recover> [--flags]\n\
      gen      --out FILE [--cardinality N] [--seed K] [--scale S]\n\
      stats    --input FILE\n\
      query    --input FILE --from T --to T --elems a,b [--method M] [--topk K]\n\
@@ -133,7 +136,11 @@ fn usage() -> String {
               recovers the directory on restart; methods tif, tif-hint-*)\n\
      loadgen  --addr HOST:PORT [--requests N] [--threads T] [--seed K]\n\
               [--write-fraction F] [--insert-fraction F] [--elems N]\n\
-              [--durability N] [--json BENCH_serve.json]\n\
+              [--durability N] [--deadline-ms MS] [--retries N] [--backoff-ms MS]\n\
+              [--json BENCH_serve.json]\n\
+     chaos    [--schedules N] [--seed K] [--rounds N] [--scale S]\n\
+              (seeded fault-injection schedules against a live durable\n\
+              server; model + oracle verified, kill-then-recover each)\n\
      snapshot --out FILE [--input FILE | --scale S] [--method M] [--epoch N]\n\
               (write a standalone snapshot file, then fsck it)\n\
      recover  --data-dir DIR [--verify]   (replay snapshot + WAL, report the\n\
@@ -1207,6 +1214,9 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), String> {
     cfg.max_elems = opts.parse_or("elems", cfg.max_elems)?;
     cfg.seed = opts.parse_or("seed", cfg.seed)?;
     cfg.durability = opts.parse_or("durability", cfg.durability)?;
+    cfg.deadline_ms = opts.parse_or("deadline-ms", cfg.deadline_ms)?;
+    cfg.retries = opts.parse_or("retries", cfg.retries)?;
+    cfg.backoff_ms = opts.parse_or("backoff-ms", cfg.backoff_ms)?;
     if !(0.0..=1.0).contains(&cfg.write_fraction) || !(0.0..=1.0).contains(&cfg.insert_fraction) {
         return Err("--write-fraction and --insert-fraction must be in [0, 1]".into());
     }
@@ -1220,6 +1230,12 @@ fn cmd_loadgen(opts: &Opts) -> Result<(), String> {
     }
     std::fs::write(json_path, format!("{doc}\n")).map_err(|e| format!("{json_path}: {e}"))?;
     eprintln!("wrote {json_path}");
+    if report.wrong > 0 {
+        return Err(format!(
+            "{} provably wrong answer(s) during the run",
+            report.wrong
+        ));
+    }
     if report.errors > 0 {
         return Err(format!(
             "{} protocol error(s) during the run",

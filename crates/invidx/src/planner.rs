@@ -315,7 +315,15 @@ pub struct QueryScratch {
     probe_bits: bool,
     stats: PlanStats,
     last: PlanStats,
+    deadline: Option<std::time::Instant>,
+    deadline_probe_at: u64,
+    deadline_expired: bool,
 }
+
+/// Scanned elements between wall-clock probes of an armed deadline: the
+/// progress counter the kernels already maintain gates `Instant::now()`,
+/// so cheap queries never touch the clock.
+const DEADLINE_PROBE_EVERY: u64 = 4096;
 
 impl QueryScratch {
     /// Starts a new query: flushes the previous query's counters to the
@@ -345,6 +353,52 @@ impl QueryScratch {
         self.last
     }
 
+    /// Arms (or clears) a per-query deadline. The serve worker sets this
+    /// before `query_into`; conjunction steps then probe the wall clock
+    /// once per [`DEADLINE_PROBE_EVERY`] scanned elements and, on
+    /// expiry, drop every candidate so the rest of the plan collapses to
+    /// O(1) early-exits. After the query, [`QueryScratch::timed_out`]
+    /// says whether the built answer is partial and must be discarded. A
+    /// query that completes without ever probing past its deadline is
+    /// complete and servable regardless of the clock.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+        self.deadline_probe_at = DEADLINE_PROBE_EVERY;
+        self.deadline_expired = false;
+    }
+
+    /// True if an armed deadline expired mid-plan: the answer in `out`
+    /// is partial and must not be served.
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.deadline_expired
+    }
+
+    /// Deadline probe: cheap progress check first, wall clock only every
+    /// [`DEADLINE_PROBE_EVERY`] scanned elements. On expiry, collapses
+    /// the candidate state so every remaining plan step early-exits.
+    #[inline]
+    fn check_deadline(&mut self) {
+        let Some(deadline) = self.deadline else {
+            return;
+        };
+        if !self.deadline_expired {
+            if self.stats.scanned < self.deadline_probe_at {
+                return;
+            }
+            self.deadline_probe_at = self.stats.scanned + DEADLINE_PROBE_EVERY;
+            if std::time::Instant::now() < deadline {
+                return;
+            }
+            self.deadline_expired = true;
+        }
+        self.cands.clear();
+        if self.bits_live {
+            self.zero_bits();
+            self.bits_live = false;
+        }
+    }
+
     /// Records a step that ran outside the planner's own kernels (e.g.
     /// cTIF's streaming decode-intersect) so the totals stay honest.
     #[inline]
@@ -367,6 +421,7 @@ impl QueryScratch {
     /// intersection against `side`, picking the kernel from the operand
     /// shapes and sizes.
     pub fn intersect(&mut self, side: Postings<'_>) {
+        self.check_deadline();
         match side {
             Postings::Ids(ids) => self.intersect_ids(ids),
             Postings::Container(PostingContainer::Sparse { ids, .. }) => self.intersect_ids(ids),
@@ -744,6 +799,12 @@ impl QueryScratch {
     /// marked by several runs — e.g. slice-replicated sub-lists — and is
     /// still emitted once by [`QueryScratch::finish_mark`].
     pub fn mark(&mut self, cands: &[u32], postings: &[u32]) {
+        self.check_deadline();
+        if self.deadline_expired {
+            // Past deadline: mark nothing, so finish_mark empties the
+            // caller's candidate buffer and its plan early-exits.
+            return;
+        }
         if postings.len().saturating_mul(GALLOP_RATIO) < cands.len() {
             // Skewed round: iterate the small postings side, gallop
             // through the candidates (same dispatch as intersect_ids).
@@ -879,6 +940,42 @@ mod tests {
         let mut out = Vec::new();
         scratch.take_into(&mut out);
         out
+    }
+
+    #[test]
+    fn expired_deadline_collapses_the_plan_and_flags_timeout() {
+        let big: Vec<u32> = (0..20_000u32).map(|i| i * 2).collect();
+        let mut s = QueryScratch::default();
+
+        // A deadline already in the past: the first step past the probe
+        // threshold must flag the timeout and empty the candidates.
+        s.set_deadline(Some(std::time::Instant::now()));
+        s.reset();
+        s.cands.extend_from_slice(&big);
+        s.intersect(Postings::Ids(&big)); // accrues > DEADLINE_PROBE_EVERY
+        s.intersect(Postings::Ids(&big)); // probe fires here at the latest
+        assert!(s.timed_out());
+        assert!(s.is_empty(), "expired plan must hold no candidates");
+
+        // Disarming restores normal behavior on the same scratch.
+        s.set_deadline(None);
+        s.reset();
+        s.cands.extend_from_slice(&[2, 4, 6]);
+        s.intersect(Postings::Ids(&big));
+        assert!(!s.timed_out());
+        let mut out = Vec::new();
+        s.take_into(&mut out);
+        assert_eq!(out, vec![2, 4, 6]);
+
+        // A generous deadline never fires even on heavy plans.
+        s.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(600),
+        ));
+        s.reset();
+        s.cands.extend_from_slice(&big);
+        s.intersect(Postings::Ids(&big));
+        s.intersect(Postings::Ids(&big));
+        assert!(!s.timed_out());
     }
 
     #[test]

@@ -275,10 +275,15 @@ impl Durability {
     /// prune.
     pub fn write_snapshot<I: Persist>(&mut self, index: &I, dict: &Dictionary) -> io::Result<()> {
         kill::fire(KillPoint::BeforeSnapshotWrite)?;
+        tir_fault::fire(tir_fault::FaultSite::SnapshotWrite)?;
         let tmp = self.dir.join(SNAPSHOT_TMP);
         let catalog = self.catalog_sorted();
         write_snapshot(&tmp, self.epoch, dict, &catalog, index)?;
         kill::fire(KillPoint::BeforeSnapshotRename)?;
+        // Fault site: a torn publish — the temp snapshot is fully written
+        // but the rename never happens, so recovery must keep using the
+        // previous snapshot and ignore the stale temp file.
+        tir_fault::fire(tir_fault::FaultSite::SnapshotRename)?;
         fs::rename(&tmp, self.dir.join(SNAPSHOT_NAME))?;
         fs::File::open(&self.dir)?.sync_all()?;
         kill::fire(KillPoint::AfterSnapshotRename)?;

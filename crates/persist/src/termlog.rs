@@ -43,6 +43,7 @@ impl TermLog {
     /// Appends one interned term and fsyncs. Must be called before any
     /// op referencing `id` is enqueued.
     pub fn append(&mut self, id: u32, term: &str) -> io::Result<()> {
+        tir_fault::fire(tir_fault::FaultSite::TermLogAppend)?;
         let mut rec = Vec::with_capacity(12 + term.len());
         put_u32(&mut rec, id);
         put_u32(&mut rec, term.len() as u32);

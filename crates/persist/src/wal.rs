@@ -264,6 +264,21 @@ impl Wal {
             let _ = self.active.sync_all();
             return Err(e);
         }
+        // Fault site: an injected ENOSPC-style failure, or a short write
+        // that lands a torn prefix of the record and then fails — the
+        // live-process twin of the MidWalAppend kill point above.
+        match tir_fault::check(tir_fault::FaultSite::WalAppend) {
+            tir_fault::FaultAction::ShortWrite => {
+                let cut = rec.len() / 2;
+                self.active.write_all(&rec[..cut])?;
+                self.active_len += cut as u64;
+                // analyze:allow(error-swallow): injected-fault path — the injected error is returned either way; the sync only makes the torn prefix durable for the chaos recovery step
+                let _ = self.active.sync_all();
+                return Err(tir_fault::injected_error(tir_fault::FaultSite::WalAppend));
+            }
+            tir_fault::FaultAction::None | tir_fault::FaultAction::Stall(_) => {}
+            _ => return Err(tir_fault::injected_error(tir_fault::FaultSite::WalAppend)),
+        }
         self.active.write_all(&rec)?;
         self.active_len += rec.len() as u64;
         self.stats.records += 1;
@@ -273,6 +288,7 @@ impl Wal {
 
     /// Fsyncs the active segment — the durability barrier.
     pub fn sync(&mut self) -> io::Result<()> {
+        tir_fault::fire(tir_fault::FaultSite::WalSync)?;
         self.active.sync_all()?;
         self.stats.fsyncs += 1;
         Ok(())
@@ -493,6 +509,33 @@ mod tests {
         let r = Wal::replay(&dir, 3).expect("replay");
         assert_eq!(r.batches.len(), 1);
         assert_eq!(r.batches[0].0, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_in_non_final_segment_is_a_hard_error() {
+        let dir = scratch_dir("nonfinal-trunc");
+        // Tiny threshold: each record rotates into its own segment.
+        let mut wal = Wal::open(&dir, 1, 1).expect("open");
+        wal.append(1, &[op(1, 0, 1)]).expect("append");
+        wal.sync().expect("sync");
+        wal.append(2, &[op(2, 0, 2)]).expect("append");
+        wal.sync().expect("sync");
+        drop(wal);
+        // Chop the FIRST segment mid-record: truncation-shaped damage
+        // (no byte flips, exactly what a torn tail looks like). Were
+        // this the final segment it would be silently truncated away;
+        // in a non-final segment it means an acked batch is gone while
+        // later segments still replay, so it must be a hard error.
+        let seg = dir.join(segment_name(1));
+        let len = fs::metadata(&seg).expect("meta").len();
+        assert!(len > 5);
+        let f = OpenOptions::new().write(true).open(&seg).expect("open seg");
+        f.set_len(len - 5).expect("truncate");
+        drop(f);
+        let err = Wal::replay(&dir, 0).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("non-final segment"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

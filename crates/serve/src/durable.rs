@@ -16,10 +16,17 @@
 //! * Shutdown (the store dropping its sender) — final snapshot, so a
 //!   clean restart replays no WAL at all.
 //!
-//! If the disk fails (a real I/O error, or an armed kill point in tests),
-//! the applier logs, stops acknowledging, and drops the queue: enqueues
-//! and flushes start returning [`Rejected::Closed`] rather than
-//! pretending the data is safe.
+//! If the disk fails (a real I/O error, an injected `tir-fault`, or an
+//! armed kill point in tests), the applier **degrades instead of
+//! dying**: it latches the shared [`HealthFlag`] to `degraded`, keeps
+//! draining the queue, and from then on discards writes (counted in
+//! [`EpochStats::degraded_writes`]) and NAKs barriers with
+//! [`Rejected::Degraded`]. Readers keep serving the last published —
+//! which is also the last acknowledged — epoch: the failed batch was
+//! never applied to the master, so nothing unacknowledged ever becomes
+//! visible. The latch is one-way; only a restart on healthy I/O clears
+//! it. No ack ever lies: every op acknowledged `OK` before the fault is
+//! durable, every op after it is explicitly refused.
 //!
 //! Terms are durable *before* any op referencing them: the server
 //! interns new terms through [`ServeDict`], which appends to the
@@ -32,7 +39,9 @@ use tir_core::TemporalIrIndex;
 use tir_invidx::Dictionary;
 use tir_persist::{Durability, Persist, TermLog, WalOp};
 
-use crate::epoch::{Cmd, EpochConfig, EpochStats, EpochStore, Snapshot, Validator, WriteOp};
+use crate::epoch::{
+    Cmd, EpochConfig, EpochStats, EpochStore, HealthFlag, Rejected, Snapshot, Validator, WriteOp,
+};
 use crate::witness::lock;
 
 /// The server's dictionary plus an optional durable term log. One lock
@@ -96,6 +105,7 @@ impl<I: TemporalIrIndex + Persist + Clone + Send + Sync + 'static> EpochStore<I>
             index: index.clone(),
         })));
         let (tx, rx) = sync_channel(config.queue_depth.max(1));
+        let health = Arc::new(HealthFlag::default());
         let mut applier = DurableApplier {
             master: index,
             rx,
@@ -105,7 +115,7 @@ impl<I: TemporalIrIndex + Persist + Clone + Send + Sync + 'static> EpochStore<I>
             stats: Arc::clone(&stats),
             durability,
             dict,
-            dead: false,
+            health: Arc::clone(&health),
         };
         let handle = std::thread::Builder::new()
             .name("tir-durable-applier".into())
@@ -116,6 +126,7 @@ impl<I: TemporalIrIndex + Persist + Clone + Send + Sync + 'static> EpochStore<I>
             tx: Some(tx),
             applier: Some(handle),
             stats,
+            health,
         }
     }
 }
@@ -129,7 +140,8 @@ struct DurableApplier<I> {
     stats: Arc<EpochStats>,
     durability: Durability,
     dict: Arc<Mutex<ServeDict>>,
-    dead: bool,
+    /// Shared with the store front end; latched on durability failure.
+    health: Arc<HealthFlag>,
 }
 
 impl<I: TemporalIrIndex + Persist + Clone> DurableApplier<I> {
@@ -142,19 +154,40 @@ impl<I: TemporalIrIndex + Persist + Clone> DurableApplier<I> {
                     Err(_) => break,
                 }
             }
-            self.apply(batch);
-            if self.dead {
-                // Stop draining: the channel backs up, senders see
-                // Overloaded, and dropping the receiver on return turns
-                // further sends into Closed. No ack ever lies.
-                return;
+            tir_fault::stall(tir_fault::FaultSite::ApplierDelay);
+            if self.health.is_degraded() {
+                // Read-only mode: keep draining so barriers get an
+                // explicit NAK instead of a hang, discard writes.
+                self.reject(batch);
+            } else {
+                self.apply(batch);
             }
         }
         // Clean shutdown: one last snapshot so restart replays nothing.
-        if self.durability.epoch() > self.durability.snapshot_epoch() {
+        // A degraded applier skips it — the disk already failed once,
+        // and recovery from snapshot + WAL replay reaches the same
+        // acknowledged state.
+        if !self.health.is_degraded() && self.durability.epoch() > self.durability.snapshot_epoch()
+        {
             let dict = lock(&self.dict);
             if let Err(e) = self.durability.write_snapshot(&self.master, dict.dict()) {
                 eprintln!("tir-serve: shutdown snapshot failed: {e} (WAL replay will recover)");
+            }
+        }
+    }
+
+    /// Degraded-mode drain: count discarded writes, NAK barriers.
+    fn reject(&mut self, batch: Vec<Cmd>) {
+        use std::sync::atomic::Ordering;
+        for cmd in batch {
+            match cmd {
+                Cmd::Write(_) => {
+                    // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
+                    self.stats.degraded_writes.fetch_add(1, Ordering::Relaxed);
+                }
+                Cmd::Flush(ack) | Cmd::Snapshot(ack) => {
+                    let _ = ack.send(Err(Rejected::Degraded));
+                }
             }
         }
     }
@@ -190,9 +223,13 @@ impl<I: TemporalIrIndex + Persist + Clone> DurableApplier<I> {
             let deleted = match self.durability.apply_batch(&mut self.master, &ops) {
                 Ok(out) => out.deleted,
                 Err(e) => {
-                    eprintln!("tir-serve: durable apply failed: {e}; refusing further writes");
-                    self.dead = true;
-                    return; // acks are dropped: flush()ers see Closed
+                    eprintln!(
+                        "tir-serve: durable apply failed: {e}; degrading to read-only \
+                         ({} write(s) in the failed batch discarded)",
+                        ops.len()
+                    );
+                    self.degrade(ops.len() as u64, flush_acks);
+                    return;
                 }
             };
             // analyze:allow(atomic-ordering): monotonic stat counters, read only for reporting
@@ -247,13 +284,28 @@ impl<I: TemporalIrIndex + Persist + Clone> DurableApplier<I> {
                 }
             };
             if let Err(e) = result {
-                eprintln!("tir-serve: snapshot failed: {e}; refusing further writes");
-                self.dead = true;
+                eprintln!("tir-serve: snapshot failed: {e}; degrading to read-only");
+                self.degrade(0, flush_acks);
                 return;
             }
         }
         for ack in flush_acks {
-            let _ = ack.send(self.durability.epoch());
+            let _ = ack.send(Ok(self.durability.epoch()));
+        }
+    }
+
+    /// Latches read-only mode: counts the writes of the failed batch as
+    /// discarded (they were never applied, so the published epoch still
+    /// equals the acknowledged one) and NAKs the batch's barriers.
+    fn degrade(&mut self, discarded: u64, acks: Vec<crate::epoch::BarrierAck>) {
+        use std::sync::atomic::Ordering;
+        self.health.set_degraded();
+        // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
+        self.stats
+            .degraded_writes
+            .fetch_add(discarded, Ordering::Relaxed);
+        for ack in acks {
+            let _ = ack.send(Err(Rejected::Degraded));
         }
     }
 }

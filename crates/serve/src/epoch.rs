@@ -19,13 +19,14 @@
 //! monotonicity contract the stress tests check (an id inserted before a
 //! snapshot was taken is never missing from it).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use tir_core::{Object, TemporalIrIndex};
 
+use crate::protocol::HealthStatus;
 use crate::witness::lock;
 
 /// An immutable published version of the index.
@@ -46,6 +47,9 @@ pub enum Rejected {
     Overloaded,
     /// The store is shutting down.
     Closed,
+    /// A durability failure latched the store read-only: writes and
+    /// barriers are refused until the process restarts on healthy I/O.
+    Degraded,
 }
 
 impl std::fmt::Display for Rejected {
@@ -53,7 +57,33 @@ impl std::fmt::Display for Rejected {
         match self {
             Rejected::Overloaded => f.write_str("overloaded"),
             Rejected::Closed => f.write_str("closed"),
+            Rejected::Degraded => f.write_str("degraded"),
         }
+    }
+}
+
+/// Shared read-only/ok flag between the applier (which latches it on a
+/// durability failure) and the front end (which reports and rejects).
+/// A plain two-state `AtomicU8` — `HealthStatus::Draining` is a
+/// server-level state, not a store-level one.
+#[derive(Debug, Default)]
+pub(crate) struct HealthFlag(AtomicU8);
+
+impl HealthFlag {
+    pub(crate) fn status(&self) -> HealthStatus {
+        if self.0.load(Ordering::SeqCst) == 0 {
+            HealthStatus::Ok
+        } else {
+            HealthStatus::Degraded
+        }
+    }
+
+    pub(crate) fn set_degraded(&self) {
+        self.0.store(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.0.load(Ordering::SeqCst) != 0
     }
 }
 
@@ -70,12 +100,17 @@ pub enum WriteOp {
 
 /// Applier-thread commands. `pub(crate)` so the durable applier
 /// ([`crate::durable`]) can drain the same queue with the same protocol.
+/// Barrier acknowledgment payload: the epoch reached, or the rejection
+/// that made the barrier impossible (a degraded durable applier NAKs
+/// instead of silently dropping the ack channel).
+pub(crate) type BarrierAck = SyncSender<Result<u64, Rejected>>;
+
 pub(crate) enum Cmd {
     Write(WriteOp),
-    Flush(SyncSender<u64>),
+    Flush(BarrierAck),
     /// Durable servers write a snapshot now; the in-memory applier treats
     /// it as a flush barrier (there is nothing more durable to do).
-    Snapshot(SyncSender<u64>),
+    Snapshot(BarrierAck),
 }
 
 /// Post-swap validation hook: inspects the about-to-be-published index
@@ -122,6 +157,8 @@ pub struct EpochStats {
     pub violations: AtomicU64,
     /// Flush barriers served.
     pub flushes: AtomicU64,
+    /// Writes discarded because the store was degraded (read-only).
+    pub degraded_writes: AtomicU64,
 }
 
 /// The epoch-snapshot store. See the module docs for the protocol.
@@ -130,6 +167,7 @@ pub struct EpochStore<I> {
     pub(crate) tx: Option<SyncSender<Cmd>>,
     pub(crate) applier: Option<JoinHandle<()>>,
     pub(crate) stats: Arc<EpochStats>,
+    pub(crate) health: Arc<HealthFlag>,
 }
 
 impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> EpochStore<I> {
@@ -162,6 +200,7 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> EpochStore<I> {
             tx: Some(tx),
             applier: Some(handle),
             stats,
+            health: Arc::new(HealthFlag::default()),
         }
     }
 
@@ -174,6 +213,9 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> EpochStore<I> {
     /// Enqueues a write without blocking. `Err(Overloaded)` means the
     /// bounded queue is full — the caller sheds load or retries.
     pub fn enqueue(&self, op: WriteOp) -> Result<(), Rejected> {
+        if self.health.is_degraded() {
+            return Err(Rejected::Degraded);
+        }
         let tx = self.tx.as_ref().ok_or(Rejected::Closed)?;
         match tx.try_send(Cmd::Write(op)) {
             Ok(()) => Ok(()),
@@ -190,7 +232,7 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> EpochStore<I> {
         let tx = self.tx.as_ref().ok_or(Rejected::Closed)?;
         let (ack_tx, ack_rx) = sync_channel(1);
         tx.send(Cmd::Flush(ack_tx)).map_err(|_| Rejected::Closed)?;
-        let epoch = ack_rx.recv().map_err(|_| Rejected::Closed)?;
+        let epoch = ack_rx.recv().map_err(|_| Rejected::Closed)??;
         // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
         Ok(epoch)
@@ -204,7 +246,13 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> EpochStore<I> {
         let (ack_tx, ack_rx) = sync_channel(1);
         tx.send(Cmd::Snapshot(ack_tx))
             .map_err(|_| Rejected::Closed)?;
-        ack_rx.recv().map_err(|_| Rejected::Closed)
+        ack_rx.recv().map_err(|_| Rejected::Closed)?
+    }
+
+    /// The store-level health: `Ok`, or `Degraded` once a durability
+    /// failure latched the applier read-only.
+    pub fn health(&self) -> HealthStatus {
+        self.health.status()
     }
 
     /// Live counters.
@@ -252,7 +300,7 @@ impl<I: TemporalIrIndex + Clone> Applier<I> {
     }
 
     fn apply(&mut self, batch: Vec<Cmd>) {
-        let mut acks: Vec<SyncSender<u64>> = Vec::new();
+        let mut acks: Vec<BarrierAck> = Vec::new();
         let mut wrote = 0u64;
         for cmd in batch {
             match cmd {
@@ -307,7 +355,7 @@ impl<I: TemporalIrIndex + Clone> Applier<I> {
         // Acks go out only after everything enqueued before the flush
         // (which sits earlier in the same batch) is published.
         for ack in acks {
-            let _ = ack.send(self.epoch);
+            let _ = ack.send(Ok(self.epoch));
         }
     }
 }
@@ -411,7 +459,7 @@ mod tests {
                     saw_overload = true;
                     break;
                 }
-                Err(Rejected::Closed) => panic!("store closed unexpectedly"),
+                Err(e) => panic!("store rejected unexpectedly: {e}"),
             }
         }
         assert!(saw_overload, "a depth-2 queue must overflow eventually");

@@ -11,7 +11,18 @@
 //! merged report carries throughput and p50/p95/p99 latency. `OVERLOADED`
 //! responses count as *rejected* (backpressure working as designed), not
 //! as protocol errors; `errors` counts only `ERR` responses, unparseable
-//! lines, and transport failures — a clean run reports `errors == 0`.
+//! lines, and unrecovered transport failures — a clean run reports
+//! `errors == 0`.
+//!
+//! Resilience loop: every connection carries a client-side read timeout,
+//! queries optionally ship a `DEADLINE <ms>` budget, and `OVERLOADED`,
+//! `TIMEOUT`, and transport failures are retried with jittered
+//! exponential backoff (reconnecting first when the transport died).
+//! Each occurrence still lands in its own counter (`rejected`,
+//! `timeouts`, `retries`, `degraded`), so the report shows both how
+//! often the server pushed back and how much work the client re-issued.
+//! Answer sets are structurally checked (strictly ascending unique ids);
+//! any violation bumps `wrong`, which the CLI turns into a nonzero exit.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -73,6 +84,14 @@ pub struct LoadgenConfig {
     /// Against a `--data-dir` server the flush waits for the WAL fsync,
     /// so these percentiles are the durability cost on the wire.
     pub durability: u64,
+    /// Per-query deadline shipped as `DEADLINE <ms>` (0 = none).
+    pub deadline_ms: u64,
+    /// Maximum retry attempts per request after `OVERLOADED`, `TIMEOUT`,
+    /// or a transport failure (0 = fail fast).
+    pub retries: u32,
+    /// Base backoff before the first retry, milliseconds; doubles per
+    /// attempt with up to 100% random jitter on top.
+    pub backoff_ms: u64,
 }
 
 impl LoadgenConfig {
@@ -87,6 +106,9 @@ impl LoadgenConfig {
             max_elems: 3,
             seed: 7,
             durability: 0,
+            deadline_ms: 0,
+            retries: 3,
+            backoff_ms: 2,
         }
     }
 }
@@ -104,8 +126,18 @@ pub struct LoadgenReport {
     pub rejected: u64,
     /// `MISSING` answers (should stay 0 for this generator's mix).
     pub missing: u64,
-    /// Protocol/transport errors — a healthy run reports 0.
+    /// Protocol errors and unrecovered transport failures — a healthy
+    /// run reports 0.
     pub errors: u64,
+    /// `TIMEOUT` answers (each occurrence, including retried ones).
+    pub timeouts: u64,
+    /// Retry attempts issued (backoff loop iterations).
+    pub retries: u64,
+    /// `DEGRADED` answers — the server latched read-only mid-run.
+    pub degraded: u64,
+    /// Structurally wrong answers (ids not strictly ascending unique).
+    /// Any nonzero value fails the run at the CLI.
+    pub wrong: u64,
     /// Wall-clock duration of the measured phase in seconds.
     pub elapsed_s: f64,
     /// Requests per second (all threads combined).
@@ -168,6 +200,10 @@ impl LoadgenReport {
             ("rejected", Json::Int(self.rejected)),
             ("missing", Json::Int(self.missing)),
             ("errors", Json::Int(self.errors)),
+            ("timeouts", Json::Int(self.timeouts)),
+            ("retries", Json::Int(self.retries)),
+            ("degraded", Json::Int(self.degraded)),
+            ("wrong", Json::Int(self.wrong)),
             ("elapsed_s", Json::Num(self.elapsed_s)),
             ("qps", Json::Num(self.qps)),
             ("p50_us", Json::Num(self.p50_us)),
@@ -198,6 +234,7 @@ impl LoadgenReport {
              throughput  {:.0} req/s\n\
              latency     p50 {:.0}µs | p95 {:.0}µs | p99 {:.0}µs | max {:.0}µs\n\
              outcomes    ok {} | hits {} | rejected {} | missing {} | errors {}\n\
+             resilience  timeouts {} | retries {} | degraded {} | wrong {}\n\
              kernels     merge {} | simd-merge {} | gallop {} | bitmap-probe {} | word-AND {} \
              | run {} | blocks {} | scanned {}",
             self.requests,
@@ -214,6 +251,10 @@ impl LoadgenReport {
             self.rejected,
             self.missing,
             self.errors,
+            self.timeouts,
+            self.retries,
+            self.degraded,
+            self.wrong,
             self.kern_merge,
             self.kern_simd_merge,
             self.kern_gallop,
@@ -245,8 +286,21 @@ struct Connection {
 
 impl Connection {
     fn open(addr: &str) -> Result<Connection, String> {
+        Connection::open_with_timeout(addr, None)
+    }
+
+    /// Opens a connection with a client-side read timeout: a server that
+    /// stalls past it surfaces as a transport error (and the retry loop
+    /// reconnects) instead of hanging the worker forever.
+    fn open_with_timeout(
+        addr: &str,
+        read_timeout: Option<std::time::Duration>,
+    ) -> Result<Connection, String> {
         let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
         stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(read_timeout)
+            .map_err(|e| e.to_string())?;
         let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
         Ok(Connection {
             reader,
@@ -385,6 +439,7 @@ fn discover(addr: &str) -> Result<ServerInfo, String> {
     })
 }
 
+#[derive(Default)]
 struct ThreadOutcome {
     histogram: LatencyHistogram,
     flush_histogram: LatencyHistogram,
@@ -394,6 +449,50 @@ struct ThreadOutcome {
     missing: u64,
     errors: u64,
     flushes: u64,
+    timeouts: u64,
+    retries: u64,
+    degraded: u64,
+    wrong: u64,
+}
+
+/// Merged per-thread outcomes: histograms and every counter summed.
+#[derive(Default)]
+struct Totals {
+    histogram: LatencyHistogram,
+    flush_histogram: LatencyHistogram,
+    ok: u64,
+    hits: u64,
+    rejected: u64,
+    missing: u64,
+    errors: u64,
+    flushes: u64,
+    timeouts: u64,
+    retries: u64,
+    degraded: u64,
+    wrong: u64,
+}
+
+impl Totals {
+    fn absorb(&mut self, o: &ThreadOutcome) {
+        self.histogram.merge(&o.histogram);
+        self.flush_histogram.merge(&o.flush_histogram);
+        self.ok += o.ok;
+        self.hits += o.hits;
+        self.rejected += o.rejected;
+        self.missing += o.missing;
+        self.errors += o.errors;
+        self.flushes += o.flushes;
+        self.timeouts += o.timeouts;
+        self.retries += o.retries;
+        self.degraded += o.degraded;
+        self.wrong += o.wrong;
+    }
+}
+
+/// Strictly ascending unique ids — the wire contract of `HITS`. A
+/// violation means the server answered garbage, not that the data moved.
+fn hits_look_sane(ids: &[u32]) -> bool {
+    ids.windows(2).all(|w| w[0] < w[1])
 }
 
 fn worker(
@@ -403,18 +502,16 @@ fn worker(
     thread_idx: usize,
     requests: u64,
 ) -> Result<ThreadOutcome, String> {
-    let mut conn = Connection::open(&cfg.addr)?;
+    // Client-side hang guard: a read that outlives several deadlines
+    // (or 30s absolute) is treated as a dead transport.
+    let read_timeout = Some(std::time::Duration::from_millis(if cfg.deadline_ms > 0 {
+        (cfg.deadline_ms * 8).max(2_000)
+    } else {
+        30_000
+    }));
+    let mut conn = Connection::open_with_timeout(&cfg.addr, read_timeout)?;
     let mut rng = Rng::new(cfg.seed ^ (thread_idx as u64).wrapping_mul(0xA5A5_A5A5));
-    let mut out = ThreadOutcome {
-        histogram: LatencyHistogram::new(),
-        flush_histogram: LatencyHistogram::new(),
-        ok: 0,
-        hits: 0,
-        rejected: 0,
-        missing: 0,
-        errors: 0,
-        flushes: 0,
-    };
+    let mut out = ThreadOutcome::default();
     let mut writes_since_flush = 0u64;
     let span = info.domain_max.saturating_sub(info.domain_min).max(1);
     let mut my_inserts: Vec<u32> = Vec::new();
@@ -433,7 +530,11 @@ fn worker(
             }
             elems.sort();
             elems.dedup();
-            format!("QUERY {} {} {}", st, st + len, elems.join(","))
+            let mut q = format!("QUERY {} {} {}", st, st + len, elems.join(","));
+            if cfg.deadline_ms > 0 {
+                q.push_str(&format!(" DEADLINE {}", cfg.deadline_ms));
+            }
+            q
         } else if rng.chance(cfg.insert_fraction) || my_inserts.is_empty() {
             // analyze:allow(atomic-ordering): unique-id ticket; only atomicity matters, not ordering
             let id = id_source.fetch_add(1, Ordering::Relaxed);
@@ -456,24 +557,81 @@ fn worker(
             format!("DELETE {id}")
         };
 
-        let t0 = Instant::now();
-        let response = conn.call(&request);
-        let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-        out.histogram.record(nanos);
-        match response {
-            Ok(Response::Hits(ids)) => {
-                out.ok += 1;
-                out.hits += ids.len() as u64;
+        // Retry loop: OVERLOADED, TIMEOUT, and transport failures are
+        // re-issued with jittered exponential backoff; everything else
+        // settles on the first answer. Each occurrence lands in its
+        // counter even when a retry later succeeds.
+        let mut attempt = 0u32;
+        loop {
+            let t0 = Instant::now();
+            let response = conn.call(&request);
+            let nanos = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            out.histogram.record(nanos);
+            let transport_dead = response.is_err();
+            let retryable = match response {
+                Ok(Response::Hits(ids)) => {
+                    out.ok += 1;
+                    out.hits += ids.len() as u64;
+                    if !hits_look_sane(&ids) {
+                        out.wrong += 1;
+                    }
+                    false
+                }
+                Ok(Response::Ok) => {
+                    out.ok += 1;
+                    false
+                }
+                Ok(Response::Overloaded) => {
+                    out.rejected += 1;
+                    true
+                }
+                Ok(Response::Timeout) => {
+                    out.timeouts += 1;
+                    true
+                }
+                // The store latched read-only; retrying cannot help.
+                Ok(Response::Degraded) => {
+                    out.degraded += 1;
+                    false
+                }
+                Ok(Response::Missing) => {
+                    out.missing += 1;
+                    false
+                }
+                Ok(Response::Err(_)) => {
+                    out.errors += 1;
+                    false
+                }
+                Ok(_) => {
+                    out.errors += 1; // unexpected response kind
+                    false
+                }
+                Err(_) => true,
+            };
+            if !retryable || attempt >= cfg.retries {
+                if transport_dead {
+                    // Retries exhausted with a dead transport: one error
+                    // for the lost request, and the worker is done.
+                    out.errors += 1;
+                    return Ok(out);
+                }
+                break;
             }
-            Ok(Response::Ok) => out.ok += 1,
-            Ok(Response::Overloaded) => out.rejected += 1,
-            Ok(Response::Missing) => out.missing += 1,
-            Ok(Response::Err(_)) => out.errors += 1,
-            Ok(_) => out.errors += 1, // unexpected response kind
-            Err(_) => {
-                out.errors += 1;
-                // The transport is gone; there is no point hammering it.
-                return Ok(out);
+            attempt += 1;
+            out.retries += 1;
+            // Exponential backoff with up to 100% jitter (decorrelates
+            // a herd of workers retrying after one stall).
+            let base = cfg.backoff_ms.max(1) << (attempt - 1).min(6);
+            let pause = base + rng.below(base);
+            std::thread::sleep(std::time::Duration::from_millis(pause));
+            if transport_dead {
+                match Connection::open_with_timeout(&cfg.addr, read_timeout) {
+                    Ok(fresh) => conn = fresh,
+                    Err(_) => {
+                        out.errors += 1;
+                        return Ok(out); // server gone for good
+                    }
+                }
             }
         }
 
@@ -491,6 +649,7 @@ fn worker(
                 out.flushes += 1;
                 match flushed {
                     Ok(Response::Epoch(_)) => {}
+                    Ok(Response::Degraded) => out.degraded += 1,
                     Ok(_) => out.errors += 1,
                     Err(_) => {
                         out.errors += 1;
@@ -530,24 +689,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
         );
     }
 
-    let mut histogram = LatencyHistogram::new();
-    let mut flush_histogram = LatencyHistogram::new();
-    let (mut ok, mut hits, mut rejected, mut missing, mut errors, mut flushes) = (0, 0, 0, 0, 0, 0);
+    let mut totals = Totals::default();
     for join in joins {
         let outcome = join
             .join()
             .map_err(|_| "loadgen thread panicked".to_string())??;
-        histogram.merge(&outcome.histogram);
-        flush_histogram.merge(&outcome.flush_histogram);
-        ok += outcome.ok;
-        hits += outcome.hits;
-        rejected += outcome.rejected;
-        missing += outcome.missing;
-        errors += outcome.errors;
-        flushes += outcome.flushes;
+        totals.absorb(&outcome);
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
-    let issued = histogram.count();
+    let issued = totals.histogram.count();
     // Second STATS snapshot: the delta is the kernel work this run drove.
     // A server that died mid-run already surfaced as transport errors, so
     // a failed snapshot degrades to zeros instead of failing the report.
@@ -557,22 +707,26 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenReport, String> {
 
     Ok(LoadgenReport {
         requests: issued,
-        ok,
-        hits,
-        rejected,
-        missing,
-        errors,
+        ok: totals.ok,
+        hits: totals.hits,
+        rejected: totals.rejected,
+        missing: totals.missing,
+        errors: totals.errors,
+        timeouts: totals.timeouts,
+        retries: totals.retries,
+        degraded: totals.degraded,
+        wrong: totals.wrong,
         elapsed_s,
         qps: issued as f64 / elapsed_s.max(1e-9),
-        p50_us: histogram.quantile(0.50) as f64 / 1_000.0,
-        p95_us: histogram.quantile(0.95) as f64 / 1_000.0,
-        p99_us: histogram.quantile(0.99) as f64 / 1_000.0,
-        max_us: histogram.max() as f64 / 1_000.0,
-        flushes,
-        flush_p50_us: flush_histogram.quantile(0.50) as f64 / 1_000.0,
-        flush_p95_us: flush_histogram.quantile(0.95) as f64 / 1_000.0,
-        flush_p99_us: flush_histogram.quantile(0.99) as f64 / 1_000.0,
-        flush_max_us: flush_histogram.max() as f64 / 1_000.0,
+        p50_us: totals.histogram.quantile(0.50) as f64 / 1_000.0,
+        p95_us: totals.histogram.quantile(0.95) as f64 / 1_000.0,
+        p99_us: totals.histogram.quantile(0.99) as f64 / 1_000.0,
+        max_us: totals.histogram.max() as f64 / 1_000.0,
+        flushes: totals.flushes,
+        flush_p50_us: totals.flush_histogram.quantile(0.50) as f64 / 1_000.0,
+        flush_p95_us: totals.flush_histogram.quantile(0.95) as f64 / 1_000.0,
+        flush_p99_us: totals.flush_histogram.quantile(0.99) as f64 / 1_000.0,
+        flush_max_us: totals.flush_histogram.max() as f64 / 1_000.0,
         method: info.method.clone(),
         size_bytes: info.size_bytes,
         threads: cfg.threads,
@@ -621,5 +775,49 @@ mod tests {
         let mut cfg = LoadgenConfig::new("127.0.0.1:1");
         cfg.requests = 0;
         assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn totals_merge_sums_every_counter_and_histogram() {
+        let mut a = ThreadOutcome::default();
+        a.histogram.record(1_000);
+        a.histogram.record(2_000);
+        a.flush_histogram.record(5_000);
+        a.ok = 2;
+        a.timeouts = 3;
+        a.retries = 4;
+        a.degraded = 1;
+        a.wrong = 0;
+        a.flushes = 1;
+        let mut b = ThreadOutcome::default();
+        b.histogram.record(8_000);
+        b.ok = 1;
+        b.rejected = 2;
+        b.timeouts = 5;
+        b.retries = 7;
+        b.errors = 1;
+        b.wrong = 2;
+        let mut t = Totals::default();
+        t.absorb(&a);
+        t.absorb(&b);
+        assert_eq!(t.histogram.count(), 3);
+        assert_eq!(t.flush_histogram.count(), 1);
+        assert_eq!(t.ok, 3);
+        assert_eq!(t.rejected, 2);
+        assert_eq!(t.timeouts, 8);
+        assert_eq!(t.retries, 11);
+        assert_eq!(t.degraded, 1);
+        assert_eq!(t.errors, 1);
+        assert_eq!(t.wrong, 2);
+        assert_eq!(t.flushes, 1);
+    }
+
+    #[test]
+    fn hits_sanity_check_rejects_unsorted_and_duplicates() {
+        assert!(hits_look_sane(&[]));
+        assert!(hits_look_sane(&[7]));
+        assert!(hits_look_sane(&[1, 2, 9]));
+        assert!(!hits_look_sane(&[2, 1]));
+        assert!(!hits_look_sane(&[1, 1, 2]));
     }
 }

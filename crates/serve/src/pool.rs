@@ -12,6 +12,20 @@
 //! epoch snapshot for the whole batch, and answers every query against
 //! it, amortizing the snapshot acquisition and giving batch-mates a
 //! consistent view.
+//!
+//! Deadlines: a job may carry an absolute deadline. The worker checks it
+//! at dequeue (a job that waited out its budget in the queue is answered
+//! [`QueryOutcome::TimedOut`] without touching the index) and arms the
+//! [`QueryScratch`] deadline so heavy plans are abandoned mid-flight via
+//! the planner's progress probe. A query that completes is answered
+//! normally even if the clock passed the deadline — the full answer is
+//! correct and already paid for.
+//!
+//! Panics: each worker thread runs under a respawn-in-place supervisor.
+//! A query that panics kills the in-flight job (its client sees a closed
+//! reply channel), bumps [`PoolStats::worker_panics`], and re-enters the
+//! worker loop with a fresh scratch on the same thread and queue — one
+//! poisoned query can never silently shrink the pool.
 
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,9 +46,20 @@ pub struct QueryReply {
     pub ids: Vec<ObjectId>,
 }
 
+/// What came back for a submitted query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The query completed; here is its answer.
+    Answered(QueryReply),
+    /// The job's deadline expired (in queue or mid-plan) before the
+    /// answer was complete; any partial answer was discarded.
+    TimedOut,
+}
+
 struct Job {
     query: TimeTravelQuery,
-    reply: SyncSender<QueryReply>,
+    deadline: Option<std::time::Instant>,
+    reply: SyncSender<QueryOutcome>,
 }
 
 /// Tuning knobs of the pool.
@@ -69,6 +94,11 @@ pub struct PoolStats {
     pub batches: AtomicU64,
     /// Largest batch answered against a single snapshot.
     pub max_batch: AtomicU64,
+    /// Queries answered `TIMEOUT` (deadline expired in queue or
+    /// mid-plan).
+    pub timeouts: AtomicU64,
+    /// Worker panics caught by the respawn supervisor.
+    pub worker_panics: AtomicU64,
 }
 
 /// The executor. Submitting is cheap and non-blocking; results come back
@@ -94,7 +124,23 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> QueryPool<I> {
             let max_batch = config.max_batch.max(1);
             let handle = std::thread::Builder::new()
                 .name(format!("tir-query-{w}"))
-                .spawn(move || worker_loop(&rx, &store, &stats, max_batch))
+                .spawn(move || {
+                    // Respawn-in-place supervisor: a panicking query
+                    // must not shrink the pool. The queue and shard
+                    // routing survive; only the scratch is rebuilt.
+                    loop {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker_loop(&rx, &store, &stats, max_batch)
+                        }));
+                        match run {
+                            Ok(()) => break, // queue closed: clean exit
+                            Err(_) => {
+                                // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
+                                stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
                 .expect("spawning a query worker thread");
             txs.push(tx);
             handles.push(handle);
@@ -116,13 +162,24 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> QueryPool<I> {
         (h.finish() % self.txs.len() as u64) as usize
     }
 
-    /// Submits a query; the reply arrives on the returned channel.
+    /// Submits a query; the outcome arrives on the returned channel.
     /// `Err(Overloaded)` means the target worker's queue is full.
-    pub fn submit(&self, query: TimeTravelQuery) -> Result<Receiver<QueryReply>, Rejected> {
+    pub fn submit(&self, query: TimeTravelQuery) -> Result<Receiver<QueryOutcome>, Rejected> {
+        self.submit_with_deadline(query, None)
+    }
+
+    /// Submits a query carrying an absolute deadline (see the module
+    /// docs for the exact semantics).
+    pub fn submit_with_deadline(
+        &self,
+        query: TimeTravelQuery,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Receiver<QueryOutcome>, Rejected> {
         let shard = self.shard(&query);
         let (reply_tx, reply_rx) = sync_channel(1);
         let job = Job {
             query,
+            deadline,
             reply: reply_tx,
         };
         match self.txs[shard].try_send(job) {
@@ -137,8 +194,23 @@ impl<I: TemporalIrIndex + Clone + Send + Sync + 'static> QueryPool<I> {
     }
 
     /// Submits and waits for the answer (the closed-loop client path).
+    /// A closed reply channel (shutdown, or a worker panic that killed
+    /// the in-flight job) surfaces as [`Rejected::Closed`].
     pub fn execute(&self, query: TimeTravelQuery) -> Result<QueryReply, Rejected> {
-        let rx = self.submit(query)?;
+        match self.execute_with_deadline(query, None)? {
+            QueryOutcome::Answered(reply) => Ok(reply),
+            // Unreachable without a deadline; map defensively.
+            QueryOutcome::TimedOut => Err(Rejected::Closed),
+        }
+    }
+
+    /// Submits with a deadline and waits for the outcome.
+    pub fn execute_with_deadline(
+        &self,
+        query: TimeTravelQuery,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<QueryOutcome, Rejected> {
+        let rx = self.submit_with_deadline(query, deadline)?;
         rx.recv().map_err(|_| Rejected::Closed)
     }
 
@@ -177,6 +249,9 @@ where
                 Err(_) => break,
             }
         }
+        // Chaos hook: simulate a slow worker once per batch; deadlined
+        // jobs then expire in-queue and answer TIMEOUT at dequeue.
+        tir_fault::stall(tir_fault::FaultSite::WorkerStall);
         let snap = store.snapshot();
         // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
         stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -185,15 +260,32 @@ where
             .max_batch
             .fetch_max(batch.len() as u64, Ordering::Relaxed);
         for job in batch {
+            if let Some(deadline) = job.deadline {
+                if std::time::Instant::now() >= deadline {
+                    // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
+                    stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    // A client that hung up before its answer is not an error.
+                    let _ = job.reply.send(QueryOutcome::TimedOut);
+                    continue;
+                }
+            }
+            scratch.set_deadline(job.deadline);
             let mut ids: Vec<ObjectId> = Vec::new();
             snap.index.query_into(&job.query, &mut scratch, &mut ids);
-            // analyze:allow(atomic-ordering): monotonic stat counter; replies synchronize via the channel
-            stats.served.fetch_add(1, Ordering::Relaxed);
+            let outcome = if scratch.timed_out() {
+                // analyze:allow(atomic-ordering): monotonic stat counter, read only for reporting
+                stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                QueryOutcome::TimedOut
+            } else {
+                // analyze:allow(atomic-ordering): monotonic stat counter; replies synchronize via the channel
+                stats.served.fetch_add(1, Ordering::Relaxed);
+                QueryOutcome::Answered(QueryReply {
+                    epoch: snap.epoch,
+                    ids,
+                })
+            };
             // A client that hung up before its answer is not an error.
-            let _ = job.reply.send(QueryReply {
-                epoch: snap.epoch,
-                ids,
-            });
+            let _ = job.reply.send(outcome);
         }
     }
 }
@@ -270,7 +362,7 @@ mod tests {
                             assert_eq!(ids.len(), reply.ids.len());
                         }
                         Err(Rejected::Overloaded) => {} // legal under load
-                        Err(Rejected::Closed) => panic!("pool closed"),
+                        Err(e) => panic!("pool rejected: {e}"),
                     }
                 }
             }));
@@ -279,5 +371,82 @@ mod tests {
             j.join().expect("submitter thread");
         }
         assert!(pool.stats().served.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn already_expired_deadline_answers_timeout() {
+        let (_store, pool) = pool_over_example();
+        let q = TimeTravelQuery::new(5, 9, vec![0, 2]);
+        let outcome = pool
+            .execute_with_deadline(q.clone(), Some(std::time::Instant::now()))
+            .expect("execute");
+        assert_eq!(outcome, QueryOutcome::TimedOut);
+        assert_eq!(pool.stats().timeouts.load(Ordering::Relaxed), 1);
+        // A generous deadline answers normally.
+        let later = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        match pool.execute_with_deadline(q, Some(later)).expect("execute") {
+            QueryOutcome::Answered(reply) => {
+                let mut ids = reply.ids;
+                ids.sort_unstable();
+                assert_eq!(ids, vec![1, 3, 6]);
+            }
+            QueryOutcome::TimedOut => panic!("a 60s deadline must not expire"),
+        }
+    }
+
+    /// A [`BruteForce`] wrapper whose query panics on one magic time
+    /// range — stands in for any latent bug a hostile query can reach.
+    #[derive(Clone)]
+    struct PanicOnMagic(BruteForce);
+
+    const MAGIC_START: u64 = 777_777;
+
+    impl TemporalIrIndex for PanicOnMagic {
+        fn name(&self) -> &'static str {
+            "PanicOnMagic"
+        }
+        fn query(&self, q: &TimeTravelQuery) -> Vec<ObjectId> {
+            assert_ne!(q.interval.st, MAGIC_START, "injected query panic");
+            self.0.query(q)
+        }
+        fn insert(&mut self, o: &Object) {
+            self.0.insert(o);
+        }
+        fn delete(&mut self, o: &Object) -> bool {
+            self.0.delete(o)
+        }
+        fn size_bytes(&self) -> usize {
+            self.0.size_bytes()
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_the_worker_respawns() {
+        let coll = Collection::running_example();
+        let store = Arc::new(EpochStore::new(
+            PanicOnMagic(BruteForce::build(coll.objects())),
+            coll.len() as u64,
+            EpochConfig::default(),
+        ));
+        let pool = QueryPool::new(
+            Arc::clone(&store),
+            PoolConfig {
+                workers: 1, // one shard: the poisoned and clean queries share a worker
+                ..PoolConfig::default()
+            },
+        );
+        let poisoned = TimeTravelQuery::new(MAGIC_START, MAGIC_START + 1, vec![0]);
+        assert_eq!(
+            pool.execute(poisoned).expect_err("panic kills the reply"),
+            Rejected::Closed
+        );
+        assert_eq!(pool.stats().worker_panics.load(Ordering::Relaxed), 1);
+        // The respawned worker still answers on the same queue.
+        let reply = pool
+            .execute(TimeTravelQuery::new(5, 9, vec![0, 2]))
+            .expect("respawned worker answers");
+        let mut ids = reply.ids;
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 3, 6]);
     }
 }

@@ -4,11 +4,12 @@
 //! space-separated fields, elements comma-separated:
 //!
 //! ```text
-//! request  := QUERY <from> <to> <elem>[,<elem>...]
+//! request  := QUERY <from> <to> <elem>[,<elem>...] [DEADLINE <ms>]
 //!           | INSERT <id> <from> <to> <elem>[,<elem>...]
 //!           | DELETE <id>
 //!           | FLUSH
 //!           | SNAPSHOT
+//!           | HEALTH
 //!           | STATS
 //!           | ELEMS <n>
 //!           | SHUTDOWN
@@ -16,7 +17,10 @@
 //!           | OK                      write admitted
 //!           | MISSING                 DELETE of an id that is not live
 //!           | OVERLOADED              backpressure: request shed, retry
+//!           | TIMEOUT                 QUERY deadline expired mid-plan
+//!           | DEGRADED                write refused: server is read-only
 //!           | EPOCH <n>               FLUSH / SNAPSHOT barrier reached
+//!           | HEALTH ok|degraded|draining
 //!           | STATS <k>=<v>[ <k>=<v>...]
 //!           | ELEMS [<term>...]       sample of dictionary terms
 //!           | BYE                     acknowledges SHUTDOWN
@@ -25,8 +29,16 @@
 //!
 //! Element tokens are dictionary *strings* (e.g. `e42` for generated
 //! corpora); empty element tokens are a hard protocol error, mirroring
-//! the CLI's strict `--elems` parsing. `OVERLOADED` is a well-formed
-//! outcome, not a protocol error: load generators count it separately.
+//! the CLI's strict `--elems` parsing. `OVERLOADED`, `TIMEOUT` and
+//! `DEGRADED` are well-formed outcomes, not protocol errors: load
+//! generators count each separately.
+//!
+//! Deadline semantics: `DEADLINE <ms>` starts ticking when the server
+//! dispatches the query. A worker answers `TIMEOUT` if the deadline has
+//! passed when it dequeues the job, or if the mid-plan progress probe
+//! sees it expire; a query that *completes* is answered normally even if
+//! the clock has passed the deadline, because the full answer is correct
+//! and already paid for.
 
 use tir_core::ObjectId;
 
@@ -41,6 +53,9 @@ pub enum Request {
         to: u64,
         /// Required element terms (non-empty, each token non-empty).
         elems: Vec<String>,
+        /// Per-request deadline in milliseconds from dispatch (`DEADLINE
+        /// <ms>`); `None` means no deadline.
+        deadline_ms: Option<u64>,
     },
     /// Insert a new object.
     Insert {
@@ -64,6 +79,8 @@ pub enum Request {
     /// Force a durable snapshot now (durable servers; others treat it as
     /// a flush), answer the epoch it captured.
     Snapshot,
+    /// Report the serving health state.
+    Health,
     /// Server counters.
     Stats,
     /// Sample up to `n` dictionary terms (for workload generation).
@@ -86,16 +103,55 @@ pub enum Response {
     Missing,
     /// Backpressure rejection.
     Overloaded,
+    /// QUERY deadline expired before the plan finished.
+    Timeout,
+    /// Write refused: the server is in read-only degraded mode.
+    Degraded,
     /// Barrier acknowledgment of `FLUSH`/`SNAPSHOT`: the epoch reached.
     Epoch(u64),
     /// Counter pairs, verbatim `k=v` tokens.
     Stats(Vec<(String, String)>),
     /// Dictionary term sample.
     Elems(Vec<String>),
+    /// Health report.
+    Health(HealthStatus),
     /// Shutdown acknowledged.
     Bye,
     /// Request-level error.
     Err(String),
+}
+
+/// The serving health state reported by the `HEALTH` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Fully serving: reads and writes admitted.
+    Ok,
+    /// Read-only: a durability failure latched the applier into degraded
+    /// mode; queries serve the last acked epoch, writes get `DEGRADED`.
+    Degraded,
+    /// Shutdown requested: existing connections drain, no new accepts.
+    Draining,
+}
+
+impl HealthStatus {
+    /// The wire token (`ok`, `degraded`, `draining`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Draining => "draining",
+        }
+    }
+
+    /// Parses a wire token.
+    pub fn parse(tok: &str) -> Result<HealthStatus, String> {
+        match tok {
+            "ok" => Ok(HealthStatus::Ok),
+            "degraded" => Ok(HealthStatus::Degraded),
+            "draining" => Ok(HealthStatus::Draining),
+            other => Err(format!("unknown health state '{other}'")),
+        }
+    }
 }
 
 /// Splits a comma-separated element list, rejecting empty tokens — the
@@ -141,7 +197,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match verb {
         "QUERY" => {
-            arity(3)?;
+            let deadline_ms = match rest.len() {
+                3 => None,
+                5 if rest[3] == "DEADLINE" => Some(parse_u64(rest[4], "deadline")?),
+                _ => {
+                    return Err(format!(
+                        "QUERY takes <from> <to> <elems> [DEADLINE <ms>], got {} argument(s)",
+                        rest.len()
+                    ))
+                }
+            };
             let from = parse_u64(rest[0], "from")?;
             let to = parse_u64(rest[1], "to")?;
             if from > to {
@@ -151,6 +216,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 from,
                 to,
                 elems: parse_elems(rest[2])?,
+                deadline_ms,
             })
         }
         "INSERT" => {
@@ -181,6 +247,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "SNAPSHOT" => {
             arity(0)?;
             Ok(Request::Snapshot)
+        }
+        "HEALTH" => {
+            arity(0)?;
+            Ok(Request::Health)
         }
         "STATS" => {
             arity(0)?;
@@ -213,6 +283,9 @@ pub fn format_response(r: &Response) -> String {
         Response::Ok => "OK".into(),
         Response::Missing => "MISSING".into(),
         Response::Overloaded => "OVERLOADED".into(),
+        Response::Timeout => "TIMEOUT".into(),
+        Response::Degraded => "DEGRADED".into(),
+        Response::Health(h) => format!("HEALTH {}", h.as_str()),
         Response::Epoch(n) => format!("EPOCH {n}"),
         Response::Stats(pairs) => {
             let mut s = "STATS".to_string();
@@ -262,6 +335,9 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         "OK" => Ok(Response::Ok),
         "MISSING" => Ok(Response::Missing),
         "OVERLOADED" => Ok(Response::Overloaded),
+        "TIMEOUT" => Ok(Response::Timeout),
+        "DEGRADED" => Ok(Response::Degraded),
+        "HEALTH" => HealthStatus::parse(rest.trim()).map(Response::Health),
         "EPOCH" => rest
             .trim()
             .parse()
@@ -298,7 +374,17 @@ mod tests {
             Request::Query {
                 from: 5,
                 to: 9,
-                elems: vec!["a".into(), "c".into()]
+                elems: vec!["a".into(), "c".into()],
+                deadline_ms: None
+            }
+        );
+        assert_eq!(
+            parse_request("QUERY 5 9 a,c DEADLINE 250").expect("query"),
+            Request::Query {
+                from: 5,
+                to: 9,
+                elems: vec!["a".into(), "c".into()],
+                deadline_ms: Some(250)
             }
         );
         assert_eq!(
@@ -324,6 +410,7 @@ mod tests {
             parse_request("ELEMS 16").expect("elems"),
             Request::Elems { n: 16 }
         );
+        assert_eq!(parse_request("HEALTH").expect("health"), Request::Health);
         assert_eq!(parse_request("SHUTDOWN").expect("bye"), Request::Shutdown);
     }
 
@@ -336,6 +423,10 @@ mod tests {
             "QUERY 9 5 a",             // inverted interval
             "QUERY x 9 a",             // bad number
             "QUERY 5 9 a,,c",          // empty element token
+            "QUERY 5 9 a DEADLINE",    // missing deadline value
+            "QUERY 5 9 a DEADLINE x",  // bad deadline value
+            "QUERY 5 9 a TIMEOUT 5",   // wrong trailing keyword
+            "HEALTH now",              // arity
             "QUERY 5 9 ,",             // only empty tokens
             "INSERT 8 5 6",            // missing elems
             "INSERT 2147483648 0 1 a", // tombstone bit
@@ -358,6 +449,11 @@ mod tests {
             Response::Ok,
             Response::Missing,
             Response::Overloaded,
+            Response::Timeout,
+            Response::Degraded,
+            Response::Health(HealthStatus::Ok),
+            Response::Health(HealthStatus::Degraded),
+            Response::Health(HealthStatus::Draining),
             Response::Epoch(42),
             Response::Stats(vec![
                 ("epoch".into(), "7".into()),
@@ -383,5 +479,15 @@ mod tests {
     fn epoch_value_must_parse() {
         assert!(parse_response("EPOCH x").is_err());
         assert!(parse_response("EPOCH").is_err());
+    }
+
+    #[test]
+    fn health_state_must_parse() {
+        assert!(parse_response("HEALTH weird").is_err());
+        assert!(parse_response("HEALTH").is_err());
+        assert_eq!(
+            parse_response("HEALTH degraded").expect("health"),
+            Response::Health(HealthStatus::Degraded)
+        );
     }
 }

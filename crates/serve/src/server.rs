@@ -11,6 +11,14 @@
 //! A `QUERY` naming an element unknown to the dictionary answers
 //! `HITS 0`: no object can carry it, and a serving system should not
 //! treat a miss as a client fault.
+//!
+//! Robustness on the wire: request lines are read through a hard
+//! [`MAX_LINE_BYTES`] cap (an unterminated or oversize line answers one
+//! `ERR` and closes the connection instead of buffering unboundedly),
+//! `QUERY ... DEADLINE <ms>` budgets are enforced in the worker pool
+//! (late answers become `TIMEOUT`), and a durability failure latches the
+//! store read-only: queries keep serving the last acked epoch while
+//! writes and barriers answer `DEGRADED` (`HEALTH` reports the state).
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -25,9 +33,15 @@ use tir_persist::{Durability, Persist, PersistStats};
 
 use crate::durable::ServeDict;
 use crate::epoch::{EpochConfig, EpochStore, Rejected, Validator, WriteOp};
+use crate::pool::QueryOutcome;
 use crate::pool::{PoolConfig, QueryPool};
-use crate::protocol::{format_response, parse_request, Request, Response};
+use crate::protocol::{format_response, parse_request, HealthStatus, Request, Response};
 use crate::witness::lock;
+
+/// Hard cap on one protocol request line (bytes, excluding nothing —
+/// the newline counts). Far above any legal request; a client that
+/// exceeds it is broken or hostile and gets `ERR` + connection close.
+pub const MAX_LINE_BYTES: u64 = 64 * 1024;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -251,15 +265,39 @@ where
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut line = String::new();
+    let mut buf = Vec::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+        buf.clear();
+        // Bounded read: at most MAX_LINE_BYTES + 1 bytes are pulled, so
+        // a newline-free flood cannot grow the buffer unboundedly.
+        let n = std::io::Read::take(&mut reader, MAX_LINE_BYTES + 1).read_until(b'\n', &mut buf)?;
+        if n == 0 {
             return Ok(()); // client hung up
         }
-        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if buf.len() as u64 > MAX_LINE_BYTES && !buf.ends_with(b"\n") {
+            // The line is torn mid-stream; resyncing on the next newline
+            // would misparse its tail, so answer once and hang up.
+            let resp = Response::Err(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+            writer.write_all(format_response(&resp).as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        let Ok(text) = std::str::from_utf8(&buf) else {
+            let resp = Response::Err("request line is not UTF-8".into());
+            writer.write_all(format_response(&resp).as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            return Ok(());
+        };
+        let trimmed = text.trim_end_matches(['\n', '\r']);
         if trimmed.is_empty() {
             continue;
+        }
+        // Chaos hook: a seeded plan can hang up mid-conversation here,
+        // exercising client-side reconnect + retry.
+        if tir_fault::drop_conn(tir_fault::FaultSite::ConnDrop) {
+            return Ok(());
         }
         let response = match parse_request(trimmed) {
             Ok(req) => {
@@ -286,7 +324,16 @@ where
     I: TemporalIrIndex + Clone + Send + Sync + 'static,
 {
     match req {
-        Request::Query { from, to, elems } => {
+        Request::Query {
+            from,
+            to,
+            elems,
+            deadline_ms,
+        } => {
+            // The deadline clock starts at dispatch: queue wait counts
+            // against the budget, which is what a client experiences.
+            let deadline = deadline_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
             let resolved: Option<Vec<u32>> = {
                 let dict = lock(&shared.dict);
                 elems.iter().map(|t| dict.dict().lookup(t)).collect()
@@ -294,14 +341,18 @@ where
             match resolved {
                 // An element nothing was ever tagged with ⇒ empty answer.
                 None => Response::Hits(Vec::new()),
-                Some(ids) => match shared.pool.execute(TimeTravelQuery::new(from, to, ids)) {
-                    Ok(reply) => {
+                Some(ids) => match shared
+                    .pool
+                    .execute_with_deadline(TimeTravelQuery::new(from, to, ids), deadline)
+                {
+                    Ok(QueryOutcome::Answered(reply)) => {
                         let mut ids = reply.ids;
                         ids.sort_unstable();
                         Response::Hits(ids)
                     }
+                    Ok(QueryOutcome::TimedOut) => Response::Timeout,
                     Err(Rejected::Overloaded) => Response::Overloaded,
-                    Err(Rejected::Closed) => Response::Err("server shutting down".into()),
+                    Err(_) => Response::Err("server shutting down".into()),
                 },
             }
         }
@@ -331,6 +382,7 @@ where
                 return Response::Err(format!("id {id} already live"));
             }
             match shared.store.enqueue(WriteOp::Insert(object.clone())) {
+                Err(Rejected::Degraded) => Response::Degraded,
                 Ok(()) => {
                     catalog.insert(id, object);
                     drop(catalog);
@@ -357,19 +409,30 @@ where
                     catalog.insert(id, object); // not deleted after all
                     Response::Overloaded
                 }
+                Err(Rejected::Degraded) => {
+                    catalog.insert(id, object); // not deleted after all
+                    Response::Degraded
+                }
                 Err(Rejected::Closed) => Response::Err("server shutting down".into()),
             }
         }
         Request::Flush => match shared.store.flush() {
             Ok(epoch) => Response::Epoch(epoch),
             Err(Rejected::Overloaded) => Response::Overloaded,
+            Err(Rejected::Degraded) => Response::Degraded,
             Err(Rejected::Closed) => Response::Err("server shutting down".into()),
         },
         Request::Snapshot => match shared.store.force_snapshot() {
             Ok(epoch) => Response::Epoch(epoch),
             Err(Rejected::Overloaded) => Response::Overloaded,
+            Err(Rejected::Degraded) => Response::Degraded,
             Err(Rejected::Closed) => Response::Err("server shutting down".into()),
         },
+        Request::Health => Response::Health(if shared.shutdown.load(Ordering::SeqCst) {
+            HealthStatus::Draining
+        } else {
+            shared.store.health()
+        }),
         Request::Stats => {
             let snap = shared.store.snapshot();
             let estats = shared.store.stats();
@@ -377,6 +440,7 @@ where
             // analyze:allow(atomic-ordering): every load below is a stat/gauge read for a point-in-time report; torn cross-counter views are acceptable
             let pairs: Vec<(String, String)> = [
                 ("method", shared.method.clone()),
+                ("health", shared.store.health().as_str().to_string()),
                 ("epoch", snap.epoch.to_string()),
                 ("live", snap.live.to_string()),
                 ("size_bytes", snap.index.size_bytes().to_string()),
@@ -403,6 +467,14 @@ where
                     pstats.batches.load(Ordering::Relaxed).to_string(),
                 ),
                 (
+                    "timeouts",
+                    pstats.timeouts.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "worker_panics",
+                    pstats.worker_panics.load(Ordering::Relaxed).to_string(),
+                ),
+                (
                     "inserts",
                     estats.inserts.load(Ordering::Relaxed).to_string(),
                 ),
@@ -421,6 +493,10 @@ where
                 (
                     "flushes",
                     estats.flushes.load(Ordering::Relaxed).to_string(),
+                ),
+                (
+                    "degraded_writes",
+                    estats.degraded_writes.load(Ordering::Relaxed).to_string(),
                 ),
             ]
             .into_iter()
@@ -668,6 +744,46 @@ mod tests {
         server.stop();
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&copy);
+    }
+
+    #[test]
+    fn health_deadlines_and_oversize_lines() {
+        let server = example_server();
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+        assert_eq!(roundtrip(&mut stream, &mut reader, "HEALTH"), "HEALTH ok");
+        // An already-expired budget answers TIMEOUT deterministically.
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "QUERY 5 9 a,c DEADLINE 0"),
+            "TIMEOUT"
+        );
+        // A generous budget answers normally.
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "QUERY 5 9 a,c DEADLINE 60000"),
+            "HITS 3 1 3 6"
+        );
+        let stats = roundtrip(&mut stream, &mut reader, "STATS");
+        assert!(stats.contains("health=ok"), "{stats}");
+        assert!(stats.contains("timeouts=1"), "{stats}");
+        assert!(stats.contains("worker_panics=0"), "{stats}");
+
+        // An oversize line answers one ERR and closes the connection.
+        let mut big = String::from("QUERY 5 9 ");
+        big.push_str(&"a".repeat(MAX_LINE_BYTES as usize + 16));
+        big.push('\n');
+        stream.write_all(big.as_bytes()).expect("write oversize");
+        stream.flush().expect("flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        assert!(line.starts_with("ERR"), "{line}");
+        line.clear();
+        assert_eq!(
+            reader.read_line(&mut line).expect("read"),
+            0,
+            "server must hang up after an oversize line"
+        );
+        server.stop();
     }
 
     #[test]

@@ -89,6 +89,7 @@ fn readers_race_writer_and_agree_with_oracle() {
                     }
                     Err(Rejected::Overloaded) => {} // backpressure is legal
                     Err(Rejected::Closed) => return,
+                    Err(Rejected::Degraded) => panic!("in-memory store degraded"),
                 }
             }
         }));
@@ -113,6 +114,7 @@ fn readers_race_writer_and_agree_with_oracle() {
                             std::thread::yield_now();
                         }
                         Err(Rejected::Closed) => panic!("store closed"),
+                        Err(Rejected::Degraded) => panic!("in-memory store degraded"),
                     }
                 }
             }
@@ -128,6 +130,7 @@ fn readers_race_writer_and_agree_with_oracle() {
                             std::thread::yield_now();
                         }
                         Err(Rejected::Closed) => panic!("store closed"),
+                        Err(Rejected::Degraded) => panic!("in-memory store degraded"),
                     }
                 }
             }

@@ -53,7 +53,7 @@ fn readers_racing_writer_trip_no_witness() {
                 match pool.execute(TimeTravelQuery::new(0, 12, vec![((t + i) % 3) as u32])) {
                     Ok(reply) => assert!(reply.epoch <= store.snapshot().epoch),
                     Err(Rejected::Overloaded) => {} // legal under load
-                    Err(Rejected::Closed) => panic!("pool closed mid-test"),
+                    Err(e) => panic!("pool rejected mid-test: {e}"),
                 }
                 i += 1;
             }

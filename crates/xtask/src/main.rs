@@ -40,7 +40,7 @@ use tir_hint::{Grid1D, Hint, HintConfig, IntervalRecord, IntervalTree};
 /// Library crates the attribute and source rules apply to. Binaries
 /// (`cli`, `bench`, this crate) and the dependency shims are exempt.
 const LIB_CRATES: &[&str] = &[
-    "analyze", "check", "core", "datagen", "hint", "invidx", "persist", "serve",
+    "analyze", "check", "core", "datagen", "fault", "hint", "invidx", "persist", "serve",
 ];
 
 /// Crates where a silently truncating cast corrupts query answers;
